@@ -1,0 +1,581 @@
+// Package mathcloud_test holds the repository-level benchmark harness: one
+// benchmark per paper artifact (Tables 1-2, Figures 1-3, the Section 4
+// claims) plus ablation benchmarks for the design choices called out in
+// DESIGN.md §5.  The benchmarks reuse the same drivers as cmd/experiments
+// but at reduced problem sizes, so `go test -bench=. -benchmem` finishes
+// in minutes; the full-size sweeps live in cmd/experiments.
+package mathcloud_test
+
+import (
+	"context"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/ampl"
+	"mathcloud/internal/cas"
+	"mathcloud/internal/catalogue"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/dw"
+	"mathcloud/internal/grid"
+	"mathcloud/internal/matrixinv"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/ratmat"
+	"mathcloud/internal/scatter"
+	"mathcloud/internal/security"
+	"mathcloud/internal/simplex"
+	"mathcloud/internal/torque"
+	"mathcloud/internal/workflow"
+)
+
+// startBench brings up a local deployment for benchmarks.
+func startBench(b *testing.B, workers int) *platform.Deployment {
+	b.Helper()
+	d, err := platform.StartLocal(platform.Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return d
+}
+
+// BenchmarkTable1RESTAPI measures one full request/response cycle through
+// the unified REST API of Table 1: POST (create job), server-side
+// processing, GET results — the per-call price of the platform's
+// interface.
+func BenchmarkTable1RESTAPI(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.add", func(_ context.Context, in core.Values) (core.Values, error) {
+		a, _ := in["a"].(float64)
+		c, _ := in["b"].(float64)
+		return core.Values{"sum": a + c}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "add",
+			Inputs:  []core.Param{{Name: "a"}, {Name: "b"}},
+			Outputs: []core.Param{{Name: "sum"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "bench.add"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	svc := client.New().Service(d.Container.ServiceURI("add"))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Call(ctx, core.Values{"a": 1.0, "b": 2.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2HilbertInversion reproduces the Table 2 comparison at a
+// reduced order: serial CAS-service inversion vs the 4-block workflow.
+func BenchmarkTable2HilbertInversion(b *testing.B) {
+	d := startBench(b, 16)
+	names, err := cas.Deploy(d.Container, "maxima", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uris := make([]string, len(names))
+	for i, n := range names {
+		uris[i] = d.Container.ServiceURI(n)
+	}
+	inv := &workflow.HTTPInvoker{}
+	const n = 24
+	h := ratmat.Hilbert(n)
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := matrixinv.InvertSerial(ctx, inv, uris[0], h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-4block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := matrixinv.InvertParallel(ctx, inv, inv, uris, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig1AdapterPipeline measures the request→queue→adapter→result
+// pipeline of Fig. 1 for each adapter kind.
+func BenchmarkFig1AdapterPipeline(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.square", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": x * x}, nil
+	})
+
+	cluster, err := torque.New("bench", []torque.NodeSpec{{Name: "n1", Slots: 8}}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Close)
+	clusters := torque.NewClusterRegistry()
+	clusters.Add(cluster)
+	d.Registry.Register("cluster", torque.NewAdapterFactory(clusters, d.Registry))
+
+	site := &grid.Site{Name: "site", Cluster: cluster, VOs: []string{"vo"}, Reliability: 1}
+	infra, err := grid.New([]*grid.Site{site}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Registry.Register("grid", grid.NewAdapterFactory(infra, d.Registry))
+
+	deploy := func(name, kind string, cfg any) {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Container.Deploy(container.ServiceConfig{
+			Description: core.ServiceDescription{Name: name,
+				Inputs:  []core.Param{{Name: "x"}},
+				Outputs: []core.Param{{Name: "y"}}},
+			Adapter: container.AdapterSpec{Kind: kind, Config: raw},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deploy("native", "native", adapter.NativeConfig{Function: "bench.square"})
+	deploy("script", "script", adapter.ScriptConfig{Script: "out.y = in.x * in.x"})
+	deploy("cluster", "cluster", torque.AdapterConfig{Cluster: "bench",
+		Exec: torque.ExecConfig{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.square"}`)}})
+	deploy("grid", "grid", grid.AdapterConfig{VO: "vo",
+		Exec: torque.ExecConfig{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.square"}`)}})
+
+	ctx := context.Background()
+	for _, name := range []string{"native", "script", "cluster", "grid"} {
+		svc := client.New().Service(d.Container.ServiceURI(name))
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Call(ctx, core.Values{"x": 7.0}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2WorkflowEngine measures one end-to-end run of a typed DAG
+// through the workflow engine with real service calls.
+func BenchmarkFig2WorkflowEngine(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.double", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": 2 * x}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "double",
+			Inputs:  []core.Param{{Name: "x"}},
+			Outputs: []core.Param{{Name: "y"}}},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.double"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	uri := d.Container.ServiceURI("double")
+	wf := &workflow.Workflow{
+		Name: "diamond",
+		Blocks: []workflow.Block{
+			{ID: "in", Type: workflow.BlockInput, Name: "x"},
+			{ID: "l", Type: workflow.BlockService, Service: uri},
+			{ID: "r", Type: workflow.BlockService, Service: uri},
+			{ID: "join", Type: workflow.BlockScript,
+				Script:  "out.sum = in.a + in.b",
+				Inputs:  []workflow.PortDecl{{Name: "a"}, {Name: "b"}},
+				Outputs: []workflow.PortDecl{{Name: "sum"}}},
+			{ID: "out", Type: workflow.BlockOutput, Name: "sum"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "l", Port: "x"}},
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "r", Port: "x"}},
+			{From: workflow.PortRef{Block: "l", Port: "y"}, To: workflow.PortRef{Block: "join", Port: "a"}},
+			{From: workflow.PortRef{Block: "r", Port: "y"}, To: workflow.PortRef{Block: "join", Port: "b"}},
+			{From: workflow.PortRef{Block: "join", Port: "sum"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	inv := &workflow.HTTPInvoker{}
+	engine := &workflow.Engine{Invoker: inv, Describer: inv}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.Run(ctx, wf, core.Values{"x": 3.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out["sum"] != 12.0 {
+			b.Fatalf("sum = %v", out["sum"])
+		}
+	}
+}
+
+// BenchmarkFig3Security measures the cost of one secured request:
+// authentication (bearer token) plus allow-list authorization.
+func BenchmarkFig3Security(b *testing.B) {
+	provider, err := security.NewWebIdentityProvider(time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	guard := security.NewGuard(security.TokenAuthenticator{Provider: provider})
+	guard.SetPolicy("svc", security.Policy{Allow: []string{"openid:alice"}})
+	token, err := provider.Login("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/services/svc", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := guard.Authenticate(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := guard.Authorize(p, "svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverhead compares the distributed block inversion against the
+// identical in-process computation — the Section 4 overhead claim.
+func BenchmarkOverhead(b *testing.B) {
+	d := startBench(b, 16)
+	names, err := cas.Deploy(d.Container, "maxima", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uris := make([]string, len(names))
+	for i, n := range names {
+		uris[i] = d.Container.ServiceURI(n)
+	}
+	const n = 32
+	h := ratmat.Hilbert(n)
+	inv := &workflow.HTTPInvoker{}
+	ctx := context.Background()
+
+	b.Run("via-services", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := matrixinv.InvertParallel(ctx, inv, inv, uris, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("in-process", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ratmat.BlockInverse(ctx, ratmat.LocalOps{}, h, n/2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDantzigWolfe measures the decomposition on a small instance
+// with pools of 1 and 4 local solvers.
+func BenchmarkDantzigWolfe(b *testing.B) {
+	p := dw.Generate(4, 4, 4, 7)
+	for _, poolSize := range []int{1, 4} {
+		solvers := make([]dw.Solver, poolSize)
+		for i := range solvers {
+			solvers[i] = dw.LocalSolver{}
+		}
+		pool := dw.NewPool(solvers...)
+		b.Run(fmt.Sprintf("pool-%d", poolSize), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dw.Decompose(context.Background(), p, pool, dw.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkXRayPipeline measures the curve+fit pipeline in-process (the
+// service-level pipeline is exercised by cmd/experiments xray).
+func BenchmarkXRayPipeline(b *testing.B) {
+	lib := scatter.Library()
+	q := scatter.QGrid(5, 70, 40)
+	curves := make([][]float64, len(lib))
+	for i, s := range lib {
+		curves[i] = scatter.Curve(s, q, 200)
+	}
+	obs := scatter.Synthesize(lib, q, curves, 0.01, 1)
+
+	b.Run("curves", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scatter.Curve(lib[i%len(lib)], q, 200)
+		}
+	})
+	b.Run("fit-3-solvers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := scatter.BestFit(curves, obs.I, 500); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Ablation benchmarks (DESIGN.md §5) ----
+
+// BenchmarkJobManagerWorkers sweeps the handler pool size against a burst
+// of concurrent requests.
+func BenchmarkJobManagerWorkers(b *testing.B) {
+	adapter.RegisterFunc("bench.sleepy", func(ctx context.Context, in core.Values) (core.Values, error) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return core.Values{"ok": true}, nil
+	})
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			d := startBench(b, workers)
+			if err := d.Container.Deploy(container.ServiceConfig{
+				Description: core.ServiceDescription{Name: "sleepy",
+					Outputs: []core.Param{{Name: "ok"}}},
+				Adapter: container.AdapterSpec{Kind: "native",
+					Config: json.RawMessage(`{"function":"bench.sleepy"}`)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			svc := client.New().Service(d.Container.ServiceURI("sleepy"))
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				const burst = 16
+				errs := make(chan error, burst)
+				for j := 0; j < burst; j++ {
+					go func() {
+						_, err := svc.Call(ctx, core.Values{})
+						errs <- err
+					}()
+				}
+				for j := 0; j < burst; j++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodingJSON compares the platform's JSON message encoding with
+// a naive XML rendering of the same job representation — the paper's
+// REST+JSON vs big-WS+XML argument, reduced to measurable form.
+func BenchmarkEncodingJSON(b *testing.B) {
+	type xmlParam struct {
+		Name  string `xml:"name,attr"`
+		Value string `xml:"value"`
+	}
+	type xmlJob struct {
+		XMLName xml.Name   `xml:"job"`
+		ID      string     `xml:"id"`
+		State   string     `xml:"state"`
+		Params  []xmlParam `xml:"outputs>param"`
+	}
+	job := &core.Job{ID: core.NewID(), State: core.StateDone, Outputs: core.Values{}}
+	xj := xmlJob{ID: job.ID, State: string(job.State)}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("param%d", i)
+		val := strings.Repeat("v", 64)
+		job.Outputs[key] = val
+		xj.Params = append(xj.Params, xmlParam{Name: key, Value: val})
+	}
+	var jsonBytes, xmlBytes int
+	b.Run("json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := json.Marshal(job)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jsonBytes = len(data)
+		}
+	})
+	b.Run("xml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := xml.Marshal(xj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xmlBytes = len(data)
+		}
+	})
+	if jsonBytes > 0 && xmlBytes > 0 {
+		b.Logf("message size: json=%dB xml=%dB", jsonBytes, xmlBytes)
+	}
+}
+
+// BenchmarkFileStaging compares passing a 1 MB parameter inline (JSON
+// string) against the file-resource path the unified API prescribes for
+// large data.
+func BenchmarkFileStaging(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.len", func(_ context.Context, in core.Values) (core.Values, error) {
+		s, _ := in["data"].(string)
+		return core.Values{"n": float64(len(s))}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "len",
+			Inputs:  []core.Param{{Name: "data"}},
+			Outputs: []core.Param{{Name: "n"}}},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.len"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	payload := strings.Repeat("x", 1<<20)
+	svc := client.New().Service(d.Container.ServiceURI("len"))
+	cl := client.New()
+	ctx := context.Background()
+
+	b.Run("inline-json", func(b *testing.B) {
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Call(ctx, core.Values{"data": payload}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("file-resource", func(b *testing.B) {
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			ref, err := cl.UploadFile(ctx, d.BaseURL, strings.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Call(ctx, core.Values{"data": ref}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimplexPivot compares Bland's rule against the Dantzig
+// most-negative heuristic on a family of random LPs.
+func BenchmarkSimplexPivot(b *testing.B) {
+	problems := make([]*simplex.Problem, 8)
+	for i := range problems {
+		p := dw.Generate(4, 4, 1, int64(i+1))
+		m, err := ampl.Parse(p.SubproblemModel(0, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := m.Instantiate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems[i] = inst.Problem
+	}
+	for _, rule := range []struct {
+		name string
+		rule simplex.PivotRule
+	}{{"bland", simplex.Bland}, {"dantzig", simplex.Dantzig}} {
+		b.Run(rule.name, func(b *testing.B) {
+			pivots := 0
+			for i := 0; i < b.N; i++ {
+				sol, err := simplex.SolveOpt(problems[i%len(problems)],
+					simplex.Options{Rule: rule.rule})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += sol.Iterations
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+		})
+	}
+}
+
+// BenchmarkCatalogueSearch compares the inverted index against a naive
+// linear scan over service descriptions.
+func BenchmarkCatalogueSearch(b *testing.B) {
+	const n = 500
+	docs := make(map[string]string, n)
+	vocab := []string{"matrix", "inversion", "solver", "optimization", "xray",
+		"scattering", "grid", "cluster", "workflow", "exact", "hilbert", "service"}
+	for i := 0; i < n; i++ {
+		var words []string
+		for w := 0; w < 20; w++ {
+			words = append(words, vocab[(i*7+w*3)%len(vocab)])
+		}
+		docs[fmt.Sprintf("http://host/services/s%d", i)] = strings.Join(words, " ")
+	}
+
+	b.Run("inverted-index", func(b *testing.B) {
+		cat := catalogue.New(benchDescriber(docs))
+		ctx := context.Background()
+		for uri := range docs {
+			if _, err := cat.Register(ctx, uri, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := cat.Search("matrix inversion", catalogue.SearchOptions{Limit: 20}); len(res) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			for _, text := range docs {
+				if strings.Contains(text, "matrix") || strings.Contains(text, "inversion") {
+					count++
+				}
+			}
+			if count == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+}
+
+// BenchmarkBlockGranularity compares direct inversion with the 2×2 block
+// algorithm in-process — the algorithmic half of the Table 2 speedup.
+func BenchmarkBlockGranularity(b *testing.B) {
+	const n = 32
+	h := ratmat.Hilbert(n)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Inverse(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("block-2x2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ratmat.BlockInverse(context.Background(), ratmat.LocalOps{}, h, n/2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchDescriber serves synthetic descriptions for the catalogue bench.
+type benchDescriber map[string]string
+
+// Describe implements catalogue.Describer.
+func (d benchDescriber) Describe(_ context.Context, uri string) (core.ServiceDescription, error) {
+	text, ok := d[uri]
+	if !ok {
+		return core.ServiceDescription{}, fmt.Errorf("no such doc")
+	}
+	return core.ServiceDescription{Name: uri, Description: text}, nil
+}

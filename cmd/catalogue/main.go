@@ -1,0 +1,61 @@
+// Command catalogue runs the MathCloud service catalogue: a web
+// application for discovery, monitoring and annotation of computational
+// web services.  Services are published by POSTing {"uri", "tags"} to
+// /services; the catalogue retrieves their descriptions through the
+// unified REST API, indexes them and answers full-text /search queries
+// with highlighted snippets.  Published services are pinged periodically
+// and marked when unavailable.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mathcloud/internal/catalogue"
+	"mathcloud/internal/rest"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	ping := flag.Duration("ping", time.Minute, "availability ping interval (0 disables)")
+	store := flag.String("store", "", "snapshot file: loaded at startup, saved periodically")
+	flag.Parse()
+
+	cat := catalogue.New(catalogue.ClientDescriber{})
+	if *store != "" {
+		if err := cat.Load(*store); err != nil {
+			if os.IsNotExist(errors.Unwrap(err)) {
+				log.Printf("catalogue: no snapshot at %s yet", *store)
+			} else {
+				log.Fatalf("catalogue: %v", err)
+			}
+		} else {
+			log.Printf("catalogue: restored %d service(s) from %s", cat.Size(), *store)
+		}
+		go func() {
+			ticker := time.NewTicker(30 * time.Second)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := cat.Save(*store); err != nil {
+					log.Printf("catalogue: %v", err)
+				}
+			}
+		}()
+	}
+	if *ping > 0 {
+		cat.StartPinger(*ping)
+	}
+	defer cat.Close()
+
+	log.Printf("catalogue: listening on %s (ping interval %s)", *addr, *ping)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rest.Logging(nil, cat.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

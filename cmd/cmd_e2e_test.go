@@ -1,0 +1,210 @@
+// Package cmd_test is the end-to-end test of the command-line binaries:
+// it builds everest, catalogue, wms and mcctl with the Go toolchain, wires
+// them together over real TCP ports, and drives the deployment with the
+// CLI client — the closest this repository gets to the paper's operational
+// setup.
+package cmd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles the four commands once per test run.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("e2e binary test is slow")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"everest", "catalogue", "wms", "mcctl"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./"+name)
+		cmd.Dir = "." // cmd/ directory
+		if output, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, output)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+// freePort reserves a loopback port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// startServer launches a binary and waits for its HTTP endpoint.
+func startServer(t *testing.T, bin string, port int, extra ...string) string {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(base + "/")
+		if err == nil {
+			resp.Body.Close()
+			return base
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server %s never came up on %s", bin, addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mcctl %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	bins := buildBinaries(t)
+
+	// Container with built-in services plus a config-file service.
+	cfgPath := filepath.Join(t.TempDir(), "services.json")
+	cfg := `{
+	  "clusters": [{"name": "local", "nodes": [{"name": "n1", "slots": 2}]}],
+	  "services": [{
+	    "description": {
+	      "name": "wordcount",
+	      "inputs":  [{"name": "text", "schema": {"type": "string"}}],
+	      "outputs": [{"name": "count"}]
+	    },
+	    "adapter": {
+	      "kind": "cluster",
+	      "config": {
+	        "cluster": "local",
+	        "exec": {"kind": "command", "config": {
+	          "command": "/bin/sh",
+	          "args": ["-c", "printf '%s' \"{text}\" | wc -w | xargs printf '{{\"count\": %s}}'"],
+	          "stdoutJSON": true
+	        }}
+	      }
+	    }
+	  }]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	everestPort := freePort(t)
+	everest := startServer(t, bins["everest"], everestPort,
+		"-builtin", "-config", cfgPath,
+		"-base-url", fmt.Sprintf("http://127.0.0.1:%d", everestPort))
+	catalogueURL := startServer(t, bins["catalogue"], freePort(t), "-ping", "0")
+
+	// mcctl services lists the deployed services.
+	out := runCLI(t, bins["mcctl"], "services", everest)
+	for _, want := range []string{"maxima", "solver", "wordcount", "xray-curve"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("services output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// mcctl call drives the config-file cluster service.
+	out = runCLI(t, bins["mcctl"], "call", everest+"/services/wordcount",
+		`{"text": "four words in here"}`)
+	var result map[string]any
+	if err := json.Unmarshal([]byte(out), &result); err != nil {
+		t.Fatalf("call output not JSON: %v\n%s", err, out)
+	}
+	if result["count"] != 4.0 {
+		t.Errorf("count = %v, want 4", result["count"])
+	}
+
+	// mcctl call against the built-in CAS service.
+	out = runCLI(t, bins["mcctl"], "call", everest+"/services/maxima",
+		`{"expr": "trace(invert(hilbert(4)) * hilbert(4))"}`)
+	if !strings.Contains(out, `"result": "4"`) {
+		t.Errorf("CAS trace = %s, want 4", out)
+	}
+
+	// Register and search in the catalogue.
+	runCLI(t, bins["mcctl"], "register", catalogueURL,
+		everest+"/services/maxima", "cas", "matrix")
+	out = runCLI(t, bins["mcctl"], "search", catalogueURL, "algebra")
+	if !strings.Contains(out, "maxima") {
+		t.Errorf("catalogue search missed the service:\n%s", out)
+	}
+
+	// WMS: save a workflow that composes the CAS service, then execute
+	// the composite service through mcctl.
+	wmsPort := freePort(t)
+	wms := startServer(t, bins["wms"], wmsPort,
+		"-base-url", fmt.Sprintf("http://127.0.0.1:%d", wmsPort))
+	wfPath := filepath.Join(t.TempDir(), "wf.json")
+	wf := fmt.Sprintf(`{
+	  "name": "traceinv",
+	  "blocks": [
+	    {"id": "m", "type": "input", "name": "matrix"},
+	    {"id": "inv", "type": "service", "service": "%s/services/maxima",
+	     "params": {"expr": "invert(A)"}},
+	    {"id": "tr", "type": "service", "service": "%s/services/maxima",
+	     "params": {"expr": "trace(A)"}},
+	    {"id": "out", "type": "output", "name": "trace"}
+	  ],
+	  "edges": [
+	    {"from": {"block": "m", "port": "value"}, "to": {"block": "inv", "port": "A"}},
+	    {"from": {"block": "inv", "port": "result"}, "to": {"block": "tr", "port": "A"}},
+	    {"from": {"block": "tr", "port": "result"}, "to": {"block": "out", "port": "value"}}
+	  ]
+	}`, everest, everest)
+	if err := os.WriteFile(wfPath, []byte(wf), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out = runCLI(t, bins["mcctl"], "wf-save", wms, wfPath)
+	if !strings.Contains(out, "traceinv") {
+		t.Fatalf("wf-save output: %s", out)
+	}
+	out = runCLI(t, bins["mcctl"], "workflows", wms)
+	if !strings.Contains(out, "traceinv") {
+		t.Errorf("workflows list: %s", out)
+	}
+	// trace(inverse(identity(3))) = 3.
+	out = runCLI(t, bins["mcctl"], "call", wms+"/services/traceinv",
+		`{"matrix": [["1","0","0"],["0","1","0"],["0","0","1"]]}`)
+	if !strings.Contains(out, `"trace": "3"`) {
+		t.Errorf("composite call = %s, want trace 3", out)
+	}
+
+	// File upload / fetch round trip.
+	dataPath := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(dataPath, []byte("file payload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ref := strings.TrimSpace(runCLI(t, bins["mcctl"], "upload", everest, dataPath))
+	out = runCLI(t, bins["mcctl"], "fetch", ref)
+	if out != "file payload" {
+		t.Errorf("fetch = %q", out)
+	}
+}

@@ -1,0 +1,174 @@
+// Command everest runs a MathCloud service container: it deploys the
+// computational web services described in a JSON configuration file and
+// publishes them through the unified REST API, together with the
+// auto-generated web interface.
+//
+// Usage:
+//
+//	everest -addr :8080 -config services.json [-workers 8] [-data DIR]
+//
+// The configuration file has the shape:
+//
+//	{
+//	  "clusters": [{"name": "local", "nodes": [{"name": "n1", "slots": 4}]}],
+//	  "grid": {"seed": 1, "sites": [
+//	      {"name": "siteA", "vos": ["mathcloud"], "reliability": 0.9,
+//	       "nodes": [{"name": "a1", "slots": 4}]}]},
+//	  "services": [ ...container.ServiceConfig... ]
+//	}
+//
+// The built-in application services (CAS, AMPL solver/translator, X-ray
+// curve and fit) are pre-registered as native functions, so configuration
+// files can deploy them by name; -builtin additionally deploys the whole
+// standard set.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/ampl"
+	"mathcloud/internal/cas"
+	"mathcloud/internal/container"
+	"mathcloud/internal/grid"
+	"mathcloud/internal/rest"
+	"mathcloud/internal/scatter"
+	"mathcloud/internal/torque"
+)
+
+type nodeSpec struct {
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+}
+
+type configFile struct {
+	Clusters []struct {
+		Name  string     `json:"name"`
+		Nodes []nodeSpec `json:"nodes"`
+	} `json:"clusters,omitempty"`
+	Grid *struct {
+		Seed  int64 `json:"seed"`
+		Sites []struct {
+			Name        string     `json:"name"`
+			VOs         []string   `json:"vos"`
+			Reliability float64    `json:"reliability"`
+			Nodes       []nodeSpec `json:"nodes"`
+		} `json:"sites"`
+	} `json:"grid,omitempty"`
+	Services []container.ServiceConfig `json:"services"`
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	configPath := flag.String("config", "", "service configuration file (JSON)")
+	workers := flag.Int("workers", 8, "job handler pool size")
+	dataDir := flag.String("data", "", "data directory (default: temporary)")
+	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://<addr>)")
+	builtin := flag.Bool("builtin", false, "deploy the built-in application services")
+	flag.Parse()
+
+	// Make every built-in computational function available to configs.
+	cas.Register()
+	ampl.RegisterFuncs()
+	scatter.RegisterFuncs()
+
+	registry := adapter.NewRegistry()
+	c, err := container.New(container.Options{
+		Workers:  *workers,
+		DataDir:  *dataDir,
+		Adapters: registry,
+	})
+	if err != nil {
+		log.Fatalf("everest: %v", err)
+	}
+	defer c.Close()
+
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatalf("everest: read config: %v", err)
+		}
+		var cfg configFile
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			log.Fatalf("everest: parse config: %v", err)
+		}
+		clusters := torque.NewClusterRegistry()
+		for _, cc := range cfg.Clusters {
+			nodes := make([]torque.NodeSpec, len(cc.Nodes))
+			for i, n := range cc.Nodes {
+				nodes[i] = torque.NodeSpec{Name: n.Name, Slots: n.Slots}
+			}
+			cluster, err := torque.New(cc.Name, nodes, nil)
+			if err != nil {
+				log.Fatalf("everest: cluster %s: %v", cc.Name, err)
+			}
+			defer cluster.Close()
+			clusters.Add(cluster)
+		}
+		registry.Register("cluster", torque.NewAdapterFactory(clusters, registry))
+		if cfg.Grid != nil {
+			var sites []*grid.Site
+			for _, sc := range cfg.Grid.Sites {
+				nodes := make([]torque.NodeSpec, len(sc.Nodes))
+				for i, n := range sc.Nodes {
+					nodes[i] = torque.NodeSpec{Name: n.Name, Slots: n.Slots}
+				}
+				cluster, err := torque.New(sc.Name, nodes, nil)
+				if err != nil {
+					log.Fatalf("everest: site %s: %v", sc.Name, err)
+				}
+				defer cluster.Close()
+				sites = append(sites, &grid.Site{
+					Name: sc.Name, Cluster: cluster,
+					VOs: sc.VOs, Reliability: sc.Reliability,
+				})
+			}
+			infra, err := grid.New(sites, cfg.Grid.Seed)
+			if err != nil {
+				log.Fatalf("everest: grid: %v", err)
+			}
+			registry.Register("grid", grid.NewAdapterFactory(infra, registry))
+		}
+		if err := c.DeployAll(cfg.Services); err != nil {
+			log.Fatalf("everest: %v", err)
+		}
+	}
+	if *builtin {
+		if _, err := cas.Deploy(c, "maxima", 1); err != nil {
+			log.Fatalf("everest: %v", err)
+		}
+		for _, svc := range []container.ServiceConfig{
+			ampl.SolverServiceConfig("solver"),
+			ampl.TranslatorServiceConfig("translator"),
+			scatter.CurveServiceConfig("xray-curve"),
+			scatter.FitServiceConfig("xray-fit"),
+		} {
+			if err := c.Deploy(svc); err != nil {
+				log.Fatalf("everest: %v", err)
+			}
+		}
+	}
+
+	if *baseURL != "" {
+		c.SetBaseURL(*baseURL)
+	} else {
+		c.SetBaseURL(fmt.Sprintf("http://localhost%s", *addr))
+	}
+	names := make([]string, 0)
+	for _, d := range c.Services() {
+		names = append(names, d.Name)
+	}
+	log.Printf("everest: serving %d service(s) %v on %s", len(names), names, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rest.Logging(nil, c.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the evaluation artifacts of the
+// MathCloud paper: every table, figure and quantitative claim.
+//
+// Usage:
+//
+//	experiments list           # show available experiments
+//	experiments all            # run everything in order
+//	experiments <id> [<id>..]  # run selected experiments (table1, table2,
+//	                           # fig1, fig2, fig3, overhead, dw, xray)
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mathcloud/internal/experiments"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-10s %s\n", e.ID, e.Artifact, e.Summary)
+		}
+		return
+	case "all":
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	default:
+		for _, id := range args {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try 'list')\n", id)
+				os.Exit(2)
+			}
+			run(e)
+		}
+	}
+}
+
+func run(e experiments.Experiment) {
+	fmt.Printf("==== %s (%s) ====\n\n", e.ID, e.Artifact)
+	start := time.Now()
+	if err := e.Run(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments list | all | <id> [<id> ...]")
+}

@@ -1,0 +1,265 @@
+// Command mcctl is the MathCloud command-line client.  Because every
+// service speaks the unified REST API, one small tool can drive any of
+// them:
+//
+//	mcctl services  <container-url>            list deployed services
+//	mcctl describe  <service-uri>              show a service description
+//	mcctl submit    <service-uri> <json>       submit a request (async)
+//	mcctl call      <service-uri> <json>       submit and wait for results
+//	mcctl job       <job-uri>                  show job status and results
+//	mcctl wait      <job-uri>                  wait for job completion
+//	mcctl cancel    <job-uri>                  cancel/delete a job
+//	mcctl upload    <container-url> <file>     upload a file resource
+//	mcctl fetch     <file-ref>                 download a file resource
+//	mcctl search    <catalogue-url> <query>    full-text service search
+//	mcctl register  <catalogue-url> <service-uri> [tag...]
+//	mcctl workflows <wms-url>                  list stored workflows
+//	mcctl wf-save   <wms-url> <file>           save+publish a workflow
+//
+// Inputs are JSON objects; use '-' to read them from standard input.
+// The -token flag attaches a bearer token for secured containers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mathcloud/internal/client"
+	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
+)
+
+func main() {
+	token := flag.String("token", "", "bearer token for secured services")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cl := client.New()
+	cl.Token = *token
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if err := run(ctx, cl, args); err != nil {
+		fmt.Fprintf(os.Stderr, "mcctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, cl *client.Client, args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int, usage string) error {
+		if len(rest) < n {
+			return fmt.Errorf("usage: mcctl %s %s", cmd, usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "services":
+		if err := need(1, "<container-url>"); err != nil {
+			return err
+		}
+		names, err := cl.ServiceNames(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "describe":
+		if err := need(1, "<service-uri>"); err != nil {
+			return err
+		}
+		desc, err := cl.Service(rest[0]).Describe(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(desc)
+	case "submit", "call":
+		if err := need(2, "<service-uri> <json|->"); err != nil {
+			return err
+		}
+		inputs, err := readValues(rest[1])
+		if err != nil {
+			return err
+		}
+		svc := cl.Service(rest[0])
+		if cmd == "call" {
+			out, err := svc.Call(ctx, inputs)
+			if err != nil {
+				return err
+			}
+			return printJSON(out)
+		}
+		job, err := svc.Submit(ctx, inputs, 0)
+		if err != nil {
+			return err
+		}
+		return printJSON(job)
+	case "job":
+		if err := need(1, "<job-uri>"); err != nil {
+			return err
+		}
+		job, err := cl.Service("").Job(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(job)
+	case "wait":
+		if err := need(1, "<job-uri>"); err != nil {
+			return err
+		}
+		job, err := cl.Service("").Wait(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(job)
+	case "cancel":
+		if err := need(1, "<job-uri>"); err != nil {
+			return err
+		}
+		job, err := cl.Service("").Cancel(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(job)
+	case "upload":
+		if err := need(2, "<container-url> <file>"); err != nil {
+			return err
+		}
+		f, err := os.Open(rest[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ref, err := cl.UploadFile(ctx, rest[0], f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ref)
+		return nil
+	case "fetch":
+		if err := need(1, "<file-ref>"); err != nil {
+			return err
+		}
+		ref := rest[0]
+		if !strings.HasPrefix(ref, core.FileRefPrefix) {
+			ref = core.FileRef(ref)
+		}
+		data, err := cl.FetchFile(ctx, ref)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "search":
+		if err := need(2, "<catalogue-url> <query>"); err != nil {
+			return err
+		}
+		uri := strings.TrimRight(rest[0], "/") + "/search?q=" +
+			strings.ReplaceAll(strings.Join(rest[1:], " "), " ", "+")
+		return getAndPrint(ctx, uri)
+	case "register":
+		if err := need(2, "<catalogue-url> <service-uri> [tag...]"); err != nil {
+			return err
+		}
+		body, err := json.Marshal(map[string]any{"uri": rest[1], "tags": rest[2:]})
+		if err != nil {
+			return err
+		}
+		return postAndPrint(ctx, strings.TrimRight(rest[0], "/")+"/services", body)
+	case "workflows":
+		if err := need(1, "<wms-url>"); err != nil {
+			return err
+		}
+		return getAndPrint(ctx, strings.TrimRight(rest[0], "/")+"/workflows")
+	case "wf-save":
+		if err := need(2, "<wms-url> <file>"); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		return postAndPrint(ctx, strings.TrimRight(rest[0], "/")+"/workflows", data)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func readValues(arg string) (core.Values, error) {
+	var data []byte
+	if arg == "-" {
+		var err error
+		data, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		data = []byte(arg)
+	}
+	var v core.Values
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("invalid input JSON: %w", err)
+	}
+	return v, nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func getAndPrint(ctx context.Context, uri string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, uri, nil)
+	if err != nil {
+		return err
+	}
+	return doAndPrint(req)
+}
+
+func postAndPrint(ctx context.Context, uri string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, uri, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doAndPrint(req)
+}
+
+func doAndPrint(req *http.Request) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, rest.MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mcctl [-token T] <command> [args]
+commands: services describe submit call job wait cancel upload fetch
+          search register workflows wf-save`)
+}

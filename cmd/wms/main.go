@@ -1,0 +1,50 @@
+// Command wms runs the MathCloud workflow management service.  Workflow
+// documents (JSON) POSTed to /workflows are validated against the live
+// descriptions of the services they reference, stored, and published as
+// composite services; executing a workflow is then an ordinary request to
+// its composite service through the unified REST API.  An /editor page
+// offers the browser-based editing surface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/rest"
+	"mathcloud/internal/workflow"
+)
+
+func main() {
+	addr := flag.String("addr", ":8082", "listen address")
+	workers := flag.Int("workers", 8, "job handler pool size")
+	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://localhost<addr>)")
+	flag.Parse()
+
+	registry := adapter.NewRegistry()
+	c, err := container.New(container.Options{Workers: *workers, Adapters: registry})
+	if err != nil {
+		log.Fatalf("wms: %v", err)
+	}
+	defer c.Close()
+
+	invoker := &workflow.HTTPInvoker{}
+	wms := workflow.NewWMS(c, registry, invoker, invoker)
+
+	if *baseURL != "" {
+		c.SetBaseURL(*baseURL)
+	} else {
+		c.SetBaseURL(fmt.Sprintf("http://localhost%s", *addr))
+	}
+	log.Printf("wms: listening on %s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rest.Logging(nil, wms.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,108 @@
+// The paper's flagship application: error-free inversion of an
+// ill-conditioned Hilbert matrix by a distributed workflow over CAS
+// services.  The example deploys a pool of four computer-algebra services,
+// builds the 4-block Schur-complement workflow, publishes it as a
+// composite service through the workflow management system, executes it,
+// verifies the result exactly, and compares against the serial one-service
+// inversion — a miniature of the paper's Table 2.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mathcloud/internal/cas"
+	"mathcloud/internal/client"
+	"mathcloud/internal/core"
+	"mathcloud/internal/matrixinv"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/ratmat"
+	"mathcloud/internal/workflow"
+)
+
+func main() {
+	const n = 80 // Hilbert order; cond(H_80) ~ 10^120 — hopeless in floats
+
+	d, err := platform.StartLocal(platform.Options{Workers: 16, WithWMS: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// A pool of four CAS ("Maxima") services.
+	// Each CAS service simulates hardware 4x slower than this machine
+	// (see adapter.NativeConfig.SimulatedSlowdown), so that the four
+	// services genuinely overlap like the paper's separate Maxima hosts.
+	names, err := cas.DeploySlow(d.Container, "maxima", 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uris := make([]string, len(names))
+	for i, name := range names {
+		uris[i] = d.Container.ServiceURI(name)
+	}
+	fmt.Printf("Deployed CAS services: %v\n\n", names)
+
+	ctx := context.Background()
+	inv := &workflow.HTTPInvoker{}
+	h := ratmat.Hilbert(n)
+	want := ratmat.HilbertInverse(n)
+
+	// Serial: one service call, like running Maxima directly.
+	start := time.Now()
+	serial, err := matrixinv.InvertSerial(ctx, inv, uris[0], h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialTime := time.Since(start)
+	fmt.Printf("Serial inversion (1 service):          %8s  exact: %v\n",
+		serialTime.Round(time.Millisecond), serial.Equal(want))
+
+	// Parallel: build the block workflow and publish it as a composite
+	// service via the WMS.
+	wf, err := matrixinv.BuildBlockWorkflow("hilbert-inverse", uris, n, n/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.WMS.Save(wf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPublished workflow %q (%d blocks, %d edges) as %s\n",
+		wf.Name, len(wf.Blocks), len(wf.Edges), d.WMS.ServiceURI(wf.Name))
+
+	svc := client.New().Service(d.WMS.ServiceURI(wf.Name))
+	start = time.Now()
+	job, err := svc.Submit(ctx, core.Values{"matrix": h.ToJSON()}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, err := svc.Wait(ctx, job.URI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelTime := time.Since(start)
+	if final.State != core.StateDone {
+		log.Fatalf("workflow job failed: %s", final.Error)
+	}
+	result, err := ratmat.FromJSON(final.Outputs["inverse"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Parallel inversion (4-block workflow): %8s  exact: %v\n",
+		parallelTime.Round(time.Millisecond), result.Equal(want))
+	fmt.Printf("Speedup: %.2f\n", float64(serialTime)/float64(parallelTime))
+
+	// The punchline of "error-free": the residual is exactly zero, while
+	// float64 inversion of the same matrix is off by astronomical
+	// amounts at this condition number.
+	res, err := ratmat.ResidualNorm(h, result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax |H·H⁻¹ − I| = %g (exact arithmetic; entries up to %d bits)\n",
+		res, result.MaxBitLen())
+	fmt.Printf("Per-block states reported during the run: %d blocks all %s\n",
+		len(final.Blocks), core.StateDone)
+}

@@ -1,0 +1,118 @@
+// Quickstart: deploy a computational web service in an in-process Everest
+// container, discover it through the unified REST API, and call it both
+// synchronously and asynchronously — the five-minute tour of the
+// platform's public API.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/platform"
+)
+
+func main() {
+	// 1. Start a local platform deployment (container + HTTP listener).
+	d, err := platform.StartLocal(platform.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	fmt.Printf("Everest container listening at %s\n\n", d.BaseURL)
+
+	// 2. Publish an application as a service.  A Script-adapter service
+	//    needs no Go code at all — just a configuration, exactly like
+	//    the paper's "service development reduces to writing a service
+	//    configuration file".
+	statsCfg := container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        "stats",
+			Title:       "Descriptive statistics",
+			Description: "Computes mean, min and max of a list of numbers.",
+			Inputs: []core.Param{{
+				Name:   "values",
+				Schema: jsonschema.MustParse(`{"type":"array","items":{"type":"number"},"minItems":1}`),
+			}},
+			Outputs: []core.Param{{Name: "mean"}, {Name: "min"}, {Name: "max"}},
+			Tags:    []string{"statistics", "demo"},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "script",
+			Config: mustJSON(adapter.ScriptConfig{Script: `
+				out.mean = sum(in.values) / len(in.values)
+				out.min = min(in.values)
+				out.max = max(in.values)
+			`}),
+		},
+	}
+	if err := d.Container.Deploy(statsCfg); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	cl := client.New()
+
+	// 3. Introspect: GET the service description.
+	svc := cl.Service(d.BaseURL + "/services/stats")
+	desc, err := svc.Describe(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Service %q (%s)\n", desc.Name, desc.Title)
+	for _, p := range desc.Inputs {
+		fmt.Printf("  input  %-8s %s\n", p.Name, p.Schema.Describe())
+	}
+	for _, p := range desc.Outputs {
+		fmt.Printf("  output %-8s\n", p.Name)
+	}
+
+	// 4. Synchronous call: one line for the common case.
+	out, err := svc.Call(ctx, core.Values{"values": []any{3.0, 1.0, 4.0, 1.0, 5.0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCall(3,1,4,1,5) -> mean=%v min=%v max=%v\n",
+		out["mean"], out["min"], out["max"])
+
+	// 5. Asynchronous lifecycle: submit, observe the job resource, wait.
+	job, err := svc.Submit(ctx, core.Values{"values": []any{10.0, 20.0}}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSubmitted job %s (state %s)\n", job.ID[:8], job.State)
+	final, err := svc.Wait(ctx, job.URI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Job finished: state %s, outputs %v, took %s\n",
+		final.State, final.Outputs, final.Finished.Sub(final.Created).Round(time.Millisecond))
+
+	// 6. File resources: large parameters travel as files, not JSON.
+	ref, err := cl.UploadFile(ctx, d.BaseURL, strings.NewReader("a large dataset"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := cl.FetchFile(ctx, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUploaded a file resource and read back %d bytes: %q\n", len(data), data)
+	fmt.Println("\nQuickstart complete.")
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,3 @@
+module mathcloud
+
+go 1.22

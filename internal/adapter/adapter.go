@@ -1,0 +1,131 @@
+// Package adapter defines the pluggable adapter interface of the Everest
+// service container and its universal adapter implementations.
+//
+// Adapters are the components that actually process service requests.  The
+// container converts an accepted request into a job, stages file parameters
+// into a scratch directory and hands the job to the adapter named in the
+// service configuration.  The paper ships four universal adapters: Command
+// (run an external program), Java (invoke a class in-process — here Native,
+// a registered Go function), Cluster (submit a TORQUE batch job) and Grid
+// (submit a gLite grid job).  This package holds the interface, the
+// registry, and the infrastructure-free adapters; the Cluster and Grid
+// adapters live next to their simulators in internal/torque and
+// internal/grid.
+package adapter
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mathcloud/internal/core"
+)
+
+// Request carries one job into an adapter.
+type Request struct {
+	// JobID identifies the job, for logging and cancellation bookkeeping.
+	JobID string
+	// Service is the name of the service the job belongs to.
+	Service string
+	// Owner is the effective identity that submitted the job ("" when
+	// the container runs unsecured).  Composite adapters use it to act
+	// on the user's behalf when calling downstream services.
+	Owner string
+	// Inputs holds the request parameter values.  File-reference values
+	// have been resolved: for each such parameter Files maps the
+	// parameter name to a local path with the staged content.
+	Inputs core.Values
+	// Files maps file-valued input parameter names to staged local paths.
+	Files map[string]string
+	// WorkDir is a scratch directory private to the job.  Adapters may
+	// create output files here; paths returned in Result.Files must be
+	// inside it.
+	WorkDir string
+	// Progress, when non-nil, lets long-running adapters report
+	// human-readable progress lines that the container attaches to the
+	// job resource.
+	Progress func(message string)
+	// SetBlockState, when non-nil, lets composite (workflow) adapters
+	// publish per-block execution states through the job resource, which
+	// is how the workflow editor paints block status during a run.
+	SetBlockState func(block string, state core.JobState)
+}
+
+// Result carries the outputs of a successfully processed job.
+type Result struct {
+	// Outputs holds inline output parameter values.
+	Outputs core.Values
+	// Files maps output parameter names to local paths whose content the
+	// container publishes as file resources, replacing the parameter
+	// value with a file reference.
+	Files map[string]string
+}
+
+// Interface is the standard adapter contract: the container passes request
+// parameters in, monitors the job and receives results.
+type Interface interface {
+	// Kind returns the adapter type name ("command", "native", ...).
+	Kind() string
+	// Invoke processes one job.  It must honour ctx cancellation, which
+	// the container uses to implement the DELETE (cancel) method of the
+	// job resource.
+	Invoke(ctx context.Context, req *Request) (*Result, error)
+}
+
+// Factory builds an adapter instance from the internal service
+// configuration (the non-public half of a service's configuration file).
+type Factory func(config json.RawMessage) (Interface, error)
+
+// Registry maps adapter type names to factories.  A container owns one
+// registry; tests may build private ones.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns a registry pre-populated with the adapters that have
+// no external dependencies: command, native and script.
+func NewRegistry() *Registry {
+	r := &Registry{factories: make(map[string]Factory)}
+	r.Register("command", NewCommandAdapter)
+	r.Register("native", NewNativeAdapter)
+	r.Register("script", NewScriptAdapter)
+	return r
+}
+
+// Register adds a factory under the given adapter type name, replacing any
+// previous registration.
+func (r *Registry) Register(kind string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[kind] = f
+}
+
+// New instantiates an adapter of the given kind with its configuration.
+func (r *Registry) New(kind string, config json.RawMessage) (Interface, error) {
+	r.mu.RLock()
+	f, ok := r.factories[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("adapter: unknown adapter kind %q (have %v)", kind, r.Kinds())
+	}
+	a, err := f(config)
+	if err != nil {
+		return nil, fmt.Errorf("adapter: configure %q: %w", kind, err)
+	}
+	return a, nil
+}
+
+// Kinds returns the sorted registered adapter type names.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	kinds := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

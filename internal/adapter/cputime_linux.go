@@ -1,0 +1,28 @@
+//go:build linux
+
+package adapter
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <time.h>.
+const clockThreadCPUTimeID = 3
+
+// threadCPUTime returns the CPU time consumed by the calling OS thread.
+// The simulated-slowdown feature measures the adapter function's own
+// compute with it (the goroutine is pinned to its thread for the call), so
+// that time-slicing against concurrent jobs does not inflate the simulated
+// sleep — otherwise parallel runs would be penalized by their own
+// concurrency and the simulation would be useless.
+func threadCPUTime() (time.Duration, bool) {
+	var ts syscall.Timespec
+	_, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME,
+		uintptr(clockThreadCPUTimeID), uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec), true
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package adapter
+
+import "time"
+
+// threadCPUTime is unavailable off Linux; callers fall back to wall-clock
+// measurement, which is accurate when concurrent jobs do not contend for
+// the same CPU.
+func threadCPUTime() (time.Duration, bool) { return 0, false }

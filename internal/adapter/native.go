@@ -1,0 +1,189 @@
+package adapter
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mathcloud/internal/core"
+)
+
+// Func is the signature of an in-process computational function, the Go
+// analogue of the paper's Java adapter target interface.  Implementations
+// receive the request inputs and return the job outputs.
+type Func func(ctx context.Context, inputs core.Values) (core.Values, error)
+
+// RequestFunc is a file-aware in-process computational function: it
+// receives the full adapter request (including staged input files and the
+// scratch directory) and may return output files, which the container
+// publishes as file resources.  Services that move large data — the
+// paper's matrices of "hundreds of megabytes" — implement this form.
+type RequestFunc func(ctx context.Context, req *Request) (*Result, error)
+
+// nativeFuncs is the process-wide registry of invocable functions.  A
+// service configuration refers to functions by name, mirroring the Java
+// adapter's "name of the corresponding class".
+var nativeFuncs = struct {
+	sync.RWMutex
+	m map[string]Func
+	r map[string]RequestFunc
+}{m: make(map[string]Func), r: make(map[string]RequestFunc)}
+
+// RegisterFunc makes fn available to Native adapters under the given name.
+// It replaces a previous registration with the same name, which keeps test
+// packages independent.
+func RegisterFunc(name string, fn Func) {
+	if fn == nil {
+		panic("adapter: RegisterFunc with nil function")
+	}
+	nativeFuncs.Lock()
+	defer nativeFuncs.Unlock()
+	nativeFuncs.m[name] = fn
+	delete(nativeFuncs.r, name)
+}
+
+// RegisterRequestFunc makes a file-aware function available to Native
+// adapters under the given name, replacing any previous registration of
+// either kind.
+func RegisterRequestFunc(name string, fn RequestFunc) {
+	if fn == nil {
+		panic("adapter: RegisterRequestFunc with nil function")
+	}
+	nativeFuncs.Lock()
+	defer nativeFuncs.Unlock()
+	nativeFuncs.r[name] = fn
+	delete(nativeFuncs.m, name)
+}
+
+// LookupFunc returns the registered function with the given name.
+func LookupFunc(name string) (Func, bool) {
+	nativeFuncs.RLock()
+	defer nativeFuncs.RUnlock()
+	fn, ok := nativeFuncs.m[name]
+	return fn, ok
+}
+
+// LookupRequestFunc returns the registered file-aware function with the
+// given name.
+func LookupRequestFunc(name string) (RequestFunc, bool) {
+	nativeFuncs.RLock()
+	defer nativeFuncs.RUnlock()
+	fn, ok := nativeFuncs.r[name]
+	return fn, ok
+}
+
+// Funcs returns the sorted names of all registered native functions.
+func Funcs() []string {
+	nativeFuncs.RLock()
+	defer nativeFuncs.RUnlock()
+	names := make([]string, 0, len(nativeFuncs.m)+len(nativeFuncs.r))
+	for name := range nativeFuncs.m {
+		names = append(names, name)
+	}
+	for name := range nativeFuncs.r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NativeConfig is the internal service configuration of the Native adapter.
+type NativeConfig struct {
+	// Function names the registered Func to invoke.
+	Function string `json:"function"`
+	// SimulatedSlowdown, when positive, makes the adapter sleep
+	// SimulatedSlowdown × t after a call that computed for t.  It
+	// models a service whose backing hardware is that much slower than
+	// the local substrate: sleeps overlap across concurrent jobs the
+	// way work on distinct remote machines does, while local CPU work
+	// serializes.  The performance experiments use it to reproduce the
+	// paper's multi-node timing behaviour on a single test machine; it
+	// is off (0) by default.
+	SimulatedSlowdown float64 `json:"simulatedSlowdown,omitempty"`
+}
+
+// NativeAdapter performs an invocation of a registered Go function inside
+// the current process, passing request parameters in the call.
+type NativeAdapter struct {
+	name     string
+	fn       Func
+	reqFn    RequestFunc
+	slowdown float64
+}
+
+// NewNativeAdapter builds a NativeAdapter from its JSON configuration.
+func NewNativeAdapter(config json.RawMessage) (Interface, error) {
+	var cfg NativeConfig
+	if err := json.Unmarshal(config, &cfg); err != nil {
+		return nil, fmt.Errorf("native adapter: %w", err)
+	}
+	if cfg.SimulatedSlowdown < 0 {
+		return nil, fmt.Errorf("native adapter: negative simulatedSlowdown")
+	}
+	a := &NativeAdapter{name: cfg.Function, slowdown: cfg.SimulatedSlowdown}
+	if fn, ok := LookupFunc(cfg.Function); ok {
+		a.fn = fn
+		return a, nil
+	}
+	if fn, ok := LookupRequestFunc(cfg.Function); ok {
+		a.reqFn = fn
+		return a, nil
+	}
+	return nil, fmt.Errorf("native adapter: function %q is not registered (have %v)",
+		cfg.Function, Funcs())
+}
+
+// Kind implements Interface.
+func (a *NativeAdapter) Kind() string { return "native" }
+
+// call dispatches to whichever function form is registered.
+func (a *NativeAdapter) call(ctx context.Context, req *Request) (*Result, error) {
+	if a.reqFn != nil {
+		return a.reqFn(ctx, req)
+	}
+	outputs, err := a.fn(ctx, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: outputs}, nil
+}
+
+// Invoke implements Interface.
+func (a *NativeAdapter) Invoke(ctx context.Context, req *Request) (*Result, error) {
+	if a.slowdown <= 0 {
+		res, err := a.call(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("native adapter: %s: %w", a.name, err)
+		}
+		return res, nil
+	}
+	// Simulated slowdown: measure the function's own compute and sleep
+	// proportionally.  Prefer per-thread CPU time (with the goroutine
+	// pinned to its thread), so concurrent jobs time-slicing one CPU do
+	// not inflate each other's simulated sleeps.
+	runtime.LockOSThread()
+	cpu0, cpuOK := threadCPUTime()
+	wall0 := time.Now()
+	res, err := a.call(ctx, req)
+	var compute time.Duration
+	if cpu1, ok := threadCPUTime(); cpuOK && ok {
+		compute = cpu1 - cpu0
+	} else {
+		compute = time.Since(wall0)
+	}
+	runtime.UnlockOSThread()
+	if err != nil {
+		return nil, fmt.Errorf("native adapter: %s: %w", a.name, err)
+	}
+	extra := time.Duration(a.slowdown * float64(compute))
+	select {
+	case <-time.After(extra):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package ampl
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/simplex"
+)
+
+const productionModel = `
+# A classic product-mix model.
+set PRODUCTS;
+set RESOURCES;
+
+param profit {PRODUCTS};
+param avail {RESOURCES};
+param use {RESOURCES, PRODUCTS};
+
+var x {PRODUCTS} >= 0;
+
+maximize TotalProfit: sum {p in PRODUCTS} profit[p] * x[p];
+
+subject to Capacity {r in RESOURCES}:
+    sum {p in PRODUCTS} use[r,p] * x[p] <= avail[r];
+
+data;
+set PRODUCTS := doors windows;
+set RESOURCES := plant1 plant2 plant3;
+param profit := doors 3 windows 5;
+param avail := plant1 4 plant2 12 plant3 18;
+param use :=
+    plant1 doors 1  plant1 windows 0
+    plant2 doors 0  plant2 windows 2
+    plant3 doors 3  plant3 windows 2;
+end;
+`
+
+func TestProductionModelEndToEnd(t *testing.T) {
+	m, err := Parse(productionModel)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if inst.Problem.NumVars() != 2 || inst.Problem.NumCons() != 3 {
+		t.Fatalf("LP shape %dx%d, want 2 vars 3 cons",
+			inst.Problem.NumVars(), inst.Problem.NumCons())
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != simplex.Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	if sol.Objective.Cmp(big.NewRat(36, 1)) != 0 {
+		t.Errorf("objective = %s, want 36", sol.Objective.RatString())
+	}
+	vals := inst.SolutionMap(sol)
+	if vals["x[doors]"] != "2" || vals["x[windows]"] != "6" {
+		t.Errorf("solution = %v, want doors 2 windows 6", vals)
+	}
+}
+
+func TestDietStyleMinimization(t *testing.T) {
+	src := `
+set FOODS;
+param cost {FOODS};
+param protein {FOODS};
+param need;
+var buy {FOODS} >= 0;
+minimize TotalCost: sum {f in FOODS} cost[f] * buy[f];
+subject to Protein: sum {f in FOODS} protein[f] * buy[f] >= need;
+data;
+set FOODS := beans rice;
+param cost := beans 2 rice 1;
+param protein := beans 3 rice 1;
+param need := 6;
+end;
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beans dominate: 6/3 = 2 units at cost 2 → 4.
+	if sol.Objective.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("objective = %s, want 4", sol.Objective.RatString())
+	}
+}
+
+func TestScalarParamsAndConstants(t *testing.T) {
+	src := `
+param a;
+var x >= 0;
+maximize Z: a * x + 10;
+subject to Cap: 2 * x <= a + 4;
+data;
+param a := 6;
+end;
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = 5, objective 6*5 + 10 = 40.
+	if sol.Objective.Cmp(big.NewRat(40, 1)) != 0 {
+		t.Errorf("objective = %s, want 40", sol.Objective.RatString())
+	}
+}
+
+func TestVariableBoundsAndFree(t *testing.T) {
+	src := `
+var x >= 1 <= 3;
+var y free;
+minimize Z: x + y;
+subject to YBound: y >= -2;
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != simplex.Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	// x = 1, y = -2.
+	if sol.Objective.Cmp(big.NewRat(-1, 1)) != 0 {
+		t.Errorf("objective = %s, want -1", sol.Objective.RatString())
+	}
+}
+
+func TestDefaultParamValue(t *testing.T) {
+	src := `
+set S;
+param w {S} default 7;
+var x {S} >= 0;
+maximize Z: sum {i in S} w[i] * x[i];
+subject to Cap {i in S}: x[i] <= 1;
+data;
+set S := a b;
+param w := a 3;
+end;
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3*1 + 7*1 = 10.
+	if sol.Objective.Cmp(big.NewRat(10, 1)) != 0 {
+		t.Errorf("objective = %s, want 10", sol.Objective.RatString())
+	}
+}
+
+func TestNestedSums(t *testing.T) {
+	src := `
+set I;
+set J;
+param c {I, J};
+var x {I} >= 0;
+minimize Z: sum {i in I} sum {j in J} c[i,j] * x[i];
+subject to L {i in I}: x[i] >= 1;
+data;
+set I := i1 i2;
+set J := j1 j2;
+param c := i1 j1 1  i1 j2 2  i2 j1 3  i2 j2 4;
+end;
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1+2)*1 + (3+4)*1 = 10.
+	if sol.Objective.Cmp(big.NewRat(10, 1)) != 0 {
+		t.Errorf("objective = %s, want 10", sol.Objective.RatString())
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no objective", `var x >= 0;`, "no objective"},
+		{"missing set data", `set S; var x {S} >= 0; maximize Z: 1;`, "no data"},
+		{"undeclared identifier", `var x >= 0; maximize Z: y;`, "undeclared identifier"},
+		{"nonlinear", `var x >= 0; var y >= 0; maximize Z: x * y;`, "nonlinear"},
+		{"missing param data", `
+set S;
+param c {S};
+var x {S} >= 0;
+maximize Z: sum {i in S} c[i]*x[i];
+data;
+set S := a;
+end;`, "no data for param"},
+		{"division by zero", `var x >= 0; maximize Z: x / 0;`, "division by zero"},
+		{"bad subscript count", `
+set S;
+var x {S} >= 0;
+maximize Z: x["a","b"];
+data;
+set S := a;
+end;`, "expects 1 subscripts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Parse(tc.src)
+			if err == nil {
+				_, err = m.Instantiate()
+			}
+			if err == nil {
+				t.Fatal("instantiation succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`set ;`,
+		`param := 1;`,
+		`var x >= ;`,
+		`maximize Z x;`,
+		`subject to C: x <= ;`,
+		`maximize Z: (1 + 2;`,
+		`maximize Z: 1; maximize W: 2;`,
+		`@`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want syntax error", src)
+		}
+	}
+}
+
+func TestSubjectToVariants(t *testing.T) {
+	for _, kw := range []string{"subject to", "s.t."} {
+		src := `var x >= 0; maximize Z: x; ` + kw + ` C: x <= 5;`
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", kw, err)
+		}
+		inst, err := m.Instantiate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := simplex.Solve(inst.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Objective.Cmp(big.NewRat(5, 1)) != 0 {
+			t.Errorf("%s: objective = %s, want 5", kw, sol.Objective.RatString())
+		}
+	}
+}

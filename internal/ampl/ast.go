@@ -1,0 +1,111 @@
+package ampl
+
+import "math/big"
+
+// Model is a parsed AMPL model plus its data section.
+type Model struct {
+	Sets        []*SetDecl
+	Params      []*ParamDecl
+	Vars        []*VarDecl
+	Objective   *Objective
+	Constraints []*ConstraintDecl
+
+	// Data bindings from the data section (or attached programmatically).
+	SetData   map[string][]string
+	ParamData map[string]map[string]*big.Rat // key: joined tuple "a,b"
+}
+
+// SetDecl declares `set NAME;`.
+type SetDecl struct {
+	Name string
+}
+
+// ParamDecl declares `param NAME {S1, S2};` (Indexing empty for scalars).
+type ParamDecl struct {
+	Name     string
+	Indexing []string // index set names
+	Default  *big.Rat // optional `default` value
+}
+
+// VarDecl declares `var NAME {S1, ...} >= lo <= hi;`.
+type VarDecl struct {
+	Name     string
+	Indexing []string
+	// Lower/Upper are optional bound expressions (usually constants).
+	Lower Expr
+	Upper Expr
+	Free  bool
+}
+
+// Objective is `maximize NAME: expr;`.
+type Objective struct {
+	Name     string
+	Maximize bool
+	Expr     Expr
+}
+
+// ConstraintDecl is `subject to NAME {i in S, ...}: lhs REL rhs;`.
+type ConstraintDecl struct {
+	Name    string
+	Indexes []IndexBinding
+	LHS     Expr
+	Rel     string // "<=", ">=", "="
+	RHS     Expr
+}
+
+// IndexBinding is `i in SET`.
+type IndexBinding struct {
+	Var string
+	Set string
+}
+
+// Expr is an AMPL expression AST node.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+type exprBase struct{ line, col int }
+
+func (e exprBase) exprNode()       {}
+func (e exprBase) Pos() (int, int) { return e.line, e.col }
+
+// NumExpr is a numeric literal (stored exactly).
+type NumExpr struct {
+	exprBase
+	Value *big.Rat
+}
+
+// RefExpr references a parameter, variable or index variable, optionally
+// subscripted: name[i,j].
+type RefExpr struct {
+	exprBase
+	Name string
+	Subs []Expr // subscripts; index expressions evaluate to set elements
+}
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	exprBase
+	Op          string // + - * /
+	Left, Right Expr
+}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	exprBase
+	Operand Expr
+}
+
+// SumExpr is `sum {i in S, j in T} body`.
+type SumExpr struct {
+	exprBase
+	Indexes []IndexBinding
+	Body    Expr
+}
+
+// StrExpr is a quoted set element used as a subscript.
+type StrExpr struct {
+	exprBase
+	Value string
+}

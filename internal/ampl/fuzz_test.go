@@ -1,0 +1,60 @@
+package ampl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyParserNeverPanics: random declaration soup must parse or be
+// rejected with a SyntaxError, never panic.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"set", "param", "var", "maximize", "minimize", "subject", "to",
+		"s.t.", "data", "end", "sum", "in", "free", "default",
+		"S", "x", "c", "Z", "i", "1", "2.5", "-",
+		"{", "}", "[", "]", "(", ")", ",", ";", ":", ":=",
+		"<=", ">=", "=", "+", "*", "/", `"a"`,
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("parser panicked: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = fragments[rng.Intn(len(fragments))]
+		}
+		m, err := Parse(strings.Join(parts, " "))
+		if err != nil {
+			return true
+		}
+		// Instantiation must not panic either (errors are fine).
+		_, _ = m.Instantiate()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLexerNeverPanics feeds random bytes to the lexer.
+func TestPropertyLexerNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = Lex(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

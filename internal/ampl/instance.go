@@ -1,0 +1,482 @@
+package ampl
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"mathcloud/internal/simplex"
+)
+
+// Instance is a model grounded over its data: a concrete linear program
+// plus the naming maps that relate LP columns/rows back to the model.
+type Instance struct {
+	Problem *simplex.Problem
+	// Vars maps instantiated variable names ("x[a]") to columns.
+	Vars map[string]int
+	// VarNames lists column names in order.
+	VarNames []string
+	// Cons maps instantiated constraint names ("Cap[r1]") to rows.
+	Cons map[string]int
+}
+
+// SemanticError reports a model that is syntactically valid but cannot be
+// instantiated (undeclared names, missing data, nonlinearity, ...).
+type SemanticError struct {
+	Message string
+}
+
+// Error implements the error interface.
+func (e *SemanticError) Error() string { return "ampl: " + e.Message }
+
+func semErrf(format string, args ...any) error {
+	return &SemanticError{Message: fmt.Sprintf(format, args...)}
+}
+
+// linform is a linear form: constant + Σ coeff·var.
+type linform struct {
+	c      *big.Rat
+	coeffs map[int]*big.Rat
+}
+
+func newLinform() *linform {
+	return &linform{c: new(big.Rat), coeffs: make(map[int]*big.Rat)}
+}
+
+func (l *linform) addCoeff(col int, v *big.Rat) {
+	if cur, ok := l.coeffs[col]; ok {
+		cur.Add(cur, v)
+		if cur.Sign() == 0 {
+			delete(l.coeffs, col)
+		}
+		return
+	}
+	if v.Sign() != 0 {
+		l.coeffs[col] = new(big.Rat).Set(v)
+	}
+}
+
+func (l *linform) add(other *linform, sign int64) {
+	s := big.NewRat(sign, 1)
+	l.c.Add(l.c, new(big.Rat).Mul(other.c, s))
+	for col, v := range other.coeffs {
+		l.addCoeff(col, new(big.Rat).Mul(v, s))
+	}
+}
+
+func (l *linform) isConst() bool { return len(l.coeffs) == 0 }
+
+func (l *linform) scale(s *big.Rat) {
+	l.c.Mul(l.c, s)
+	for col, v := range l.coeffs {
+		v.Mul(v, s)
+		if v.Sign() == 0 {
+			delete(l.coeffs, col)
+		}
+	}
+}
+
+// instantiator holds the grounding state.
+type instantiator struct {
+	m       *Model
+	sets    map[string][]string
+	params  map[string]*ParamDecl
+	varDecl map[string]*VarDecl
+	varCols map[string]int
+	varList []string
+	free    []bool
+	lower   []*big.Rat // non-nil explicit lower bound
+	upper   []*big.Rat
+}
+
+// Instantiate grounds the model over its data into a linear program.
+func (m *Model) Instantiate() (*Instance, error) {
+	if m.Objective == nil {
+		return nil, semErrf("model has no objective")
+	}
+	inst := &instantiator{
+		m:       m,
+		sets:    make(map[string][]string),
+		params:  make(map[string]*ParamDecl),
+		varDecl: make(map[string]*VarDecl),
+		varCols: make(map[string]int),
+	}
+	for _, s := range m.Sets {
+		data, ok := m.SetData[s.Name]
+		if !ok {
+			return nil, semErrf("set %s has no data", s.Name)
+		}
+		if len(data) == 0 {
+			return nil, semErrf("set %s is empty", s.Name)
+		}
+		inst.sets[s.Name] = data
+	}
+	for _, p := range m.Params {
+		inst.params[p.Name] = p
+		for _, s := range p.Indexing {
+			if _, ok := inst.sets[s]; !ok {
+				return nil, semErrf("param %s indexed over undeclared set %s", p.Name, s)
+			}
+		}
+	}
+	// Ground variables.
+	for _, v := range m.Vars {
+		inst.varDecl[v.Name] = v
+		tuples, err := inst.cross(v.Indexing)
+		if err != nil {
+			return nil, semErrf("var %s: %v", v.Name, err)
+		}
+		for _, tup := range tuples {
+			name := instName(v.Name, tup)
+			if _, dup := inst.varCols[name]; dup {
+				return nil, semErrf("duplicate variable %s", name)
+			}
+			col := len(inst.varList)
+			inst.varCols[name] = col
+			inst.varList = append(inst.varList, name)
+			isFree := v.Free
+			var lo, up *big.Rat
+			if v.Lower != nil {
+				lf, err := inst.evalExpr(v.Lower, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !lf.isConst() {
+					return nil, semErrf("var %s: non-constant lower bound", v.Name)
+				}
+				lo = lf.c
+				if lo.Sign() < 0 {
+					isFree = true
+				}
+			}
+			if v.Upper != nil {
+				uf, err := inst.evalExpr(v.Upper, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !uf.isConst() {
+					return nil, semErrf("var %s: non-constant upper bound", v.Name)
+				}
+				up = uf.c
+			}
+			inst.free = append(inst.free, isFree)
+			inst.lower = append(inst.lower, lo)
+			inst.upper = append(inst.upper, up)
+		}
+	}
+	if len(inst.varList) == 0 {
+		return nil, semErrf("model has no variables")
+	}
+
+	sense := simplex.Minimize
+	if m.Objective.Maximize {
+		sense = simplex.Maximize
+	}
+	lp := simplex.NewProblem(sense, len(inst.varList))
+	lp.VarNames = inst.varList
+	copy(lp.Free, inst.free)
+
+	obj, err := inst.evalExpr(m.Objective.Expr, nil)
+	if err != nil {
+		return nil, err
+	}
+	for col, v := range obj.coeffs {
+		lp.C[col].Set(v)
+	}
+	lp.ObjConst.Set(obj.c)
+
+	out := &Instance{Problem: lp, Vars: inst.varCols, VarNames: inst.varList,
+		Cons: make(map[string]int)}
+
+	// Ground constraints.
+	for _, con := range m.Constraints {
+		tuples, envs, err := inst.bindings(con.Indexes)
+		if err != nil {
+			return nil, semErrf("constraint %s: %v", con.Name, err)
+		}
+		for ti, env := range envs {
+			lhs, err := inst.evalExpr(con.LHS, env)
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := inst.evalExpr(con.RHS, env)
+			if err != nil {
+				return nil, err
+			}
+			lhs.add(rhs, -1) // lhs-rhs REL 0
+			b := new(big.Rat).Neg(lhs.c)
+			row := make([]*big.Rat, len(inst.varList))
+			for col, v := range lhs.coeffs {
+				row[col] = v
+			}
+			var rel simplex.Rel
+			switch con.Rel {
+			case "<=":
+				rel = simplex.LE
+			case ">=":
+				rel = simplex.GE
+			default:
+				rel = simplex.EQ
+			}
+			name := instName(con.Name, tuples[ti])
+			out.Cons[name] = lp.NumCons()
+			lp.ConNames = append(lp.ConNames, name)
+			lp.AddConstraint(row, rel, b)
+		}
+	}
+
+	// Bound rows for explicit non-default bounds.
+	for col, lo := range inst.lower {
+		if lo == nil || (lo.Sign() == 0 && !inst.free[col]) {
+			continue
+		}
+		row := make([]*big.Rat, len(inst.varList))
+		row[col] = big.NewRat(1, 1)
+		name := fmt.Sprintf("_lb_%s", inst.varList[col])
+		out.Cons[name] = lp.NumCons()
+		lp.ConNames = append(lp.ConNames, name)
+		lp.AddConstraint(row, simplex.GE, lo)
+	}
+	for col, up := range inst.upper {
+		if up == nil {
+			continue
+		}
+		row := make([]*big.Rat, len(inst.varList))
+		row[col] = big.NewRat(1, 1)
+		name := fmt.Sprintf("_ub_%s", inst.varList[col])
+		out.Cons[name] = lp.NumCons()
+		lp.ConNames = append(lp.ConNames, name)
+		lp.AddConstraint(row, simplex.LE, up)
+	}
+	return out, nil
+}
+
+func instName(base string, tup []string) string {
+	if len(tup) == 0 {
+		return base
+	}
+	return base + "[" + strings.Join(tup, ",") + "]"
+}
+
+// cross enumerates the cross product of the named sets.
+func (in *instantiator) cross(setNames []string) ([][]string, error) {
+	tuples := [][]string{nil}
+	for _, sn := range setNames {
+		elems, ok := in.sets[sn]
+		if !ok {
+			return nil, fmt.Errorf("undeclared set %s", sn)
+		}
+		var next [][]string
+		for _, t := range tuples {
+			for _, e := range elems {
+				nt := append(append([]string{}, t...), e)
+				next = append(next, nt)
+			}
+		}
+		tuples = next
+	}
+	return tuples, nil
+}
+
+// bindings enumerates index-binding environments.
+func (in *instantiator) bindings(binds []IndexBinding) ([][]string, []map[string]string, error) {
+	setNames := make([]string, len(binds))
+	for i, b := range binds {
+		setNames[i] = b.Set
+	}
+	tuples, err := in.cross(setNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	envs := make([]map[string]string, len(tuples))
+	for ti, tup := range tuples {
+		env := make(map[string]string, len(binds))
+		for i, b := range binds {
+			env[b.Var] = tup[i]
+		}
+		envs[ti] = env
+	}
+	return tuples, envs, nil
+}
+
+// evalSubscript resolves a subscript expression to a set element.
+func (in *instantiator) evalSubscript(e Expr, env map[string]string) (string, error) {
+	switch x := e.(type) {
+	case *StrExpr:
+		return x.Value, nil
+	case *NumExpr:
+		return x.Value.RatString(), nil
+	case *RefExpr:
+		if len(x.Subs) == 0 {
+			if v, ok := env[x.Name]; ok {
+				return v, nil
+			}
+			// A bare identifier used as a literal element.
+			return x.Name, nil
+		}
+		return "", semErrf("subscript cannot itself be subscripted")
+	default:
+		line, col := e.Pos()
+		return "", semErrf("%d:%d: unsupported subscript expression", line, col)
+	}
+}
+
+// evalExpr evaluates an expression to a linear form under the given index
+// environment.
+func (in *instantiator) evalExpr(e Expr, env map[string]string) (*linform, error) {
+	switch x := e.(type) {
+	case *NumExpr:
+		l := newLinform()
+		l.c.Set(x.Value)
+		return l, nil
+	case *StrExpr:
+		return nil, semErrf("string %q in numeric context", x.Value)
+	case *NegExpr:
+		l, err := in.evalExpr(x.Operand, env)
+		if err != nil {
+			return nil, err
+		}
+		l.scale(big.NewRat(-1, 1))
+		return l, nil
+	case *BinExpr:
+		left, err := in.evalExpr(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := in.evalExpr(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			left.add(right, 1)
+			return left, nil
+		case "-":
+			left.add(right, -1)
+			return left, nil
+		case "*":
+			switch {
+			case right.isConst():
+				left.scale(right.c)
+				return left, nil
+			case left.isConst():
+				right.scale(left.c)
+				return right, nil
+			default:
+				line, col := x.Pos()
+				return nil, semErrf("%d:%d: nonlinear product of variables", line, col)
+			}
+		case "/":
+			if !right.isConst() {
+				line, col := x.Pos()
+				return nil, semErrf("%d:%d: division by a variable expression", line, col)
+			}
+			if right.c.Sign() == 0 {
+				line, col := x.Pos()
+				return nil, semErrf("%d:%d: division by zero", line, col)
+			}
+			left.scale(new(big.Rat).Inv(right.c))
+			return left, nil
+		}
+		return nil, semErrf("unknown operator %q", x.Op)
+	case *SumExpr:
+		_, envs, err := in.bindings(x.Indexes)
+		if err != nil {
+			return nil, err
+		}
+		total := newLinform()
+		for _, bindEnv := range envs {
+			merged := bindEnv
+			if len(env) > 0 {
+				merged = make(map[string]string, len(env)+len(bindEnv))
+				for k, v := range env {
+					merged[k] = v
+				}
+				for k, v := range bindEnv {
+					merged[k] = v
+				}
+			}
+			term, err := in.evalExpr(x.Body, merged)
+			if err != nil {
+				return nil, err
+			}
+			total.add(term, 1)
+		}
+		return total, nil
+	case *RefExpr:
+		return in.evalRef(x, env)
+	default:
+		return nil, semErrf("unsupported expression %T", e)
+	}
+}
+
+func (in *instantiator) evalRef(x *RefExpr, env map[string]string) (*linform, error) {
+	// Resolve subscripts first.
+	subs := make([]string, len(x.Subs))
+	for i, s := range x.Subs {
+		v, err := in.evalSubscript(s, env)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = v
+	}
+	key := strings.Join(subs, ",")
+
+	if p, ok := in.params[x.Name]; ok {
+		if len(subs) != len(p.Indexing) {
+			return nil, semErrf("param %s expects %d subscripts, got %d",
+				x.Name, len(p.Indexing), len(subs))
+		}
+		data := in.m.ParamData[x.Name]
+		val, ok := data[key]
+		if !ok {
+			if p.Default != nil {
+				val = p.Default
+			} else {
+				return nil, semErrf("no data for param %s[%s]", x.Name, key)
+			}
+		}
+		l := newLinform()
+		l.c.Set(val)
+		return l, nil
+	}
+	if v, ok := in.varDecl[x.Name]; ok {
+		if len(subs) != len(v.Indexing) {
+			return nil, semErrf("var %s expects %d subscripts, got %d",
+				x.Name, len(v.Indexing), len(subs))
+		}
+		col, ok := in.varCols[instName(x.Name, subs)]
+		if !ok {
+			return nil, semErrf("variable instance %s does not exist", instName(x.Name, subs))
+		}
+		l := newLinform()
+		l.addCoeff(col, big.NewRat(1, 1))
+		return l, nil
+	}
+	if _, ok := env[x.Name]; ok {
+		return nil, semErrf("index variable %s used in numeric context", x.Name)
+	}
+	line, col := x.Pos()
+	return nil, semErrf("%d:%d: undeclared identifier %q", line, col, x.Name)
+}
+
+// SolutionMap renders a simplex solution back into model terms: variable
+// instance name → exact value, sorted by name.
+func (inst *Instance) SolutionMap(sol *simplex.Solution) map[string]string {
+	out := make(map[string]string, len(inst.VarNames))
+	if sol.X == nil {
+		return out
+	}
+	for i, name := range inst.VarNames {
+		out[name] = sol.X[i].RatString()
+	}
+	return out
+}
+
+// SortedVarNames returns the instantiated variable names in column order.
+func (inst *Instance) SortedVarNames() []string {
+	names := append([]string{}, inst.VarNames...)
+	sort.Strings(names)
+	return names
+}

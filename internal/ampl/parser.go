@@ -1,0 +1,551 @@
+package ampl
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Parser for the AMPL subset.
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses model text (optionally followed by a `data;` section) into
+// a Model.
+func Parse(src string) (*Model, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m := &Model{
+		SetData:   make(map[string][]string),
+		ParamData: make(map[string]map[string]*big.Rat),
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			break
+		}
+		if t.Kind != TokIdent {
+			return nil, p.errf(t, "expected a declaration, got %s", t)
+		}
+		switch t.Text {
+		case "set":
+			if err := p.parseSet(m); err != nil {
+				return nil, err
+			}
+		case "param":
+			if err := p.parseParam(m); err != nil {
+				return nil, err
+			}
+		case "var":
+			if err := p.parseVar(m); err != nil {
+				return nil, err
+			}
+		case "maximize", "minimize":
+			if err := p.parseObjective(m); err != nil {
+				return nil, err
+			}
+		case "subject", "s.t.":
+			if err := p.parseConstraint(m); err != nil {
+				return nil, err
+			}
+		case "data":
+			p.next()
+			if err := p.expectSym(";"); err != nil {
+				return nil, err
+			}
+			if err := p.parseData(m); err != nil {
+				return nil, err
+			}
+		case "end":
+			p.next()
+			_ = p.acceptSym(";")
+			return m, nil
+		default:
+			return nil, p.errf(t, "unknown declaration %q", t.Text)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Message: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) atSym(s string) bool {
+	t := p.peek()
+	return t.Kind == TokSym && t.Text == s
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.atSym(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.Kind != TokSym || t.Text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return t, p.errf(t, "expected an identifier, got %s", t)
+	}
+	return t, nil
+}
+
+// parseIndexingSets parses `{S1, S2}` (set names only) if present.
+func (p *parser) parseIndexingSets() ([]string, error) {
+	if !p.acceptSym("{") {
+		return nil, nil
+	}
+	var sets []string
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, t.Text)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// parseIndexBindings parses `{i in S, j in T}` if present.
+func (p *parser) parseIndexBindings() ([]IndexBinding, error) {
+	if !p.acceptSym("{") {
+		return nil, nil
+	}
+	var binds []IndexBinding
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if in.Text != "in" {
+			return nil, p.errf(in, "expected 'in', got %s", in)
+		}
+		s, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		binds = append(binds, IndexBinding{Var: v.Text, Set: s.Text})
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return binds, nil
+}
+
+func (p *parser) parseSet(m *Model) error {
+	p.next() // 'set'
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	m.Sets = append(m.Sets, &SetDecl{Name: name.Text})
+	return p.expectSym(";")
+}
+
+func (p *parser) parseParam(m *Model) error {
+	p.next() // 'param'
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := &ParamDecl{Name: name.Text}
+	decl.Indexing, err = p.parseIndexingSets()
+	if err != nil {
+		return err
+	}
+	// Optional `default <number>`.
+	if t := p.peek(); t.Kind == TokIdent && t.Text == "default" {
+		p.next()
+		nt := p.next()
+		neg := false
+		if nt.Kind == TokSym && nt.Text == "-" {
+			neg = true
+			nt = p.next()
+		}
+		if nt.Kind != TokNumber {
+			return p.errf(nt, "expected a default value, got %s", nt)
+		}
+		decl.Default = floatRat(nt)
+		if neg {
+			decl.Default.Neg(decl.Default)
+		}
+	}
+	m.Params = append(m.Params, decl)
+	return p.expectSym(";")
+}
+
+func (p *parser) parseVar(m *Model) error {
+	p.next() // 'var'
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := &VarDecl{Name: name.Text}
+	decl.Indexing, err = p.parseIndexingSets()
+	if err != nil {
+		return err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokSym && t.Text == ">=":
+			p.next()
+			decl.Lower, err = p.parseExpr()
+			if err != nil {
+				return err
+			}
+		case t.Kind == TokSym && t.Text == "<=":
+			p.next()
+			decl.Upper, err = p.parseExpr()
+			if err != nil {
+				return err
+			}
+		case t.Kind == TokIdent && t.Text == "free":
+			p.next()
+			decl.Free = true
+		default:
+			m.Vars = append(m.Vars, decl)
+			return p.expectSym(";")
+		}
+	}
+}
+
+func (p *parser) parseObjective(m *Model) error {
+	kw := p.next() // maximize | minimize
+	if m.Objective != nil {
+		return p.errf(kw, "multiple objectives")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	m.Objective = &Objective{
+		Name:     name.Text,
+		Maximize: kw.Text == "maximize",
+		Expr:     expr,
+	}
+	return p.expectSym(";")
+}
+
+func (p *parser) parseConstraint(m *Model) error {
+	kw := p.next() // 'subject' or 's.t.'
+	if kw.Text == "subject" {
+		to, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if to.Text != "to" {
+			return p.errf(to, "expected 'to' after 'subject', got %s", to)
+		}
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := &ConstraintDecl{Name: name.Text}
+	decl.Indexes, err = p.parseIndexBindings()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return err
+	}
+	decl.LHS, err = p.parseExpr()
+	if err != nil {
+		return err
+	}
+	rel := p.next()
+	if rel.Kind != TokSym || (rel.Text != "<=" && rel.Text != ">=" && rel.Text != "=" && rel.Text != "==") {
+		return p.errf(rel, "expected a relation, got %s", rel)
+	}
+	decl.Rel = rel.Text
+	if decl.Rel == "==" {
+		decl.Rel = "="
+	}
+	decl.RHS, err = p.parseExpr()
+	if err != nil {
+		return err
+	}
+	m.Constraints = append(m.Constraints, decl)
+	return p.expectSym(";")
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAdd() }
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSym("+") || p.atSym("-") {
+		op := p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{exprBase{op.Line, op.Col}, op.Text, left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSym("*") || p.atSym("/") {
+		op := p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{exprBase{op.Line, op.Col}, op.Text, left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atSym("-") {
+		t := p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{exprBase{t.Line, t.Col}, operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func floatRat(t Token) *big.Rat {
+	// Numbers lex as float64 but most model data is small integers or
+	// decimals; big.Rat.SetString on the literal text keeps exactness.
+	if r, ok := new(big.Rat).SetString(t.Text); ok {
+		return r
+	}
+	return new(big.Rat).SetFloat64(t.Num)
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	base := exprBase{t.Line, t.Col}
+	switch {
+	case t.Kind == TokNumber:
+		return &NumExpr{base, floatRat(t)}, nil
+	case t.Kind == TokString:
+		return &StrExpr{base, t.Text}, nil
+	case t.Kind == TokIdent && t.Text == "sum":
+		binds, err := p.parseIndexBindings()
+		if err != nil {
+			return nil, err
+		}
+		if binds == nil {
+			return nil, p.errf(t, "sum requires an indexing expression")
+		}
+		body, err := p.parseMul() // sum binds tighter than +/-
+		if err != nil {
+			return nil, err
+		}
+		return &SumExpr{base, binds, body}, nil
+	case t.Kind == TokIdent:
+		ref := &RefExpr{exprBase: base, Name: t.Text}
+		if p.acceptSym("[") {
+			for {
+				sub, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ref.Subs = append(ref.Subs, sub)
+				if p.acceptSym(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+		}
+		return ref, nil
+	case t.Kind == TokSym && t.Text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(t, "unexpected %s in expression", t)
+	}
+}
+
+// ---- data section ----
+
+func (p *parser) parseData(m *Model) error {
+	for {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return nil
+		}
+		if t.Kind != TokIdent {
+			return p.errf(t, "expected a data statement, got %s", t)
+		}
+		switch t.Text {
+		case "set":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym(":="); err != nil {
+				return err
+			}
+			var elems []string
+			for {
+				et := p.peek()
+				if et.Kind == TokSym && et.Text == ";" {
+					p.next()
+					break
+				}
+				et = p.next()
+				if et.Kind != TokIdent && et.Kind != TokString && et.Kind != TokNumber {
+					return p.errf(et, "expected a set element, got %s", et)
+				}
+				elems = append(elems, et.Text)
+			}
+			m.SetData[name.Text] = elems
+		case "param":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym(":="); err != nil {
+				return err
+			}
+			arity := p.paramArity(m, name.Text)
+			values := make(map[string]*big.Rat)
+			for {
+				et := p.peek()
+				if et.Kind == TokSym && et.Text == ";" {
+					p.next()
+					break
+				}
+				key := ""
+				for k := 0; k < arity; k++ {
+					kt := p.next()
+					if kt.Kind != TokIdent && kt.Kind != TokString && kt.Kind != TokNumber {
+						return p.errf(kt, "expected a subscript, got %s", kt)
+					}
+					if k > 0 {
+						key += ","
+					}
+					key += kt.Text
+				}
+				v, err := p.parseDataValue()
+				if err != nil {
+					return err
+				}
+				values[key] = v
+			}
+			m.ParamData[name.Text] = values
+		case "end":
+			p.next()
+			_ = p.acceptSym(";")
+			return nil
+		default:
+			return p.errf(t, "unknown data statement %q", t.Text)
+		}
+	}
+}
+
+// parseDataValue parses a numeric data value: an optionally negated
+// number, or an exact fraction "p/q" (which arises when rational dual
+// prices are shipped in generated models).
+func (p *parser) parseDataValue() (*big.Rat, error) {
+	vt := p.next()
+	neg := false
+	if vt.Kind == TokSym && vt.Text == "-" {
+		neg = true
+		vt = p.next()
+	}
+	if vt.Kind != TokNumber {
+		return nil, p.errf(vt, "expected a numeric value, got %s", vt)
+	}
+	v := floatRat(vt)
+	if p.atSym("/") {
+		p.next()
+		dt := p.next()
+		if dt.Kind != TokNumber {
+			return nil, p.errf(dt, "expected a denominator, got %s", dt)
+		}
+		den := floatRat(dt)
+		if den.Sign() == 0 {
+			return nil, p.errf(dt, "zero denominator in data value")
+		}
+		v.Quo(v, den)
+	}
+	if neg {
+		v.Neg(v)
+	}
+	return v, nil
+}
+
+// paramArity returns the number of subscripts of a declared parameter.
+func (p *parser) paramArity(m *Model, name string) int {
+	for _, d := range m.Params {
+		if d.Name == name {
+			return len(d.Indexing)
+		}
+	}
+	return 0
+}

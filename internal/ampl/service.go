@@ -1,0 +1,183 @@
+package ampl
+
+import (
+	"context"
+	"fmt"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/simplex"
+)
+
+// This file publishes the optimization tooling as computational web
+// services, covering the paper's "all basic phases of optimization
+// modelling": a translator service (AMPL model+data → LP), and a solver
+// service (AMPL model+data → optimal solution).  Pools of solver services
+// are what the Dantzig–Wolfe dispatcher (internal/dw) fans out over.
+
+// SolverFuncName is the native-function name of the AMPL solver service.
+const SolverFuncName = "ampl.solve"
+
+// TranslateFuncName is the native-function name of the translator service.
+const TranslateFuncName = "ampl.translate"
+
+func solveFunc(_ context.Context, inputs core.Values) (core.Values, error) {
+	src, _ := inputs["model"].(string)
+	if src == "" {
+		return nil, fmt.Errorf("ampl: missing model text")
+	}
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		return nil, err
+	}
+	out := core.Values{
+		"status":     sol.Status.String(),
+		"iterations": float64(sol.Iterations),
+	}
+	if sol.Status == simplex.Optimal {
+		out["objective"] = sol.Objective.RatString()
+		solMap := inst.SolutionMap(sol)
+		jsonMap := make(map[string]any, len(solMap))
+		for k, v := range solMap {
+			jsonMap[k] = v
+		}
+		out["solution"] = jsonMap
+		duals := make(map[string]any, len(inst.Cons))
+		for name, row := range inst.Cons {
+			duals[name] = sol.Duals[row].RatString()
+		}
+		out["duals"] = duals
+	}
+	return out, nil
+}
+
+func translateFunc(_ context.Context, inputs core.Values) (core.Values, error) {
+	src, _ := inputs["model"].(string)
+	if src == "" {
+		return nil, fmt.Errorf("ampl: missing model text")
+	}
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	p := inst.Problem
+	rows := make([]any, p.NumCons())
+	for i := range p.A {
+		row := make([]any, p.NumVars())
+		for j, v := range p.A[i] {
+			row[j] = v.RatString()
+		}
+		rows[i] = map[string]any{
+			"coeffs": row,
+			"rel":    p.Rel[i].String(),
+			"rhs":    p.B[i].RatString(),
+		}
+	}
+	obj := make([]any, p.NumVars())
+	for j, v := range p.C {
+		obj[j] = v.RatString()
+	}
+	sense := "min"
+	if p.Sense == simplex.Maximize {
+		sense = "max"
+	}
+	vars := make([]any, len(inst.VarNames))
+	for i, n := range inst.VarNames {
+		vars[i] = n
+	}
+	return core.Values{
+		"sense":       sense,
+		"variables":   vars,
+		"objective":   obj,
+		"constraints": rows,
+	}, nil
+}
+
+// RegisterFuncs registers the solver and translator functions.
+func RegisterFuncs() {
+	adapter.RegisterFunc(SolverFuncName, solveFunc)
+	adapter.RegisterFunc(TranslateFuncName, translateFunc)
+}
+
+func modelParam() core.Param {
+	return core.Param{
+		Name:   "model",
+		Title:  "AMPL model with data section",
+		Schema: jsonschema.MustParse(`{"type": "string", "minLength": 1}`),
+	}
+}
+
+// SolverServiceConfig returns the deployable configuration of an
+// optimization solver service.
+func SolverServiceConfig(name string) container.ServiceConfig {
+	return SolverServiceConfigSlow(name, 0)
+}
+
+// SolverServiceConfigSlow is SolverServiceConfig with a simulated hardware
+// slowdown factor (see adapter.NativeConfig.SimulatedSlowdown).
+func SolverServiceConfigSlow(name string, slowdown float64) container.ServiceConfig {
+	return container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        name,
+			Title:       "LP solver service",
+			Description: "Translates an AMPL model and solves the resulting linear program exactly with the two-phase rational simplex method.",
+			Version:     "1.0",
+			Tags:        []string{"optimization", "lp", "simplex", "ampl", "solver"},
+			Inputs:      []core.Param{modelParam()},
+			Outputs: []core.Param{
+				{Name: "status", Schema: jsonschema.MustParse(
+					`{"type":"string","enum":["optimal","infeasible","unbounded"]}`)},
+				{Name: "objective", Optional: true},
+				{Name: "solution", Optional: true,
+					Schema: jsonschema.MustParse(`{"type":"object"}`)},
+				{Name: "duals", Optional: true,
+					Schema: jsonschema.MustParse(`{"type":"object"}`)},
+				{Name: "iterations", Schema: jsonschema.MustParse(`{"type":"number"}`)},
+			},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "native",
+			Config: []byte(fmt.Sprintf(`{"function": %q, "simulatedSlowdown": %g}`,
+				SolverFuncName, slowdown)),
+		},
+	}
+}
+
+// TranslatorServiceConfig returns the deployable configuration of the AMPL
+// translator service, which exposes the instantiated LP without solving.
+func TranslatorServiceConfig(name string) container.ServiceConfig {
+	return container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        name,
+			Title:       "AMPL translator service",
+			Description: "Instantiates an AMPL model over its data and returns the resulting linear program in matrix form.",
+			Version:     "1.0",
+			Tags:        []string{"optimization", "ampl", "translator", "modelling"},
+			Inputs:      []core.Param{modelParam()},
+			Outputs: []core.Param{
+				{Name: "sense"},
+				{Name: "variables"},
+				{Name: "objective"},
+				{Name: "constraints"},
+			},
+		},
+		Adapter: container.AdapterSpec{
+			Kind:   "native",
+			Config: []byte(fmt.Sprintf(`{"function": %q}`, TranslateFuncName)),
+		},
+	}
+}

@@ -1,0 +1,158 @@
+// Package ampl implements a subset of the AMPL mathematical-programming
+// modeling language: model declarations (sets, parameters, variables,
+// objective, constraints), a data section, and instantiation ("translation")
+// of a model+data pair into a linear program for internal/simplex.
+//
+// The paper's optimization application integrates "translators of AMPL
+// optimization modeling language" as computational web services and runs
+// optimization algorithms written as AMPL scripts in distributed mode.
+// This package is that translator.  The supported subset:
+//
+//	set NAME;
+//	param NAME {SET, ...};            # or scalar: param NAME;
+//	var NAME {SET, ...} >= 0;         # bounds: >= expr, <= expr, free
+//	maximize OBJ: linear-expr;        # or minimize
+//	subject to NAME {i in SET, ...}: linear-expr REL linear-expr;
+//
+//	data;
+//	set NAME := elem elem ... ;
+//	param NAME := key ... value  key ... value ... ;   # flattened tuples
+//	end;
+//
+// Expressions support numbers, parameter references p[i,j], variable
+// references x[i], index variables, + - * / ( ), and the indexed
+// sum {i in SET, j in SET} expr.
+package ampl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNumber
+	TokIdent
+	TokString
+	TokSym // punctuation and operators
+)
+
+// Token is one lexical token with position info.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  float64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// SyntaxError reports a lexical or parse error.
+type SyntaxError struct {
+	Line, Col int
+	Message   string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ampl: %d:%d: %s", e.Line, e.Col, e.Message)
+}
+
+// multi-character symbols, longest first.
+var amplSymbols = []string{
+	":=", "<=", ">=", "==", "!=",
+	"{", "}", "[", "]", "(", ")", ",", ";", ":", "+", "-", "*", "/", "=", "<", ">",
+}
+
+// Lex tokenizes AMPL source.  '#' starts a line comment.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			startLine, startCol := line, col
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' ||
+				src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				adv(1)
+			}
+			text := src[start:i]
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, &SyntaxError{startLine, startCol, fmt.Sprintf("invalid number %q", text)}
+			}
+			toks = append(toks, Token{TokNumber, text, f, startLine, startCol})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_' || src[i] == '.') {
+				adv(1)
+			}
+			text := src[start:i]
+			// "subject to" and "s.t." are handled in the parser.
+			toks = append(toks, Token{TokIdent, text, 0, startLine, startCol})
+		case c == '"' || c == '\'':
+			startLine, startCol := line, col
+			quote := c
+			adv(1)
+			start := i
+			for i < len(src) && src[i] != quote {
+				adv(1)
+			}
+			if i >= len(src) {
+				return nil, &SyntaxError{startLine, startCol, "unterminated string"}
+			}
+			text := src[start:i]
+			adv(1)
+			toks = append(toks, Token{TokString, text, 0, startLine, startCol})
+		default:
+			matched := false
+			for _, sym := range amplSymbols {
+				if strings.HasPrefix(src[i:], sym) {
+					toks = append(toks, Token{TokSym, sym, 0, line, col})
+					adv(len(sym))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &SyntaxError{line, col, fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,192 @@
+package cas
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/ratmat"
+)
+
+// This file exposes the CAS as a computational web service, the role
+// Maxima plays in the paper.  The service takes a command expression plus
+// up to four matrix operands (A..D) and returns the evaluated result.
+// Matrices are passed as exact JSON values ([["p/q", ...], ...]).
+
+// EvalFuncName is the native-adapter function name of the CAS evaluator.
+const EvalFuncName = "cas.eval"
+
+// matrixSchema describes a matrix parameter: an array of rows of exact
+// rational strings, tagged with format "matrix" so that workflow port
+// checks distinguish matrices from other arrays.
+const matrixSchemaJSON = `{
+  "type": "array",
+  "title": "matrix",
+  "format": "matrix",
+  "items": {"type": "array", "items": {"type": "string"}}
+}`
+
+// MatrixSchema returns a fresh schema value describing a matrix parameter.
+func MatrixSchema() *jsonschema.Schema { return jsonschema.MustParse(matrixSchemaJSON) }
+
+// operand parameter names accepted by the CAS service.
+var operandNames = []string{"A", "B", "C", "D"}
+
+// FileThreshold is the text-encoding size above which a matrix result is
+// returned as a file resource instead of an inline JSON value, following
+// the unified API's prescription for large data.  In the paper's runs the
+// symbolic intermediate results reached hundreds of megabytes and always
+// travelled as files.
+const FileThreshold = 1 << 18
+
+// evalRequest is the file-aware adapter function behind the CAS service.
+// Matrix operands arrive either as inline JSON values or as file
+// references (staged by the container into req.Files, in the ratmat text
+// codec); large matrix results leave as file resources.
+func evalRequest(_ context.Context, req *adapter.Request) (*adapter.Result, error) {
+	inputs := req.Inputs
+	exprVal, ok := inputs["expr"].(string)
+	if !ok || exprVal == "" {
+		return nil, fmt.Errorf("cas: missing expression")
+	}
+	env := Env{}
+	for _, name := range operandNames {
+		if path, staged := req.Files[name]; staged {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("cas: operand %s: %w", name, err)
+			}
+			m, err := ratmat.ReadText(f)
+			_ = f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("cas: operand %s: %w", name, err)
+			}
+			env[name] = Value{Matrix: m}
+			continue
+		}
+		v, present := inputs[name]
+		if !present || v == nil {
+			continue
+		}
+		m, err := ratmat.FromJSON(v)
+		if err != nil {
+			return nil, fmt.Errorf("cas: operand %s: %w", name, err)
+		}
+		env[name] = Value{Matrix: m}
+	}
+	out, err := Eval(exprVal, env)
+	if err != nil {
+		return nil, err
+	}
+	if out.IsScalar() {
+		return &adapter.Result{
+			Outputs: core.Values{"result": out.Scalar.RatString(), "scalar": true},
+		}, nil
+	}
+	if req.WorkDir != "" && out.Matrix.TextSize() > FileThreshold {
+		path := filepath.Join(req.WorkDir, "result.mat")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("cas: write result: %w", err)
+		}
+		err = out.Matrix.WriteText(f)
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cas: write result: %w", err)
+		}
+		return &adapter.Result{
+			Outputs: core.Values{"scalar": false},
+			Files:   map[string]string{"result": path},
+		}, nil
+	}
+	return &adapter.Result{
+		Outputs: core.Values{"result": out.Matrix.ToJSON(), "scalar": false},
+	}, nil
+}
+
+// Register registers the CAS evaluator in the native-function registry.
+// It is idempotent.
+func Register() {
+	adapter.RegisterRequestFunc(EvalFuncName, evalRequest)
+}
+
+// ServiceConfig returns the deployable configuration of a CAS service with
+// the given service name, mirroring how one Maxima installation is
+// published as one service.
+func ServiceConfig(name string) container.ServiceConfig {
+	return ServiceConfigSlow(name, 0)
+}
+
+// ServiceConfigSlow is ServiceConfig with a simulated hardware slowdown
+// factor (see adapter.NativeConfig.SimulatedSlowdown): the performance
+// experiments use it to model CAS installations on remote machines.
+func ServiceConfigSlow(name string, slowdown float64) container.ServiceConfig {
+	matrixParam := func(p string) core.Param {
+		return core.Param{
+			Name:     p,
+			Title:    "matrix operand " + p,
+			Schema:   MatrixSchema(),
+			Optional: true,
+		}
+	}
+	return container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        name,
+			Title:       "Computer algebra service",
+			Description: "Evaluates exact rational matrix expressions (invert, multiply, transpose, Hilbert matrices and friends) — the error-free computer algebra back end of the distributed matrix inversion application.",
+			Version:     "1.0",
+			Tags:        []string{"cas", "matrix", "exact", "algebra"},
+			Inputs: []core.Param{
+				{
+					Name:   "expr",
+					Title:  "expression to evaluate",
+					Schema: jsonschema.MustParse(`{"type": "string", "minLength": 1}`),
+				},
+				matrixParam("A"), matrixParam("B"), matrixParam("C"), matrixParam("D"),
+			},
+			Outputs: []core.Param{
+				{Name: "result", Title: "evaluation result"},
+				{Name: "scalar", Title: "whether the result is a scalar",
+					Schema: jsonschema.MustParse(`{"type": "boolean"}`), Optional: true},
+			},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "native",
+			Config: []byte(fmt.Sprintf(`{"function": %q, "simulatedSlowdown": %g}`,
+				EvalFuncName, slowdown)),
+		},
+	}
+}
+
+// Deploy registers the evaluator function and deploys count CAS services
+// named base, base-2, ... into the container, returning their names.
+// Deploying several instances models a pool of CAS installations that the
+// block-inversion workflow can fan out over.
+func Deploy(c *container.Container, base string, count int) ([]string, error) {
+	return DeploySlow(c, base, count, 0)
+}
+
+// DeploySlow is Deploy with a simulated hardware slowdown factor per
+// service.
+func DeploySlow(c *container.Container, base string, count int, slowdown float64) ([]string, error) {
+	Register()
+	names := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		name := base
+		if i > 0 {
+			name = fmt.Sprintf("%s-%d", base, i+1)
+		}
+		if err := c.Deploy(ServiceConfigSlow(name, slowdown)); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

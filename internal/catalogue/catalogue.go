@@ -1,0 +1,354 @@
+package catalogue
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mathcloud/internal/client"
+	"mathcloud/internal/core"
+)
+
+// Entry is one published service in the catalogue.
+type Entry struct {
+	// URI is the service resource URI the entry was registered with.
+	URI string `json:"uri"`
+	// Description is the service description retrieved via the REST API
+	// at registration time (and refreshed by the pinger).
+	Description core.ServiceDescription `json:"description"`
+	// Tags are the publisher's and users' annotations.
+	Tags []string `json:"tags,omitempty"`
+	// Registered is the publication time.
+	Registered time.Time `json:"registered"`
+	// Available reports the last ping outcome; unavailable services are
+	// marked accordingly in search results.
+	Available bool `json:"available"`
+	// LastChecked is the time of the last availability probe.
+	LastChecked time.Time `json:"lastChecked,omitempty"`
+}
+
+// Result is one search result: the entry with a highlighted snippet.
+type Result struct {
+	URI       string   `json:"uri"`
+	Name      string   `json:"name"`
+	Title     string   `json:"title,omitempty"`
+	Snippet   string   `json:"snippet"`
+	Tags      []string `json:"tags,omitempty"`
+	Available bool     `json:"available"`
+	Score     float64  `json:"score"`
+}
+
+// Describer fetches a service description by URI; it is implemented by the
+// platform client and substituted in tests.
+type Describer interface {
+	Describe(ctx context.Context, uri string) (core.ServiceDescription, error)
+}
+
+// ClientDescriber adapts the platform client to the Describer interface.
+type ClientDescriber struct {
+	Client *client.Client
+}
+
+// Describe implements Describer.
+func (d ClientDescriber) Describe(ctx context.Context, uri string) (core.ServiceDescription, error) {
+	cl := d.Client
+	if cl == nil {
+		cl = client.New()
+	}
+	return cl.Service(uri).Describe(ctx)
+}
+
+// Catalogue is the service registry with full-text search and monitoring.
+type Catalogue struct {
+	describer Describer
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	ix      *index
+
+	pingStop chan struct{}
+	pingOnce sync.Once
+}
+
+// New creates a catalogue using the given describer to retrieve service
+// descriptions.
+func New(d Describer) *Catalogue {
+	return &Catalogue{
+		describer: d,
+		entries:   make(map[string]*Entry),
+		ix:        newIndex(),
+	}
+}
+
+// Register publishes a service: the catalogue retrieves its description
+// via the unified REST API, indexes it together with the tags, and stores
+// the entry.  Re-registering refreshes the description and replaces the
+// publisher tags.
+func (c *Catalogue) Register(ctx context.Context, uri string, tags []string) (*Entry, error) {
+	uri = strings.TrimRight(uri, "/")
+	if uri == "" {
+		return nil, core.ErrBadRequest("catalogue: empty service URI")
+	}
+	desc, err := c.describer.Describe(ctx, uri)
+	if err != nil {
+		return nil, fmt.Errorf("catalogue: retrieve description of %s: %w", uri, err)
+	}
+	entry := &Entry{
+		URI:         uri,
+		Description: desc,
+		Tags:        normalizeTags(tags),
+		Registered:  time.Now(),
+		Available:   true,
+		LastChecked: time.Now(),
+	}
+	c.mu.Lock()
+	if old, ok := c.entries[uri]; ok {
+		entry.Registered = old.Registered
+	}
+	c.entries[uri] = entry
+	c.mu.Unlock()
+	c.reindex(entry)
+	return cloneEntry(entry), nil
+}
+
+func normalizeTags(tags []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range tags {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// document renders the searchable text of an entry.
+func document(e *Entry) string {
+	var b strings.Builder
+	d := e.Description
+	b.WriteString(d.Name)
+	b.WriteString(" ")
+	b.WriteString(d.Title)
+	b.WriteString(" ")
+	b.WriteString(d.Description)
+	for _, p := range append(append([]core.Param{}, d.Inputs...), d.Outputs...) {
+		b.WriteString(" ")
+		b.WriteString(p.Name)
+		b.WriteString(" ")
+		b.WriteString(p.Title)
+	}
+	for _, t := range append(append([]string{}, d.Tags...), e.Tags...) {
+		b.WriteString(" ")
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+func (c *Catalogue) reindex(e *Entry) {
+	c.ix.Add(e.URI, document(e))
+}
+
+// Unregister removes a service from the catalogue.
+func (c *Catalogue) Unregister(uri string) error {
+	uri = strings.TrimRight(uri, "/")
+	c.mu.Lock()
+	_, ok := c.entries[uri]
+	delete(c.entries, uri)
+	c.mu.Unlock()
+	if !ok {
+		return core.ErrNotFound("service", uri)
+	}
+	c.ix.Remove(uri)
+	return nil
+}
+
+// Get returns the catalogue entry of a service.
+func (c *Catalogue) Get(uri string) (*Entry, error) {
+	uri = strings.TrimRight(uri, "/")
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[uri]
+	if !ok {
+		return nil, core.ErrNotFound("service", uri)
+	}
+	return cloneEntry(e), nil
+}
+
+// AddTags attaches user tags to a published service — the catalogue's
+// collaborative Web 2.0 feature.
+func (c *Catalogue) AddTags(uri string, tags []string) (*Entry, error) {
+	uri = strings.TrimRight(uri, "/")
+	c.mu.Lock()
+	e, ok := c.entries[uri]
+	if !ok {
+		c.mu.Unlock()
+		return nil, core.ErrNotFound("service", uri)
+	}
+	e.Tags = normalizeTags(append(append([]string{}, e.Tags...), tags...))
+	snapshot := cloneEntry(e)
+	c.mu.Unlock()
+	c.reindex(e)
+	return snapshot, nil
+}
+
+// List returns all entries, sorted by URI.
+func (c *Catalogue) List() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, cloneEntry(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Size returns the number of published services.
+func (c *Catalogue) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// SearchOptions filter search results.
+type SearchOptions struct {
+	// Tag, when non-empty, restricts results to entries carrying it.
+	Tag string
+	// OnlyAvailable drops services that failed their last ping.
+	OnlyAvailable bool
+	// Limit bounds the number of results (0 = 20).
+	Limit int
+}
+
+// Search runs a full-text query over service descriptions and tags and
+// returns ranked results with highlighted snippets.
+func (c *Catalogue) Search(query string, opts SearchOptions) []Result {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = 20
+	}
+	hits := c.ix.Search(query)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var results []Result
+	for _, h := range hits {
+		e, ok := c.entries[h.DocID]
+		if !ok {
+			continue
+		}
+		if opts.Tag != "" && !containsTag(e, opts.Tag) {
+			continue
+		}
+		if opts.OnlyAvailable && !e.Available {
+			continue
+		}
+		text := e.Description.Description
+		if text == "" {
+			text = e.Description.Title
+		}
+		results = append(results, Result{
+			URI:       e.URI,
+			Name:      e.Description.Name,
+			Title:     e.Description.Title,
+			Snippet:   Snippet(text, query, 160),
+			Tags:      e.Tags,
+			Available: e.Available,
+			Score:     h.Score,
+		})
+		if len(results) >= limit {
+			break
+		}
+	}
+	return results
+}
+
+func containsTag(e *Entry, tag string) bool {
+	tag = strings.ToLower(tag)
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	for _, t := range e.Description.Tags {
+		if strings.ToLower(t) == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Ping probes every published service once by retrieving its description
+// and updates availability marks.  It returns the number of available
+// services.
+func (c *Catalogue) Ping(ctx context.Context) int {
+	c.mu.RLock()
+	uris := make([]string, 0, len(c.entries))
+	for uri := range c.entries {
+		uris = append(uris, uri)
+	}
+	c.mu.RUnlock()
+	available := 0
+	for _, uri := range uris {
+		desc, err := c.describer.Describe(ctx, uri)
+		c.mu.Lock()
+		e, ok := c.entries[uri]
+		if ok {
+			e.Available = err == nil
+			e.LastChecked = time.Now()
+			if err == nil {
+				e.Description = desc
+				available++
+			}
+		}
+		c.mu.Unlock()
+		if ok && err == nil {
+			c.reindex(e)
+		}
+	}
+	return available
+}
+
+// StartPinger launches the periodic availability monitor.  Call Close to
+// stop it.
+func (c *Catalogue) StartPinger(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	c.pingStop = make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				c.Ping(ctx)
+				cancel()
+			case <-c.pingStop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the pinger if it was started.
+func (c *Catalogue) Close() {
+	c.pingOnce.Do(func() {
+		if c.pingStop != nil {
+			close(c.pingStop)
+		}
+	})
+}
+
+func cloneEntry(e *Entry) *Entry {
+	out := *e
+	out.Tags = append([]string(nil), e.Tags...)
+	return &out
+}

@@ -1,0 +1,453 @@
+package catalogue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mathcloud/internal/core"
+)
+
+// fakeDescriber serves canned descriptions and can simulate outages.
+type fakeDescriber struct {
+	mu    sync.Mutex
+	descs map[string]core.ServiceDescription
+	down  map[string]bool
+}
+
+func newFakeDescriber() *fakeDescriber {
+	return &fakeDescriber{
+		descs: map[string]core.ServiceDescription{},
+		down:  map[string]bool{},
+	}
+}
+
+func (f *fakeDescriber) add(uri string, d core.ServiceDescription) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.descs[uri] = d
+}
+
+func (f *fakeDescriber) setDown(uri string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[uri] = down
+}
+
+func (f *fakeDescriber) Describe(_ context.Context, uri string) (core.ServiceDescription, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[uri] {
+		return core.ServiceDescription{}, fmt.Errorf("connection refused")
+	}
+	d, ok := f.descs[uri]
+	if !ok {
+		return d, fmt.Errorf("no such service")
+	}
+	return d, nil
+}
+
+func seeded(t *testing.T) (*Catalogue, *fakeDescriber) {
+	t.Helper()
+	f := newFakeDescriber()
+	f.add("http://a/services/invert", core.ServiceDescription{
+		Name:        "invert",
+		Title:       "Matrix inversion",
+		Description: "Error-free inversion of ill-conditioned Hilbert matrices using exact arithmetic.",
+	})
+	f.add("http://a/services/solver", core.ServiceDescription{
+		Name:        "solver",
+		Title:       "LP solver",
+		Description: "Solves linear programs with the simplex method.",
+	})
+	f.add("http://b/services/xray", core.ServiceDescription{
+		Name:        "xray",
+		Title:       "Scattering curves",
+		Description: "Computes X-ray scattering curves for carbon nanostructures.",
+	})
+	c := New(f)
+	ctx := context.Background()
+	for uri, tags := range map[string][]string{
+		"http://a/services/invert": {"matrix", "cas"},
+		"http://a/services/solver": {"optimization"},
+		"http://b/services/xray":   {"physics"},
+	} {
+		if _, err := c.Register(ctx, uri, tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, f
+}
+
+func TestRegisterRetrievesDescription(t *testing.T) {
+	c, _ := seeded(t)
+	e, err := c.Get("http://a/services/invert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Description.Title != "Matrix inversion" {
+		t.Errorf("title = %q", e.Description.Title)
+	}
+	if !e.Available {
+		t.Error("fresh registration not marked available")
+	}
+	if !reflect.DeepEqual(e.Tags, []string{"cas", "matrix"}) {
+		t.Errorf("tags = %v", e.Tags)
+	}
+}
+
+func TestRegisterUnreachableServiceFails(t *testing.T) {
+	c := New(newFakeDescriber())
+	if _, err := c.Register(context.Background(), "http://nowhere/svc", nil); err == nil {
+		t.Error("unreachable service registered")
+	}
+	if _, err := c.Register(context.Background(), "", nil); err == nil {
+		t.Error("empty URI registered")
+	}
+}
+
+func TestSearchRanksAndSnippets(t *testing.T) {
+	c, _ := seeded(t)
+	results := c.Search("matrix inversion", SearchOptions{})
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	if results[0].Name != "invert" {
+		t.Errorf("top result = %s, want invert", results[0].Name)
+	}
+	if !strings.Contains(results[0].Snippet, "<b>inversion</b>") {
+		t.Errorf("snippet %q lacks highlighted term", results[0].Snippet)
+	}
+}
+
+func TestSearchByTag(t *testing.T) {
+	c, _ := seeded(t)
+	results := c.Search("optimization", SearchOptions{})
+	if len(results) == 0 || results[0].Name != "solver" {
+		t.Errorf("results = %+v", results)
+	}
+	// Tag filter keeps only matching entries.
+	filtered := c.Search("curves solver matrix", SearchOptions{Tag: "physics"})
+	for _, r := range filtered {
+		if r.Name != "xray" {
+			t.Errorf("tag filter leaked %s", r.Name)
+		}
+	}
+}
+
+func TestSearchNoQueryTermsGivesNothing(t *testing.T) {
+	c, _ := seeded(t)
+	if res := c.Search("", SearchOptions{}); len(res) != 0 {
+		t.Errorf("empty query returned %d results", len(res))
+	}
+	if res := c.Search("zzzunknownterm", SearchOptions{}); len(res) != 0 {
+		t.Errorf("unknown term returned %d results", len(res))
+	}
+}
+
+func TestPingMarksUnavailable(t *testing.T) {
+	c, f := seeded(t)
+	f.setDown("http://b/services/xray", true)
+	available := c.Ping(context.Background())
+	if available != 2 {
+		t.Errorf("available = %d, want 2", available)
+	}
+	e, _ := c.Get("http://b/services/xray")
+	if e.Available {
+		t.Error("down service still marked available")
+	}
+	// Search shows it but marks it; the available filter drops it.
+	res := c.Search("scattering", SearchOptions{})
+	if len(res) != 1 || res[0].Available {
+		t.Errorf("res = %+v", res)
+	}
+	res = c.Search("scattering", SearchOptions{OnlyAvailable: true})
+	if len(res) != 0 {
+		t.Errorf("available filter kept %d results", len(res))
+	}
+	// Recovery.
+	f.setDown("http://b/services/xray", false)
+	c.Ping(context.Background())
+	e, _ = c.Get("http://b/services/xray")
+	if !e.Available {
+		t.Error("recovered service still marked unavailable")
+	}
+}
+
+func TestUserTagging(t *testing.T) {
+	c, _ := seeded(t)
+	if _, err := c.AddTags("http://a/services/solver", []string{"LP", "Simplex "}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := c.Get("http://a/services/solver")
+	if !reflect.DeepEqual(e.Tags, []string{"lp", "optimization", "simplex"}) {
+		t.Errorf("tags = %v", e.Tags)
+	}
+	// The new tags are searchable.
+	res := c.Search("simplex", SearchOptions{})
+	found := false
+	for _, r := range res {
+		if r.Name == "solver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("user tag not indexed")
+	}
+	if _, err := c.AddTags("http://missing", []string{"x"}); err == nil {
+		t.Error("tagging unknown service succeeded")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	c, _ := seeded(t)
+	if err := c.Unregister("http://a/services/invert"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("http://a/services/invert"); !core.IsNotFound(err) {
+		t.Errorf("err = %v", err)
+	}
+	if res := c.Search("inversion", SearchOptions{}); len(res) != 0 {
+		t.Error("unregistered service still searchable")
+	}
+	if err := c.Unregister("http://a/services/invert"); err == nil {
+		t.Error("double unregister succeeded")
+	}
+}
+
+func TestReregisterRefreshes(t *testing.T) {
+	c, f := seeded(t)
+	f.add("http://a/services/invert", core.ServiceDescription{
+		Name:        "invert",
+		Description: "Now with block decomposition support.",
+	})
+	if _, err := c.Register(context.Background(), "http://a/services/invert", []string{"v2"}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Search("decomposition", SearchOptions{})
+	if len(res) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if c.Size() != 3 {
+		t.Errorf("size = %d, want 3 (re-register must not duplicate)", c.Size())
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	got := Tokenize("Hilbert-matrix inversion (N×N), v2.0!")
+	want := []string{"hilbert", "matrix", "inversion", "n", "n", "v2", "0"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", toks)
+	}
+}
+
+func TestSnippetWindowAndHighlight(t *testing.T) {
+	text := strings.Repeat("padding words here ", 20) +
+		"the quick brown fox jumps over the lazy dog" +
+		strings.Repeat(" trailing content", 20)
+	s := Snippet(text, "fox dog", 80)
+	if !strings.Contains(s, "<b>fox</b>") {
+		t.Errorf("snippet %q lacks fox highlight", s)
+	}
+	if !strings.HasPrefix(s, "...") || !strings.HasSuffix(s, "...") {
+		t.Errorf("snippet %q not elided on both sides", s)
+	}
+	// Whole-token matching: "fo" must not highlight inside "fox".
+	if s2 := Snippet("the fox", "fo", 50); strings.Contains(s2, "<b>") {
+		t.Errorf("partial token highlighted: %q", s2)
+	}
+}
+
+// Property: index Search never returns more hits than documents, scores
+// are positive and sorted descending, and adding then removing a document
+// restores the previous result set.
+func TestPropertyIndexConsistency(t *testing.T) {
+	words := []string{"matrix", "solver", "xray", "grid", "exact", "service", "hilbert"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := newIndex()
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			var doc []string
+			for w := 0; w < 1+rng.Intn(10); w++ {
+				doc = append(doc, words[rng.Intn(len(words))])
+			}
+			ix.Add(fmt.Sprintf("doc%d", i), strings.Join(doc, " "))
+		}
+		query := words[rng.Intn(len(words))]
+		before := ix.Search(query)
+		if len(before) > ix.Size() {
+			return false
+		}
+		for i := 1; i < len(before); i++ {
+			if before[i-1].Score < before[i].Score {
+				return false
+			}
+		}
+		ix.Add("extra", query+" "+query)
+		ix.Remove("extra")
+		after := ix.Search(query)
+		if len(after) != len(before) {
+			return false
+		}
+		for i := range after {
+			if after[i].DocID != before[i].DocID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPInterface(t *testing.T) {
+	c, _ := seeded(t)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Search endpoint.
+	resp, err := http.Get(srv.URL + "/search?q=matrix+inversion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Results []Result `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) == 0 || out.Results[0].Name != "invert" {
+		t.Errorf("results = %+v", out.Results)
+	}
+
+	// List endpoint.
+	resp, err = http.Get(srv.URL + "/services")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Services []Entry `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Services) != 3 {
+		t.Errorf("services = %d", len(list.Services))
+	}
+
+	// Ping endpoint.
+	resp, err = http.Post(srv.URL+"/ping", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("ping status = %d", resp.StatusCode)
+	}
+
+	// HTML home page.
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("home content type = %q", ct)
+	}
+}
+
+func TestStartPingerRuns(t *testing.T) {
+	c, f := seeded(t)
+	f.setDown("http://a/services/solver", true)
+	c.StartPinger(10 * time.Millisecond)
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e, _ := c.Get("http://a/services/solver")
+		if !e.Available {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pinger never marked the service unavailable")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, _ := seeded(t)
+	if _, err := c.AddTags("http://a/services/solver", []string{"persisted"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "catalogue.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(newFakeDescriber()) // describer not consulted on load
+	if err := restored.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != 3 {
+		t.Fatalf("restored size = %d, want 3", restored.Size())
+	}
+	e, err := restored.Get("http://a/services/solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(e.Tags, "persisted") {
+		t.Errorf("tags = %v, want persisted carried over", e.Tags)
+	}
+	// The index is rebuilt: search works on the restored catalogue.
+	res := restored.Search("matrix inversion", SearchOptions{})
+	if len(res) == 0 || res[0].Name != "invert" {
+		t.Errorf("restored search = %+v", res)
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	c := New(newFakeDescriber())
+	if err := c.Load(path); err == nil {
+		t.Error("garbage snapshot loaded")
+	}
+	if err := c.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing snapshot loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(path); err == nil {
+		t.Error("future snapshot version loaded")
+	}
+}

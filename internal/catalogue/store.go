@@ -1,0 +1,82 @@
+package catalogue
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The paper's catalogue "performs indexing and stores description along
+// with specified tags in a database".  This file provides the database: a
+// JSON snapshot on disk, written atomically, from which a catalogue can be
+// rebuilt (the index is recomputed on load).
+
+// storeFile is the on-disk snapshot format.
+type storeFile struct {
+	Version int      `json:"version"`
+	Entries []*Entry `json:"entries"`
+}
+
+// Save writes the catalogue's entries to path atomically.
+func (c *Catalogue) Save(path string) error {
+	snapshot := storeFile{Version: 1, Entries: c.List()}
+	data, err := json.MarshalIndent(&snapshot, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalogue: save: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".catalogue-*")
+	if err != nil {
+		return fmt.Errorf("catalogue: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, err = tmp.Write(data)
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("catalogue: save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("catalogue: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the catalogue's contents with a snapshot previously
+// written by Save, rebuilding the full-text index.  Availability marks are
+// carried over until the next ping.
+func (c *Catalogue) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("catalogue: load: %w", err)
+	}
+	var snapshot storeFile
+	if err := json.Unmarshal(data, &snapshot); err != nil {
+		return fmt.Errorf("catalogue: load: %w", err)
+	}
+	if snapshot.Version != 1 {
+		return fmt.Errorf("catalogue: load: unsupported snapshot version %d", snapshot.Version)
+	}
+	c.mu.Lock()
+	c.entries = make(map[string]*Entry, len(snapshot.Entries))
+	for _, e := range snapshot.Entries {
+		if e == nil || e.URI == "" {
+			continue
+		}
+		c.entries[e.URI] = e
+	}
+	entries := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+
+	c.ix = newIndex()
+	for _, e := range entries {
+		c.reindex(e)
+	}
+	return nil
+}

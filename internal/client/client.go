@@ -1,0 +1,324 @@
+// Package client implements the programmatic client of MathCloud
+// computational web services.  Because services expose the unified REST
+// API over plain HTTP and JSON, the client is a thin layer: describe a
+// service, submit requests, poll jobs, stage files.  It corresponds to the
+// Java/Python client libraries shipped with the paper's platform.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
+)
+
+// Client holds the transport configuration shared by service handles.
+type Client struct {
+	// HTTP is the underlying transport; nil uses a 30 s-timeout client.
+	HTTP *http.Client
+	// Token, when non-empty, is sent as a bearer token; this is how
+	// OpenID-style identities authenticate against secured containers.
+	Token string
+	// ActFor, when non-empty, asks secured services to treat the request
+	// as made on behalf of that user (the delegation mechanism; the
+	// caller must be on the target service's proxy list).
+	ActFor string
+}
+
+// New returns a client with default transport settings.
+func New() *Client {
+	return &Client{HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if c.ActFor != "" {
+		req.Header.Set(core.ActForHeader, c.ActFor)
+	}
+	req.Header.Set("Accept", "application/json")
+	return c.httpClient().Do(req)
+}
+
+// apiError converts a non-2xx response into an error carrying the server's
+// message.
+func apiError(resp *http.Response) error {
+	defer rest.Drain(resp.Body)
+	var body rest.ErrorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(data, &body); err == nil && body.Error != "" {
+		return &APIError{Status: resp.StatusCode, Message: body.Error}
+	}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}
+
+// APIError is an error response from a MathCloud service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsNotFound reports whether err is a 404 API error.
+func IsNotFound(err error) bool {
+	var api *APIError
+	return asAPI(err, &api) && api.Status == http.StatusNotFound
+}
+
+func asAPI(err error, target **APIError) bool {
+	for err != nil {
+		if e, ok := err.(*APIError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (c *Client) getJSON(ctx context.Context, uri string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, uri, nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", uri, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", uri, err)
+	}
+	return nil
+}
+
+// Service is a handle to one computational web service identified by its
+// URI.
+type Service struct {
+	client *Client
+	uri    string
+}
+
+// Service returns a handle for the service at the given URI.
+func (c *Client) Service(uri string) *Service {
+	return &Service{client: c, uri: strings.TrimRight(uri, "/")}
+}
+
+// URI returns the service resource URI.
+func (s *Service) URI() string { return s.uri }
+
+// Describe performs GET on the service resource and returns its
+// description.
+func (s *Service) Describe(ctx context.Context) (core.ServiceDescription, error) {
+	var desc core.ServiceDescription
+	if err := s.client.getJSON(ctx, s.uri, &desc); err != nil {
+		return desc, err
+	}
+	return desc, nil
+}
+
+// Submit performs POST on the service resource, creating a job.  If wait is
+// positive the server holds the request until the job completes or the
+// window elapses, enabling the synchronous mode of the unified API.
+func (s *Service) Submit(ctx context.Context, inputs core.Values, wait time.Duration) (*core.Job, error) {
+	body, err := json.Marshal(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode inputs: %w", err)
+	}
+	uri := s.uri
+	if wait > 0 {
+		uri += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: POST %s: %w", s.uri, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, apiError(resp)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("client: decode job: %w", err)
+	}
+	return &job, nil
+}
+
+// Job fetches the current representation of a job by URI.
+func (s *Service) Job(ctx context.Context, jobURI string) (*core.Job, error) {
+	var job core.Job
+	if err := s.client.getJSON(ctx, jobURI, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Wait polls the job resource (using server-side long-poll windows) until
+// the job is terminal or ctx is cancelled.
+func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
+	const window = 2 * time.Second
+	for {
+		var job core.Job
+		uri := jobURI + "?wait=" + window.String()
+		if err := s.client.getJSON(ctx, uri, &job); err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return &job, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Cancel performs DELETE on the job resource.
+func (s *Service) Cancel(ctx context.Context, jobURI string) (*core.Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, jobURI, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := s.client.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: DELETE %s: %w", jobURI, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("client: decode job: %w", err)
+	}
+	return &job, nil
+}
+
+// Call is the convenience synchronous invocation: submit, wait for
+// completion and return the outputs, turning job-level failures into
+// errors.
+func (s *Service) Call(ctx context.Context, inputs core.Values) (core.Values, error) {
+	job, err := s.Submit(ctx, inputs, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !job.State.Terminal() {
+		job, err = s.Wait(ctx, job.URI)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch job.State {
+	case core.StateDone:
+		return job.Outputs, nil
+	case core.StateCancelled:
+		return nil, fmt.Errorf("client: job %s was cancelled", job.ID)
+	default:
+		return nil, &JobError{Service: s.uri, JobID: job.ID, Message: job.Error}
+	}
+}
+
+// JobError reports a job that terminated in the ERROR state.
+type JobError struct {
+	Service string
+	JobID   string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("client: job %s on %s failed: %s", e.JobID, e.Service, e.Message)
+}
+
+// UploadFile posts data to the container's file collection and returns the
+// file reference to embed in request parameters.
+func (c *Client) UploadFile(ctx context.Context, containerBase string, data io.Reader) (string, error) {
+	uri := strings.TrimRight(containerBase, "/") + "/files"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, uri, data)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: POST %s: %w", uri, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", apiError(resp)
+	}
+	var out struct {
+		Ref string `json:"ref"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("client: decode upload response: %w", err)
+	}
+	return out.Ref, nil
+}
+
+// FetchFile downloads the content behind a file-reference parameter value.
+func (c *Client) FetchFile(ctx context.Context, value any) ([]byte, error) {
+	ref, ok := core.FileRefID(value)
+	if !ok {
+		return nil, fmt.Errorf("client: value is not a file reference")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ref, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w", ref, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ServiceNames fetches the container index and returns the deployed
+// service names.
+func (c *Client) ServiceNames(ctx context.Context, containerBase string) ([]string, error) {
+	var index struct {
+		Services []core.ServiceDescription `json:"services"`
+	}
+	if err := c.getJSON(ctx, strings.TrimRight(containerBase, "/")+"/", &index); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(index.Services))
+	for i, s := range index.Services {
+		names[i] = s.Name
+	}
+	return names, nil
+}

@@ -1,0 +1,307 @@
+// Package container implements Everest, the MathCloud service container: a
+// high-level framework for development and deployment of computational web
+// services exposing the unified REST API.
+//
+// The container mirrors the architecture of the paper's Fig. 1.  The
+// Service Manager maintains the list of deployed services and their
+// configuration (a public description plus an internal adapter
+// configuration).  The Job Manager converts incoming requests into
+// asynchronous jobs placed in a queue served by a configurable pool of
+// handler goroutines.  Jobs are processed by pluggable adapters.  Each
+// deployed service is published through the REST API of Table 1, and a
+// complementary web interface is generated automatically.
+package container
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
+)
+
+// Guard authenticates requests and authorizes access to services.  It is
+// implemented by internal/security; a nil Guard leaves the container open.
+type Guard interface {
+	// Authenticate extracts the client principal from the request.  An
+	// error means the request carries no acceptable credentials.
+	Authenticate(r *http.Request) (core.Principal, error)
+	// Authorize decides whether the principal may access the service,
+	// including the delegation check for proxied requests.
+	Authorize(p core.Principal, service string) error
+}
+
+// AdapterSpec selects and configures the adapter of one service.
+type AdapterSpec struct {
+	Kind   string          `json:"kind"`
+	Config json.RawMessage `json:"config"`
+}
+
+// ServiceConfig is the full configuration of one deployed service: the
+// public description provided to clients, and the internal adapter
+// configuration used during request processing.
+type ServiceConfig struct {
+	Description core.ServiceDescription `json:"description"`
+	Adapter     AdapterSpec             `json:"adapter"`
+}
+
+// Options configure a container.
+type Options struct {
+	// DataDir is the directory for file resources and job scratch
+	// space.  Empty means a fresh temporary directory.
+	DataDir string
+	// Workers sets the handler pool size (default 4).
+	Workers int
+	// QueueSize bounds the job queue (default 1024).
+	QueueSize int
+	// Guard enables the security mechanism; nil leaves the container
+	// open to all clients.
+	Guard Guard
+	// Logger receives request and lifecycle logs; nil uses log.Default.
+	Logger *log.Logger
+	// Adapters supplies the adapter registry; nil uses a fresh registry
+	// with the built-in command/native/script adapters.
+	Adapters *adapter.Registry
+	// HTTPClient performs remote file staging; nil uses a 30 s-timeout
+	// client.
+	HTTPClient *http.Client
+}
+
+type service struct {
+	desc    core.ServiceDescription
+	adapter adapter.Interface
+}
+
+// Container is a running Everest instance.
+type Container struct {
+	registry   *adapter.Registry
+	files      *FileStore
+	jobs       *JobManager
+	guard      Guard
+	logger     *log.Logger
+	httpClient *http.Client
+	workRoot   string
+	dataDir    string
+	ownsData   bool
+
+	mu       sync.RWMutex
+	services map[string]*service
+	baseURL  string
+}
+
+// New creates a container with the given options.
+func New(opts Options) (*Container, error) {
+	dataDir := opts.DataDir
+	ownsData := false
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "everest-")
+		if err != nil {
+			return nil, fmt.Errorf("container: %w", err)
+		}
+		dataDir = dir
+		ownsData = true
+	}
+	files, err := NewFileStore(filepath.Join(dataDir, "files"))
+	if err != nil {
+		return nil, err
+	}
+	workRoot := filepath.Join(dataDir, "work")
+	if err := os.MkdirAll(workRoot, 0o700); err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	registry := opts.Adapters
+	if registry == nil {
+		registry = adapter.NewRegistry()
+	}
+	httpClient := opts.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Container{
+		registry:   registry,
+		files:      files,
+		guard:      opts.Guard,
+		logger:     logger,
+		httpClient: httpClient,
+		workRoot:   workRoot,
+		dataDir:    dataDir,
+		ownsData:   ownsData,
+		services:   make(map[string]*service),
+	}
+	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize)
+	return c, nil
+}
+
+// Close shuts down the worker pool and removes container-owned data.
+func (c *Container) Close() {
+	c.jobs.Close()
+	if c.ownsData {
+		_ = os.RemoveAll(c.dataDir)
+	}
+}
+
+// Deploy adds a service to the container.  Deployment fails if the
+// description is malformed or the adapter cannot be configured — the
+// paper's experience that services are debugged at deployment time, not at
+// first call.
+func (c *Container) Deploy(cfg ServiceConfig) error {
+	if err := cfg.Description.Validate(); err != nil {
+		return err
+	}
+	a, err := c.registry.New(cfg.Adapter.Kind, cfg.Adapter.Config)
+	if err != nil {
+		return fmt.Errorf("container: deploy %q: %w", cfg.Description.Name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.services[cfg.Description.Name]; exists {
+		return core.ErrConflict("service %q is already deployed", cfg.Description.Name)
+	}
+	c.services[cfg.Description.Name] = &service{desc: cfg.Description, adapter: a}
+	c.logger.Printf("container: deployed service %q (adapter %s)",
+		cfg.Description.Name, cfg.Adapter.Kind)
+	return nil
+}
+
+// Undeploy removes a service.  Jobs already submitted keep running.
+func (c *Container) Undeploy(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.services[name]; !ok {
+		return core.ErrNotFound("service", name)
+	}
+	delete(c.services, name)
+	return nil
+}
+
+// DeployAll deploys every service in the list, stopping at the first error.
+func (c *Container) DeployAll(cfgs []ServiceConfig) error {
+	for _, cfg := range cfgs {
+		if err := c.Deploy(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Container) service(name string) (*service, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	svc, ok := c.services[name]
+	if !ok {
+		return nil, core.ErrNotFound("service", name)
+	}
+	return svc, nil
+}
+
+// Services returns the deployed service descriptions, sorted by name, with
+// absolute URIs filled in.
+func (c *Container) Services() []core.ServiceDescription {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]core.ServiceDescription, 0, len(c.services))
+	for _, svc := range c.services {
+		d := svc.desc
+		d.URI = c.serviceURILocked(d.Name)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Describe returns the description of one deployed service.
+func (c *Container) Describe(name string) (core.ServiceDescription, error) {
+	svc, err := c.service(name)
+	if err != nil {
+		return core.ServiceDescription{}, err
+	}
+	d := svc.desc
+	d.URI = c.ServiceURI(name)
+	return d, nil
+}
+
+// Jobs exposes the job manager.
+func (c *Container) Jobs() *JobManager { return c.jobs }
+
+// Files exposes the file store.
+func (c *Container) Files() *FileStore { return c.files }
+
+// SetBaseURL records the externally visible base URL of the container,
+// used to mint absolute resource URIs.  Call it once the listener address
+// is known.
+func (c *Container) SetBaseURL(u string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.baseURL = strings.TrimRight(u, "/")
+}
+
+// BaseURL returns the configured base URL ("" before SetBaseURL).
+func (c *Container) BaseURL() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.baseURL
+}
+
+// ServiceURI returns the absolute URI of a service resource.
+func (c *Container) ServiceURI(name string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.serviceURILocked(name)
+}
+
+func (c *Container) serviceURILocked(name string) string {
+	if c.baseURL == "" {
+		return "/services/" + name
+	}
+	return c.baseURL + "/services/" + name
+}
+
+// JobURI returns the absolute URI of a job resource.
+func (c *Container) JobURI(serviceName, jobID string) string {
+	return c.ServiceURI(serviceName) + "/jobs/" + jobID
+}
+
+// fileURI returns the absolute URI of a file resource, or the bare ID when
+// no base URL is known yet (local-only use).
+func (c *Container) fileURI(id string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.baseURL == "" {
+		return id
+	}
+	return c.baseURL + "/files/" + id
+}
+
+// localFileID reports whether ref (the payload of a file reference)
+// identifies a file in this container's store, returning its local ID.
+func (c *Container) localFileID(ref string) (string, bool) {
+	if fileIDPattern.MatchString(ref) {
+		return ref, true
+	}
+	base := c.BaseURL()
+	if base != "" && strings.HasPrefix(ref, base+"/files/") {
+		id := strings.TrimPrefix(ref, base+"/files/")
+		if fileIDPattern.MatchString(id) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// decorate fills the URI fields of a job snapshot.
+func (c *Container) decorate(j *core.Job) *core.Job {
+	j.URI = c.JobURI(j.Service, j.ID)
+	return j
+}

@@ -1,0 +1,135 @@
+package container_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/workflow"
+)
+
+func newTestServer(t *testing.T, c *container.Container) string {
+	t.Helper()
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+	return srv.URL
+}
+
+// startTwoContainers brings up two independent containers: one with a
+// service producing a file-resource output, one consuming file inputs.
+func startTwoContainers(t *testing.T) (producerURL, consumerURL string) {
+	t.Helper()
+	mk := func() (*container.Container, string) {
+		c, err := container.New(container.Options{Workers: 4, Logger: quietLogger()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		srv := newTestServer(t, c)
+		return c, srv
+	}
+	producer, producerSrv := mk()
+	consumer, consumerSrv := mk()
+
+	if err := producer.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "emit",
+			Inputs:  []core.Param{{Name: "text", Schema: jsonschema.New(jsonschema.TypeString)}},
+			Outputs: []core.Param{{Name: "file"}},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "command",
+			Config: json.RawMessage(`{
+				"command": "/bin/sh",
+				"args": ["-c", "printf '%s' \"{text}\" > payload.txt"],
+				"outputFiles": {"file": "payload.txt"}
+			}`),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "shout",
+			Inputs:  []core.Param{{Name: "data"}},
+			Outputs: []core.Param{{Name: "result"}},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "command",
+			Config: json.RawMessage(`{
+				"command": "/bin/sh",
+				"args": ["-c", "tr a-z A-Z < {data.path}"],
+				"stdoutOutput": "result"
+			}`),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return producerSrv, consumerSrv
+}
+
+// TestCrossContainerFileStaging passes a file resource minted by one
+// container as an input to a service in another container; the consumer
+// must fetch the content over HTTP — the paper's distributed data-passing
+// path.
+func TestCrossContainerFileStaging(t *testing.T) {
+	producerURL, consumerURL := startTwoContainers(t)
+	cl := client.New()
+	ctx := context.Background()
+
+	out, err := cl.Service(producerURL+"/services/emit").Call(ctx,
+		core.Values{"text": "across containers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := out["file"].(string)
+	if !strings.HasPrefix(ref, core.FileRefPrefix+"http") {
+		t.Fatalf("file ref %q is not an absolute URI", ref)
+	}
+
+	out, err = cl.Service(consumerURL+"/services/shout").Call(ctx,
+		core.Values{"data": ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["result"] != "ACROSS CONTAINERS" {
+		t.Errorf("result = %q", out["result"])
+	}
+}
+
+// TestWorkflowAcrossContainers composes services living in different
+// containers into one workflow; the file reference flows along an edge.
+func TestWorkflowAcrossContainers(t *testing.T) {
+	producerURL, consumerURL := startTwoContainers(t)
+	wf := &workflow.Workflow{
+		Name: "pipeline",
+		Blocks: []workflow.Block{
+			{ID: "in", Type: workflow.BlockInput, Name: "text",
+				Schema: jsonschema.New(jsonschema.TypeString)},
+			{ID: "emit", Type: workflow.BlockService, Service: producerURL + "/services/emit"},
+			{ID: "shout", Type: workflow.BlockService, Service: consumerURL + "/services/shout"},
+			{ID: "out", Type: workflow.BlockOutput, Name: "result"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "emit", Port: "text"}},
+			{From: workflow.PortRef{Block: "emit", Port: "file"}, To: workflow.PortRef{Block: "shout", Port: "data"}},
+			{From: workflow.PortRef{Block: "shout", Port: "result"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	inv := &workflow.HTTPInvoker{}
+	engine := &workflow.Engine{Invoker: inv, Describer: inv}
+	out, err := engine.Run(context.Background(), wf, core.Values{"text": "two hosts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["result"] != "TWO HOSTS" {
+		t.Errorf("result = %q", out["result"])
+	}
+}

@@ -1,0 +1,165 @@
+package container
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"mathcloud/internal/core"
+)
+
+// FileStore manages the file resources of a container: the parts of client
+// requests and job results that are passed as remote files rather than
+// inline JSON values.  Content lives in a directory on disk; identifiers
+// are opaque hex strings.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	sizes map[string]int64
+	// owners maps a file ID to the job that produced it, so that
+	// deleting a job destroys its subordinate file resources, as the
+	// unified API requires.
+	owners map[string]string
+}
+
+var fileIDPattern = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// NewFileStore creates a file store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("container: file store: %w", err)
+	}
+	return &FileStore{
+		dir:    dir,
+		sizes:  make(map[string]int64),
+		owners: make(map[string]string),
+	}, nil
+}
+
+// Put stores the content of r as a new file resource owned by the given
+// job ("" for client uploads) and returns its identifier.
+func (fs *FileStore) Put(r io.Reader, jobID string) (string, error) {
+	id := core.NewID()
+	path := fs.path(id)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return "", fmt.Errorf("container: file store: create: %w", err)
+	}
+	n, err := io.Copy(f, r)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(path)
+		return "", fmt.Errorf("container: file store: write: %w", err)
+	}
+	fs.mu.Lock()
+	fs.sizes[id] = n
+	if jobID != "" {
+		fs.owners[id] = jobID
+	}
+	fs.mu.Unlock()
+	return id, nil
+}
+
+// PutBytes stores a byte slice as a new file resource.
+func (fs *FileStore) PutBytes(data []byte, jobID string) (string, error) {
+	id := core.NewID()
+	if err := os.WriteFile(fs.path(id), data, 0o600); err != nil {
+		return "", fmt.Errorf("container: file store: write: %w", err)
+	}
+	fs.mu.Lock()
+	fs.sizes[id] = int64(len(data))
+	if jobID != "" {
+		fs.owners[id] = jobID
+	}
+	fs.mu.Unlock()
+	return id, nil
+}
+
+// Open returns a reader over the file content.  The caller must close it.
+func (fs *FileStore) Open(id string) (io.ReadSeekCloser, int64, error) {
+	if !fileIDPattern.MatchString(id) {
+		return nil, 0, core.ErrNotFound("file", id)
+	}
+	fs.mu.Lock()
+	size, ok := fs.sizes[id]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, 0, core.ErrNotFound("file", id)
+	}
+	f, err := os.Open(fs.path(id))
+	if err != nil {
+		return nil, 0, core.ErrNotFound("file", id)
+	}
+	return f, size, nil
+}
+
+// ReadAll returns the whole file content.
+func (fs *FileStore) ReadAll(id string) ([]byte, error) {
+	f, _, err := fs.Open(id)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Size returns the stored size of the file.
+func (fs *FileStore) Size(id string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	size, ok := fs.sizes[id]
+	if !ok {
+		return 0, core.ErrNotFound("file", id)
+	}
+	return size, nil
+}
+
+// Delete removes a file resource.
+func (fs *FileStore) Delete(id string) error {
+	fs.mu.Lock()
+	_, ok := fs.sizes[id]
+	delete(fs.sizes, id)
+	delete(fs.owners, id)
+	fs.mu.Unlock()
+	if !ok {
+		return core.ErrNotFound("file", id)
+	}
+	if err := os.Remove(fs.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("container: file store: delete: %w", err)
+	}
+	return nil
+}
+
+// DeleteOwnedBy removes every file resource owned by the given job and
+// returns how many were deleted.
+func (fs *FileStore) DeleteOwnedBy(jobID string) int {
+	fs.mu.Lock()
+	var ids []string
+	for id, owner := range fs.owners {
+		if owner == jobID {
+			ids = append(ids, id)
+		}
+	}
+	fs.mu.Unlock()
+	for _, id := range ids {
+		_ = fs.Delete(id)
+	}
+	return len(ids)
+}
+
+// Count returns the number of stored files.
+func (fs *FileStore) Count() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.sizes)
+}
+
+func (fs *FileStore) path(id string) string {
+	return filepath.Join(fs.dir, filepath.Base(id))
+}

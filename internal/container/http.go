@@ -1,0 +1,238 @@
+package container
+
+import (
+	"net/http"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
+)
+
+// Handler returns the HTTP handler exposing the unified REST API of
+// Table 1 plus the auto-generated web interface:
+//
+//	GET    /                              container index
+//	GET    /services/{name}               service description (or web UI)
+//	POST   /services/{name}               submit request, create job
+//	GET    /services/{name}/jobs/{id}     job status and results
+//	DELETE /services/{name}/jobs/{id}     cancel job / delete job data
+//	POST   /files                         upload a file resource
+//	GET    /files/{id}                    file data (supports ranges)
+//	DELETE /files/{id}                    delete a file resource
+func (c *Container) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var principal core.Principal
+		if c.guard != nil {
+			p, err := c.guard.Authenticate(r)
+			if err != nil {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="mathcloud"`)
+				rest.WriteJSON(w, http.StatusUnauthorized, rest.ErrorBody{
+					Error:  err.Error(),
+					Status: http.StatusUnauthorized,
+				})
+				return
+			}
+			principal = p
+		}
+		head, tail := rest.ShiftPath(r.URL.Path)
+		switch head {
+		case "":
+			c.handleIndex(w, r)
+		case "services":
+			c.handleServices(w, r, tail, principal)
+		case "files":
+			c.handleFiles(w, r, tail)
+		default:
+			rest.WriteError(w, core.ErrNotFound("resource", head))
+		}
+	})
+}
+
+func (c *Container) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	services := c.Services()
+	if rest.WantsHTML(r) {
+		c.renderIndex(w, services)
+		return
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"container": "everest",
+		"services":  services,
+	})
+}
+
+func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path string, principal core.Principal) {
+	name, tail := rest.ShiftPath(path)
+	if name == "" {
+		rest.WriteError(w, core.ErrBadRequest("missing service name"))
+		return
+	}
+	if c.guard != nil {
+		if err := c.guard.Authorize(principal, name); err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+	}
+	switch {
+	case tail == "/":
+		c.handleService(w, r, name, principal)
+	default:
+		sub, rest2 := rest.ShiftPath(tail)
+		if sub != "jobs" {
+			rest.WriteError(w, core.ErrNotFound("resource", sub))
+			return
+		}
+		jobID, _ := rest.ShiftPath(rest2)
+		if jobID == "" {
+			c.handleJobList(w, r, name)
+			return
+		}
+		c.handleJob(w, r, name, jobID)
+	}
+}
+
+// handleService implements the service resource: GET returns the service
+// description, POST submits a new request and creates a job.
+func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name string, principal core.Principal) {
+	switch r.Method {
+	case http.MethodGet:
+		desc, err := c.Describe(name)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		if rest.WantsHTML(r) {
+			c.renderService(w, desc)
+			return
+		}
+		rest.WriteJSON(w, http.StatusOK, desc)
+	case http.MethodPost:
+		var inputs core.Values
+		if err := rest.ReadJSON(r, &inputs); err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		job, err := c.jobs.Submit(name, inputs, principal.Effective())
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		// Synchronous mode: if the client asked to wait and the job
+		// finishes in time, the completed representation (state DONE)
+		// is returned immediately, as Section 2 of the paper allows.
+		if waitParam := r.URL.Query().Get("wait"); waitParam != "" {
+			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
+				if j, err := c.jobs.Wait(r.Context(), job.ID, d); err == nil {
+					job = j
+				}
+			}
+		}
+		w.Header().Set("Location", c.JobURI(name, job.ID))
+		rest.WriteJSON(w, http.StatusCreated, c.decorate(job))
+	default:
+		rest.MethodNotAllowed(w, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (c *Container) handleJobList(w http.ResponseWriter, r *http.Request, service string) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if _, err := c.Describe(service); err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	jobs := c.jobs.List(service)
+	for _, j := range jobs {
+		c.decorate(j)
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+// handleJob implements the job resource: GET returns status and results,
+// DELETE cancels the job or deletes its data.
+func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, jobID string) {
+	switch r.Method {
+	case http.MethodGet:
+		job, err := c.jobs.Get(jobID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		if job.Service != service {
+			rest.WriteError(w, core.ErrNotFound("job", jobID))
+			return
+		}
+		if waitParam := r.URL.Query().Get("wait"); waitParam != "" && !job.State.Terminal() {
+			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
+				if j, err := c.jobs.Wait(r.Context(), jobID, d); err == nil {
+					job = j
+				}
+			}
+		}
+		rest.WriteJSON(w, http.StatusOK, c.decorate(job))
+	case http.MethodDelete:
+		job, err := c.jobs.Get(jobID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		if job.Service != service {
+			rest.WriteError(w, core.ErrNotFound("job", jobID))
+			return
+		}
+		job, err = c.jobs.Delete(jobID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		rest.WriteJSON(w, http.StatusOK, c.decorate(job))
+	default:
+		rest.MethodNotAllowed(w, http.MethodGet, http.MethodDelete)
+	}
+}
+
+// handleFiles implements the file resource: GET returns the file data,
+// fully or partially (HTTP range requests are honoured, matching the
+// paper's "retrieved fully or partially via the GET method").
+func (c *Container) handleFiles(w http.ResponseWriter, r *http.Request, path string) {
+	id, _ := rest.ShiftPath(path)
+	switch {
+	case id == "" && r.Method == http.MethodPost:
+		fileID, err := c.files.Put(http.MaxBytesReader(w, r.Body, maxFileBytes), "")
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		uri := c.fileURI(fileID)
+		w.Header().Set("Location", uri)
+		rest.WriteJSON(w, http.StatusCreated, map[string]string{
+			"id":  fileID,
+			"uri": uri,
+			"ref": core.FileRef(uri),
+		})
+	case id == "":
+		rest.MethodNotAllowed(w, http.MethodPost)
+	case r.Method == http.MethodGet:
+		f, _, err := c.files.Open(id)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeContent(w, r, id, time.Time{}, f)
+	case r.Method == http.MethodDelete:
+		if err := c.files.Delete(id); err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		rest.MethodNotAllowed(w, http.MethodGet, http.MethodDelete)
+	}
+}

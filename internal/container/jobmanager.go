@@ -1,0 +1,405 @@
+package container
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
+)
+
+// jobRecord is the container's internal state for one job.
+type jobRecord struct {
+	mu     sync.Mutex
+	job    *core.Job
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func (r *jobRecord) snapshot() *core.Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.job.Clone()
+}
+
+// JobManager manages the processing of incoming requests: requests are
+// converted into asynchronous jobs and placed in a queue served by a
+// configurable pool of handler goroutines, exactly as in the paper's
+// container architecture.
+type JobManager struct {
+	c     *Container
+	queue chan *jobRecord
+
+	mu   sync.Mutex
+	jobs map[string]*jobRecord
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	// baseCtx parents every job context, so Close cancels jobs that a
+	// worker dequeues concurrently with shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+func newJobManager(c *Container, workers, queueSize int) *JobManager {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueSize <= 0 {
+		queueSize = 1024
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	jm := &JobManager{
+		c:          c,
+		queue:      make(chan *jobRecord, queueSize),
+		jobs:       make(map[string]*jobRecord),
+		closing:    make(chan struct{}),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+	}
+	jm.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go jm.worker()
+	}
+	return jm
+}
+
+// Submit creates a job for the given service request and enqueues it.
+func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner string) (*core.Job, error) {
+	svc, err := jm.c.service(serviceName)
+	if err != nil {
+		return nil, err
+	}
+	inputs = svc.desc.ApplyDefaults(inputs)
+	if err := svc.desc.ValidateInputs(inputs); err != nil {
+		return nil, core.ErrBadRequest("%v", err)
+	}
+	rec := &jobRecord{
+		job: &core.Job{
+			ID:      core.NewID(),
+			Service: serviceName,
+			State:   core.StateWaiting,
+			Inputs:  inputs,
+			Owner:   owner,
+			Created: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	jm.mu.Lock()
+	jm.jobs[rec.job.ID] = rec
+	jm.mu.Unlock()
+
+	select {
+	case jm.queue <- rec:
+		return rec.snapshot(), nil
+	default:
+		jm.mu.Lock()
+		delete(jm.jobs, rec.job.ID)
+		jm.mu.Unlock()
+		return nil, core.ErrConflict("job queue is full")
+	}
+}
+
+// Get returns a snapshot of the job.
+func (jm *JobManager) Get(id string) (*core.Job, error) {
+	rec, err := jm.record(id)
+	if err != nil {
+		return nil, err
+	}
+	return rec.snapshot(), nil
+}
+
+func (jm *JobManager) record(id string) (*jobRecord, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	rec, ok := jm.jobs[id]
+	if !ok {
+		return nil, core.ErrNotFound("job", id)
+	}
+	return rec, nil
+}
+
+// Wait blocks until the job reaches a terminal state, the timeout elapses
+// or ctx is cancelled, returning the latest snapshot.
+func (jm *JobManager) Wait(ctx context.Context, id string, timeout time.Duration) (*core.Job, error) {
+	rec, err := jm.record(id)
+	if err != nil {
+		return nil, err
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-rec.done:
+	case <-timer:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return rec.snapshot(), nil
+}
+
+// Delete implements the DELETE method of the job resource: it cancels a
+// live job, or destroys the record and its subordinate file resources if
+// the job is already terminal.
+func (jm *JobManager) Delete(id string) (*core.Job, error) {
+	rec, err := jm.record(id)
+	if err != nil {
+		return nil, err
+	}
+	rec.mu.Lock()
+	state := rec.job.State
+	cancel := rec.cancel
+	if state == core.StateWaiting {
+		// Cancel before a worker picks the job up.
+		rec.job.State = core.StateCancelled
+		rec.job.Finished = time.Now()
+		close(rec.done)
+	}
+	rec.mu.Unlock()
+
+	switch state {
+	case core.StateWaiting:
+		return rec.snapshot(), nil
+	case core.StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+		return rec.snapshot(), nil
+	default:
+		// Terminal: destroy the job resource and its files.
+		jm.mu.Lock()
+		delete(jm.jobs, id)
+		jm.mu.Unlock()
+		jm.c.files.DeleteOwnedBy(id)
+		return rec.snapshot(), nil
+	}
+}
+
+// List returns snapshots of jobs for one service (or all, if service is
+// empty), newest first.
+func (jm *JobManager) List(service string) []*core.Job {
+	jm.mu.Lock()
+	recs := make([]*jobRecord, 0, len(jm.jobs))
+	for _, rec := range jm.jobs {
+		recs = append(recs, rec)
+	}
+	jm.mu.Unlock()
+	var out []*core.Job
+	for _, rec := range recs {
+		j := rec.snapshot()
+		if service == "" || j.Service == service {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
+	return out
+}
+
+// Close stops the worker pool after cancelling running jobs.
+func (jm *JobManager) Close() {
+	close(jm.closing)
+	// Cancel the parent of every job context: this reaches running jobs
+	// and any job a worker dequeues concurrently with this shutdown.
+	jm.baseCancel()
+	jm.wg.Wait()
+}
+
+func (jm *JobManager) worker() {
+	defer jm.wg.Done()
+	for {
+		select {
+		case <-jm.closing:
+			return
+		case rec := <-jm.queue:
+			jm.process(rec)
+		}
+	}
+}
+
+// process runs one job through its adapter.
+func (jm *JobManager) process(rec *jobRecord) {
+	ctx, cancel := context.WithCancel(jm.baseCtx)
+	defer cancel()
+
+	rec.mu.Lock()
+	if rec.job.State != core.StateWaiting {
+		// Cancelled while queued.
+		rec.mu.Unlock()
+		return
+	}
+	rec.job.State = core.StateRunning
+	rec.job.Started = time.Now()
+	rec.cancel = cancel
+	jobID := rec.job.ID
+	serviceName := rec.job.Service
+	owner := rec.job.Owner
+	inputs := rec.job.Inputs.Clone()
+	rec.mu.Unlock()
+
+	finish := func(outputs core.Values, err error) {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if rec.job.State.Terminal() {
+			return
+		}
+		rec.job.Finished = time.Now()
+		switch {
+		case err == nil:
+			rec.job.State = core.StateDone
+			rec.job.Outputs = outputs
+		case ctx.Err() != nil:
+			rec.job.State = core.StateCancelled
+		default:
+			rec.job.State = core.StateError
+			rec.job.Error = err.Error()
+		}
+		close(rec.done)
+	}
+
+	svc, err := jm.c.service(serviceName)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+
+	workDir, err := os.MkdirTemp(jm.c.workRoot, "job-"+jobID[:8]+"-")
+	if err != nil {
+		finish(nil, fmt.Errorf("container: create work dir: %w", err))
+		return
+	}
+	defer os.RemoveAll(workDir)
+
+	files, err := jm.stageInputs(ctx, inputs, workDir)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+
+	progress := func(msg string) {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if len(rec.job.Log) < 1000 {
+			rec.job.Log = append(rec.job.Log, msg)
+		}
+	}
+
+	setBlockState := func(block string, state core.JobState) {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if rec.job.Blocks == nil {
+			rec.job.Blocks = make(map[string]core.JobState)
+		}
+		rec.job.Blocks[block] = state
+	}
+
+	req := &adapter.Request{
+		JobID:         jobID,
+		Service:       serviceName,
+		Owner:         owner,
+		Inputs:        inputs,
+		Files:         files,
+		WorkDir:       workDir,
+		Progress:      progress,
+		SetBlockState: setBlockState,
+	}
+	res, err := svc.adapter.Invoke(ctx, req)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+
+	outputs, err := jm.publishOutputs(res, jobID)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	if err := svc.desc.ValidateOutputs(outputs); err != nil {
+		finish(nil, fmt.Errorf("container: adapter produced invalid outputs: %w", err))
+		return
+	}
+	finish(outputs, nil)
+}
+
+// stageInputs resolves file-reference input values into local files inside
+// the job work directory and returns the parameter→path map.  Local file
+// IDs are read from the container's file store; absolute URLs (produced by
+// other containers in a workflow) are fetched over HTTP, except when they
+// point back at this container, in which case the transfer is short-cut to
+// a local read.
+func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workDir string) (map[string]string, error) {
+	files := make(map[string]string)
+	for name, val := range inputs {
+		ref, ok := core.FileRefID(val)
+		if !ok {
+			continue
+		}
+		path := filepath.Join(workDir, "in_"+name)
+		data, err := jm.fetchFile(ctx, ref)
+		if err != nil {
+			return nil, fmt.Errorf("container: stage input %q: %w", name, err)
+		}
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			return nil, fmt.Errorf("container: stage input %q: %w", name, err)
+		}
+		files[name] = path
+	}
+	return files, nil
+}
+
+func (jm *JobManager) fetchFile(ctx context.Context, ref string) ([]byte, error) {
+	if id, ok := jm.c.localFileID(ref); ok {
+		return jm.c.files.ReadAll(id)
+	}
+	if strings.HasPrefix(ref, "http://") || strings.HasPrefix(ref, "https://") {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ref, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := jm.c.httpClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", ref, resp.Status)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, maxFileBytes))
+	}
+	return jm.c.files.ReadAll(ref)
+}
+
+// publishOutputs converts adapter result files into file resources and
+// merges them with inline outputs.
+func (jm *JobManager) publishOutputs(res *adapter.Result, jobID string) (core.Values, error) {
+	outputs := core.Values{}
+	for k, v := range res.Outputs {
+		outputs[k] = v
+	}
+	for name, path := range res.Files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("container: publish output %q: %w", name, err)
+		}
+		id, err := jm.c.files.Put(f, jobID)
+		_ = f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("container: publish output %q: %w", name, err)
+		}
+		outputs[name] = core.FileRef(jm.c.fileURI(id))
+	}
+	return outputs, nil
+}
+
+// maxFileBytes bounds remote file staging.
+const maxFileBytes = 1 << 30

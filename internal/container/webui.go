@@ -1,0 +1,90 @@
+package container
+
+import (
+	"html/template"
+	"log"
+	"net/http"
+
+	"mathcloud/internal/core"
+)
+
+// The container automatically generates a complementary web interface for
+// each deployed service, so users can inspect and invoke services from a
+// browser — one of the paper's arguments for REST+JSON over big Web
+// services.  The interface is intentionally framework-free: a description
+// page per service with a JSON submission form driven by a few lines of
+// inline JavaScript issuing the same POST a programmatic client would.
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>MathCloud Everest</title><style>
+body{font-family:sans-serif;margin:2em;max-width:60em}
+table{border-collapse:collapse}td,th{border:1px solid #999;padding:.3em .6em;text-align:left}
+code{background:#eee;padding:0 .2em}
+</style></head><body>
+<h1>Everest service container</h1>
+<p>{{len .}} deployed computational web service(s).</p>
+<table><tr><th>Service</th><th>Title</th><th>Description</th><th>Tags</th></tr>
+{{range .}}<tr>
+<td><a href="/services/{{.Name}}">{{.Name}}</a></td>
+<td>{{.Title}}</td><td>{{.Description}}</td>
+<td>{{range .Tags}}<code>{{.}}</code> {{end}}</td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+var serviceTemplate = template.Must(template.New("service").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} — MathCloud</title><style>
+body{font-family:sans-serif;margin:2em;max-width:60em}
+table{border-collapse:collapse}td,th{border:1px solid #999;padding:.3em .6em;text-align:left}
+textarea{width:100%;height:10em;font-family:monospace}
+pre{background:#f4f4f4;padding:1em;overflow:auto}
+</style></head><body>
+<h1>{{.Title}}{{if not .Title}}{{.Name}}{{end}}</h1>
+<p>{{.Description}}</p>
+<p>Version: {{.Version}} &middot; URI: <code>{{.URI}}</code></p>
+<h2>Inputs</h2>
+<table><tr><th>Name</th><th>Title</th><th>Type</th><th>Optional</th></tr>
+{{range .Inputs}}<tr><td><code>{{.Name}}</code></td><td>{{.Title}}</td>
+<td>{{if .Schema}}{{.Schema.Describe}}{{else}}any{{end}}</td>
+<td>{{if .Optional}}yes{{end}}</td></tr>{{end}}
+</table>
+<h2>Outputs</h2>
+<table><tr><th>Name</th><th>Title</th><th>Type</th></tr>
+{{range .Outputs}}<tr><td><code>{{.Name}}</code></td><td>{{.Title}}</td>
+<td>{{if .Schema}}{{.Schema.Describe}}{{else}}any{{end}}</td></tr>{{end}}
+</table>
+<h2>Submit a request</h2>
+<p>Input parameters as a JSON object:</p>
+<textarea id="inputs">{}</textarea><br>
+<button onclick="submitJob()">Run</button>
+<pre id="result"></pre>
+<script>
+async function submitJob() {
+  const out = document.getElementById('result');
+  out.textContent = 'submitting...';
+  try {
+    const resp = await fetch('/services/{{.Name}}?wait=2s', {
+      method: 'POST',
+      headers: {'Content-Type': 'application/json'},
+      body: document.getElementById('inputs').value
+    });
+    out.textContent = JSON.stringify(await resp.json(), null, 2);
+  } catch (e) { out.textContent = 'error: ' + e; }
+}
+</script>
+</body></html>
+`))
+
+func (c *Container) renderIndex(w http.ResponseWriter, services []core.ServiceDescription) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, services); err != nil {
+		log.Printf("container: render index: %v", err)
+	}
+}
+
+func (c *Container) renderService(w http.ResponseWriter, desc core.ServiceDescription) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := serviceTemplate.Execute(w, desc); err != nil {
+		log.Printf("container: render service: %v", err)
+	}
+}

@@ -1,0 +1,302 @@
+package dw
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"mathcloud/internal/simplex"
+)
+
+// proposal is one priced flow plan of a single commodity.
+type proposal struct {
+	flow map[string]map[string]*big.Rat
+	cost *big.Rat // true cost c_k · x
+}
+
+// Result is the outcome of the decomposition.
+type Result struct {
+	// Objective is the optimal total cost.
+	Objective *big.Rat
+	// Flow[k][s][t] is the optimal (possibly fractional) flow.
+	Flow []map[string]map[string]*big.Rat
+	// Rounds is the number of column-generation iterations.
+	Rounds int
+	// Columns is the total number of proposals generated.
+	Columns int
+	// SubproblemsSolved counts pricing solves dispatched to the pool.
+	SubproblemsSolved int
+	// PricingWall is the wall time spent in the (parallel) pricing
+	// stages; MasterWall the time in the (sequential) master solves.
+	PricingWall time.Duration
+	MasterWall  time.Duration
+}
+
+// Options tune the decomposition.
+type Options struct {
+	// MaxRounds bounds column-generation iterations (0 = 200).
+	MaxRounds int
+}
+
+// Decompose runs Dantzig–Wolfe column generation on the problem, pricing
+// subproblems through the given solver (typically a Pool of solver
+// services).  All K subproblems of one round are solved concurrently.
+func Decompose(ctx context.Context, p *Problem, solver Solver, opts Options) (*Result, error) {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+	pool, isPool := solver.(*Pool)
+	if !isPool {
+		pool = NewPool(solver)
+	}
+	K := len(p.Commodities)
+	proposals := make([][]proposal, K)
+	res := &Result{Objective: new(big.Rat)}
+
+	// Big-M penalty for capacity overflow, exact: 1 + Σ_k Σ_arcs c·cap.
+	arcs := p.CapacitatedArcs()
+	bigM := big.NewRat(1, 1)
+	for k := 0; k < K; k++ {
+		for _, a := range arcs {
+			bigM.Add(bigM, new(big.Rat).Mul(p.Cost[k][a.Source][a.Sink], p.Capacity[a.Source][a.Sink]))
+		}
+	}
+
+	// Round 0: price with zero duals (pure min-cost proposals).
+	arcDuals := map[string]map[string]*big.Rat{}
+	convexDuals := make([]*big.Rat, K)
+	for k := range convexDuals {
+		convexDuals[k] = new(big.Rat)
+	}
+
+	overflowPositive := false
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("dw: no convergence after %d rounds", maxRounds)
+		}
+		res.Rounds = round
+
+		// Price all commodities in parallel over the pool.
+		models := make([]string, K)
+		for k := 0; k < K; k++ {
+			models[k] = p.SubproblemModel(k, arcDuals)
+		}
+		pricingStart := time.Now()
+		objs, vals, err := pool.SolveAll(ctx, models)
+		res.PricingWall += time.Since(pricingStart)
+		if err != nil {
+			return nil, err
+		}
+		res.SubproblemsSolved += K
+
+		improved := false
+		for k := 0; k < K; k++ {
+			// Reduced cost of the best proposal: subObj − σ_k.
+			reduced := new(big.Rat).Sub(objs[k], convexDuals[k])
+			if len(proposals[k]) > 0 && reduced.Sign() >= 0 {
+				continue
+			}
+			flow, trueCost := p.extractFlow(k, vals[k])
+			proposals[k] = append(proposals[k], proposal{flow: flow, cost: trueCost})
+			res.Columns++
+			improved = true
+		}
+		if !improved {
+			break
+		}
+
+		// Solve the restricted master.
+		master, cols, overCols := p.buildMaster(proposals, bigM)
+		masterStart := time.Now()
+		sol, err := simplex.Solve(master)
+		res.MasterWall += time.Since(masterStart)
+		if err != nil {
+			return nil, fmt.Errorf("dw: master round %d: %w", round, err)
+		}
+		if sol.Status != simplex.Optimal {
+			return nil, fmt.Errorf("dw: master round %d is %s", round, sol.Status)
+		}
+		// Positive overflow in intermediate rounds is normal: the
+		// big-M slacks keep the restricted master feasible until good
+		// columns arrive.  Only at convergence does remaining overflow
+		// prove the instance capacity-infeasible.
+		overflowPositive = false
+		for _, oc := range overCols {
+			if sol.X[oc].Sign() != 0 {
+				overflowPositive = true
+				break
+			}
+		}
+		// Refresh duals.  Capacity rows come first, then convexity rows.
+		arcDuals = map[string]map[string]*big.Rat{}
+		row := 0
+		for _, a := range arcs {
+			if arcDuals[a.Source] == nil {
+				arcDuals[a.Source] = map[string]*big.Rat{}
+			}
+			arcDuals[a.Source][a.Sink] = sol.Duals[row]
+			row++
+		}
+		for k := 0; k < K; k++ {
+			convexDuals[k] = sol.Duals[row]
+			row++
+		}
+
+		// Record the incumbent solution.
+		res.Objective = sol.Objective
+		res.Flow = p.recoverFlow(proposals, sol, cols)
+	}
+	if overflowPositive {
+		return nil, fmt.Errorf("dw: instance is capacity-infeasible")
+	}
+	if res.Flow == nil {
+		return nil, fmt.Errorf("dw: no master solution produced")
+	}
+	return res, nil
+}
+
+// extractFlow reads a subproblem solution ("flow[s,t]" variables) into an
+// arc map and computes its true cost under commodity k's original costs.
+func (p *Problem) extractFlow(k int, vals map[string]*big.Rat) (map[string]map[string]*big.Rat, *big.Rat) {
+	flow := map[string]map[string]*big.Rat{}
+	cost := new(big.Rat)
+	for _, s := range p.Sources {
+		flow[s] = map[string]*big.Rat{}
+		for _, t := range p.Sinks {
+			v, ok := vals[fmt.Sprintf("flow[%s,%s]", s, t)]
+			if !ok {
+				v = new(big.Rat)
+			}
+			flow[s][t] = v
+			cost.Add(cost, new(big.Rat).Mul(p.Cost[k][s][t], v))
+		}
+	}
+	return flow, cost
+}
+
+// buildMaster constructs the restricted master program.  Rows: one ≤ per
+// arc (capacity, with overflow slack penalized by bigM), then one = per
+// commodity (convexity).  Columns: λ per proposal, then overflow per arc.
+func (p *Problem) buildMaster(proposals [][]proposal, bigM *big.Rat) (*simplex.Problem, [][]int, []int) {
+	K := len(p.Commodities)
+	nLambda := 0
+	cols := make([][]int, K)
+	for k := 0; k < K; k++ {
+		cols[k] = make([]int, len(proposals[k]))
+		for pi := range proposals[k] {
+			cols[k][pi] = nLambda
+			nLambda++
+		}
+	}
+	arcs := p.CapacitatedArcs()
+	nArcs := len(arcs)
+	n := nLambda + nArcs
+	lp := simplex.NewProblem(simplex.Minimize, n)
+	overCols := make([]int, 0, nArcs)
+	for a := 0; a < nArcs; a++ {
+		lp.C[nLambda+a] = new(big.Rat).Set(bigM)
+		overCols = append(overCols, nLambda+a)
+	}
+	for k := 0; k < K; k++ {
+		for pi, prop := range proposals[k] {
+			lp.C[cols[k][pi]] = new(big.Rat).Set(prop.cost)
+		}
+	}
+	// Capacity rows, capacitated arcs only.
+	for ai, a := range arcs {
+		row := make([]*big.Rat, n)
+		for k := 0; k < K; k++ {
+			for pi, prop := range proposals[k] {
+				row[cols[k][pi]] = prop.flow[a.Source][a.Sink]
+			}
+		}
+		row[nLambda+ai] = big.NewRat(-1, 1) // overflow relief
+		lp.AddConstraint(row, simplex.LE, p.Capacity[a.Source][a.Sink])
+	}
+	// Convexity rows.
+	one := big.NewRat(1, 1)
+	for k := 0; k < K; k++ {
+		row := make([]*big.Rat, n)
+		for _, c := range cols[k] {
+			row[c] = one
+		}
+		lp.AddConstraint(row, simplex.EQ, one)
+	}
+	return lp, cols, overCols
+}
+
+// recoverFlow combines proposals by their master weights.
+func (p *Problem) recoverFlow(proposals [][]proposal, sol *simplex.Solution, cols [][]int) []map[string]map[string]*big.Rat {
+	K := len(p.Commodities)
+	out := make([]map[string]map[string]*big.Rat, K)
+	for k := 0; k < K; k++ {
+		out[k] = map[string]map[string]*big.Rat{}
+		for _, s := range p.Sources {
+			out[k][s] = map[string]*big.Rat{}
+			for _, t := range p.Sinks {
+				acc := new(big.Rat)
+				for pi, prop := range proposals[k] {
+					w := sol.X[cols[k][pi]]
+					if w.Sign() != 0 {
+						acc.Add(acc, new(big.Rat).Mul(w, prop.flow[s][t]))
+					}
+				}
+				out[k][s][t] = acc
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks a flow against the problem: per-commodity balances and
+// joint capacities, all exact.
+func (p *Problem) Validate(flow []map[string]map[string]*big.Rat) error {
+	for k := range p.Commodities {
+		for _, s := range p.Sources {
+			sum := new(big.Rat)
+			for _, t := range p.Sinks {
+				sum.Add(sum, flow[k][s][t])
+			}
+			if sum.Cmp(p.Supply[k][s]) != 0 {
+				return fmt.Errorf("dw: commodity %d source %s ships %s, want %s",
+					k, s, sum.RatString(), p.Supply[k][s].RatString())
+			}
+		}
+		for _, t := range p.Sinks {
+			sum := new(big.Rat)
+			for _, s := range p.Sources {
+				sum.Add(sum, flow[k][s][t])
+			}
+			if sum.Cmp(p.Demand[k][t]) != 0 {
+				return fmt.Errorf("dw: commodity %d sink %s receives %s, want %s",
+					k, t, sum.RatString(), p.Demand[k][t].RatString())
+			}
+		}
+	}
+	for _, a := range p.CapacitatedArcs() {
+		sum := new(big.Rat)
+		for k := range p.Commodities {
+			sum.Add(sum, flow[k][a.Source][a.Sink])
+		}
+		if sum.Cmp(p.Capacity[a.Source][a.Sink]) > 0 {
+			return fmt.Errorf("dw: arc (%s,%s) carries %s over capacity %s",
+				a.Source, a.Sink, sum.RatString(), p.Capacity[a.Source][a.Sink].RatString())
+		}
+	}
+	return nil
+}
+
+// TotalCost prices a flow under the original costs.
+func (p *Problem) TotalCost(flow []map[string]map[string]*big.Rat) *big.Rat {
+	total := new(big.Rat)
+	for k := range p.Commodities {
+		for _, s := range p.Sources {
+			for _, t := range p.Sinks {
+				total.Add(total, new(big.Rat).Mul(p.Cost[k][s][t], flow[k][s][t]))
+			}
+		}
+	}
+	return total
+}

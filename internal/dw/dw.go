@@ -1,0 +1,259 @@
+// Package dw implements the Dantzig–Wolfe decomposition algorithm for the
+// multi-commodity transportation problem, dispatching the independent
+// pricing subproblems to a pool of optimization solver services — the
+// validation example of the paper's distributed optimization modelling
+// application.
+//
+// The problem: K commodities ship from sources to sinks.  Each commodity
+// has its own supply/demand balance and shipping costs; arcs have a joint
+// capacity shared by all commodities.  Dantzig–Wolfe reformulates this as
+// a restricted master program over convex combinations of per-commodity
+// flow proposals, priced by per-commodity transportation subproblems.
+// The subproblems are independent, so each column-generation round solves
+// all K of them in parallel across the available solver services —
+// "independent problems are solved in parallel thus increasing overall
+// performance in accordance with the number of available services".
+package dw
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"mathcloud/internal/simplex"
+)
+
+// Problem is a multi-commodity transportation instance.
+type Problem struct {
+	Sources     []string
+	Sinks       []string
+	Commodities []string
+	// Supply[k][i] and Demand[k][j] are per-commodity balances
+	// (Σ supply = Σ demand per commodity).
+	Supply []map[string]*big.Rat
+	Demand []map[string]*big.Rat
+	// Cost[k][i][j] is the per-unit shipping cost of commodity k on arc
+	// (i, j).
+	Cost []map[string]map[string]*big.Rat
+	// Capacity[i][j] is the joint arc capacity over all commodities.
+	// Only arcs present in the map are capacitated; the rest are
+	// unconstrained, which models shared bottleneck links.
+	Capacity map[string]map[string]*big.Rat
+}
+
+// Arc identifies one source→sink link.
+type Arc struct {
+	Source, Sink string
+}
+
+// CapacitatedArcs returns the capacitated arcs in deterministic order.
+func (p *Problem) CapacitatedArcs() []Arc {
+	var arcs []Arc
+	for _, s := range p.Sources {
+		row, ok := p.Capacity[s]
+		if !ok {
+			continue
+		}
+		for _, t := range p.Sinks {
+			if _, ok := row[t]; ok {
+				arcs = append(arcs, Arc{Source: s, Sink: t})
+			}
+		}
+	}
+	return arcs
+}
+
+// Generate builds a random feasible instance with the given sizes, using a
+// deterministic seed.  Capacities are sized to make the joint constraints
+// binding but feasible.
+func Generate(numSources, numSinks, numCommodities int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{Capacity: map[string]map[string]*big.Rat{}}
+	for i := 0; i < numSources; i++ {
+		p.Sources = append(p.Sources, fmt.Sprintf("s%d", i+1))
+	}
+	for j := 0; j < numSinks; j++ {
+		p.Sinks = append(p.Sinks, fmt.Sprintf("t%d", j+1))
+	}
+	for k := 0; k < numCommodities; k++ {
+		p.Commodities = append(p.Commodities, fmt.Sprintf("k%d", k+1))
+		supply := map[string]*big.Rat{}
+		demand := map[string]*big.Rat{}
+		cost := map[string]map[string]*big.Rat{}
+		// Random demands, supplies balanced to match.
+		total := 0
+		for _, t := range p.Sinks {
+			d := 1 + rng.Intn(9)
+			demand[t] = big.NewRat(int64(d), 1)
+			total += d
+		}
+		base := total / numSources
+		rem := total - base*numSources
+		for si, s := range p.Sources {
+			v := base
+			if si < rem {
+				v++
+			}
+			supply[s] = big.NewRat(int64(v), 1)
+		}
+		for _, s := range p.Sources {
+			cost[s] = map[string]*big.Rat{}
+			for _, t := range p.Sinks {
+				cost[s][t] = big.NewRat(int64(1+rng.Intn(20)), 1)
+			}
+		}
+		p.Supply = append(p.Supply, supply)
+		p.Demand = append(p.Demand, demand)
+		p.Cost = append(p.Cost, cost)
+	}
+	// Joint capacities: feasible by construction but binding, and only
+	// on the arcs out of the first source — the shared bottleneck link
+	// of the network.  The proportional routing
+	// x_kst = supply_ks·demand_kt / total_k is always feasible, so
+	// cap = 1.2 × its per-arc load admits it while staying far below
+	// what cost-greedy per-commodity routings want — which forces the
+	// commodities to genuinely couple through the capacity constraints
+	// and the decomposition to iterate.
+	bottleneck := p.Sources[0]
+	p.Capacity[bottleneck] = map[string]*big.Rat{}
+	for _, t := range p.Sinks {
+		need := new(big.Rat)
+		for k := range p.Commodities {
+			totalK := new(big.Rat)
+			for _, tt := range p.Sinks {
+				totalK.Add(totalK, p.Demand[k][tt])
+			}
+			load := new(big.Rat).Mul(p.Supply[k][bottleneck], p.Demand[k][t])
+			load.Quo(load, totalK)
+			need.Add(need, load)
+		}
+		need.Mul(need, big.NewRat(6, 5))
+		p.Capacity[bottleneck][t] = need
+	}
+	return p
+}
+
+// DirectLP builds the full multicommodity LP (all commodities and arcs in
+// one problem) — the monolithic baseline the decomposition is checked
+// against.
+func (p *Problem) DirectLP() (*simplex.Problem, map[string]int) {
+	nArcs := len(p.Sources) * len(p.Sinks)
+	n := nArcs * len(p.Commodities)
+	lp := simplex.NewProblem(simplex.Minimize, n)
+	cols := make(map[string]int, n)
+	idx := 0
+	for k := range p.Commodities {
+		for _, s := range p.Sources {
+			for _, t := range p.Sinks {
+				cols[varName(k, s, t)] = idx
+				lp.C[idx] = new(big.Rat).Set(p.Cost[k][s][t])
+				idx++
+			}
+		}
+	}
+	row := func() []*big.Rat { return make([]*big.Rat, n) }
+	// Supply rows: Σ_t x_kst = supply.
+	for k := range p.Commodities {
+		for _, s := range p.Sources {
+			r := row()
+			for _, t := range p.Sinks {
+				r[cols[varName(k, s, t)]] = big.NewRat(1, 1)
+			}
+			lp.AddConstraint(r, simplex.EQ, p.Supply[k][s])
+		}
+		for _, t := range p.Sinks {
+			r := row()
+			for _, s := range p.Sources {
+				r[cols[varName(k, s, t)]] = big.NewRat(1, 1)
+			}
+			lp.AddConstraint(r, simplex.EQ, p.Demand[k][t])
+		}
+	}
+	// Joint capacity rows: Σ_k x_kst ≤ cap, capacitated arcs only.
+	for _, arc := range p.CapacitatedArcs() {
+		r := row()
+		for k := range p.Commodities {
+			r[cols[varName(k, arc.Source, arc.Sink)]] = big.NewRat(1, 1)
+		}
+		lp.AddConstraint(r, simplex.LE, p.Capacity[arc.Source][arc.Sink])
+	}
+	return lp, cols
+}
+
+func varName(k int, s, t string) string {
+	return fmt.Sprintf("x[%d,%s,%s]", k, s, t)
+}
+
+// SubproblemModel renders the pricing subproblem of commodity k with the
+// given arc dual prices as an AMPL model+data text — the form in which it
+// is shipped to a remote solver service, matching the paper's "problems
+// solved by remote optimization services via AMPL translator".
+func (p *Problem) SubproblemModel(k int, arcDuals map[string]map[string]*big.Rat) string {
+	var b strings.Builder
+	b.WriteString(`
+set SRC;
+set SNK;
+param supply {SRC};
+param demand {SNK};
+param rcost {SRC, SNK};
+var flow {SRC, SNK} >= 0;
+minimize ReducedCost: sum {i in SRC, j in SNK} rcost[i,j] * flow[i,j];
+subject to Supply {i in SRC}: sum {j in SNK} flow[i,j] = supply[i];
+subject to Demand {j in SNK}: sum {i in SRC} flow[i,j] = demand[j];
+data;
+`)
+	b.WriteString("set SRC :=")
+	for _, s := range p.Sources {
+		b.WriteString(" " + s)
+	}
+	b.WriteString(";\nset SNK :=")
+	for _, t := range p.Sinks {
+		b.WriteString(" " + t)
+	}
+	b.WriteString(";\nparam supply :=")
+	for _, s := range p.Sources {
+		fmt.Fprintf(&b, " %s %s", s, p.Supply[k][s].RatString())
+	}
+	b.WriteString(";\nparam demand :=")
+	for _, t := range p.Sinks {
+		fmt.Fprintf(&b, " %s %s", t, p.Demand[k][t].RatString())
+	}
+	b.WriteString(";\nparam rcost :=\n")
+	for _, s := range p.Sources {
+		for _, t := range p.Sinks {
+			rc := new(big.Rat).Set(p.Cost[k][s][t])
+			if arcDuals != nil && arcDuals[s] != nil && arcDuals[s][t] != nil {
+				rc.Sub(rc, arcDuals[s][t])
+			}
+			fmt.Fprintf(&b, "  %s %s %s\n", s, t, rc.RatString())
+		}
+	}
+	b.WriteString(";\nend;\n")
+	return b.String()
+}
+
+// SubSolution is a priced flow proposal returned by a pricing subproblem.
+type SubSolution struct {
+	// Flow[s][t] is the proposal's flow on each arc.
+	Flow map[string]map[string]*big.Rat
+	// ReducedObjective is the subproblem objective (Σ (c−y)·x).
+	ReducedObjective *big.Rat
+}
+
+// Solver solves one pricing subproblem, presented as AMPL model text, and
+// returns the variable assignment by instantiated name ("flow[s1,t2]") and
+// the objective.  Implementations dispatch to local code or to remote
+// solver services.
+type Solver interface {
+	SolveModel(ctx context.Context, model string) (objective *big.Rat, solution map[string]*big.Rat, err error)
+}
+
+// LocalSolver solves models in-process (translator + simplex, no HTTP).
+type LocalSolver struct{}
+
+// SolveModel implements Solver.
+func (LocalSolver) SolveModel(_ context.Context, model string) (*big.Rat, map[string]*big.Rat, error) {
+	return localSolve(model)
+}

@@ -1,0 +1,151 @@
+package dw
+
+import (
+	"context"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+
+	"mathcloud/internal/simplex"
+)
+
+// solverFunc adapts a function to the Solver interface.
+type solverFunc func(ctx context.Context, model string) (*big.Rat, map[string]*big.Rat, error)
+
+func (f solverFunc) SolveModel(ctx context.Context, model string) (*big.Rat, map[string]*big.Rat, error) {
+	return f(ctx, model)
+}
+
+func ratSum(m map[string]*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	for _, v := range m {
+		sum.Add(sum, v)
+	}
+	return sum
+}
+
+func TestSubproblemModelIsValidAMPL(t *testing.T) {
+	p := Generate(3, 3, 2, 1)
+	model := p.SubproblemModel(0, nil)
+	obj, vals, err := localSolve(model)
+	if err != nil {
+		t.Fatalf("localSolve: %v", err)
+	}
+	if obj == nil || len(vals) != 9 {
+		t.Fatalf("obj=%v vals=%d, want 9 flow variables", obj, len(vals))
+	}
+}
+
+func TestDecompositionMatchesDirectLP(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7} {
+		p := Generate(3, 3, 3, seed)
+
+		lp, _ := p.DirectLP()
+		direct, err := simplex.Solve(lp)
+		if err != nil {
+			t.Fatalf("seed %d: direct solve: %v", seed, err)
+		}
+		if direct.Status != simplex.Optimal {
+			t.Fatalf("seed %d: direct status %s", seed, direct.Status)
+		}
+
+		res, err := Decompose(context.Background(), p, LocalSolver{}, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: decompose: %v", seed, err)
+		}
+		if res.Objective.Cmp(direct.Objective) != 0 {
+			t.Errorf("seed %d: DW objective %s != direct %s",
+				seed, res.Objective.RatString(), direct.Objective.RatString())
+		}
+		if err := p.Validate(res.Flow); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if got := p.TotalCost(res.Flow); got.Cmp(res.Objective) != 0 {
+			t.Errorf("seed %d: flow cost %s != objective %s",
+				seed, got.RatString(), res.Objective.RatString())
+		}
+		if res.Rounds < 1 || res.Columns < 3 {
+			t.Errorf("seed %d: implausible stats %+v", seed, res)
+		}
+	}
+}
+
+func TestDecompositionLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger DW instance is slow")
+	}
+	p := Generate(4, 5, 6, 42)
+	lp, _ := p.DirectLP()
+	direct, err := simplex.Solve(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompose(context.Background(), p, LocalSolver{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective.Cmp(direct.Objective) != 0 {
+		t.Errorf("DW objective %s != direct %s",
+			res.Objective.RatString(), direct.Objective.RatString())
+	}
+}
+
+func TestPoolRoundRobin(t *testing.T) {
+	p := Generate(2, 2, 2, 5)
+	counts := make([]int, 3)
+	var mu sync.Mutex
+	solvers := make([]Solver, 3)
+	for i := range solvers {
+		i := i
+		solvers[i] = solverFunc(func(ctx context.Context, model string) (*big.Rat, map[string]*big.Rat, error) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+			return localSolve(model)
+		})
+	}
+	pool := NewPool(solvers...)
+	res, err := Decompose(context.Background(), p, pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(res.Flow); err != nil {
+		t.Error(err)
+	}
+	total := counts[0] + counts[1] + counts[2]
+	if total != res.SubproblemsSolved {
+		t.Errorf("dispatched %d, recorded %d", total, res.SubproblemsSolved)
+	}
+	if counts[0] == total {
+		t.Error("pool did not spread work over members")
+	}
+}
+
+func TestGeneratedInstancesAreBalanced(t *testing.T) {
+	p := Generate(3, 4, 2, 9)
+	for k := range p.Commodities {
+		supply := ratSum(p.Supply[k])
+		demand := ratSum(p.Demand[k])
+		if supply.Cmp(demand) != 0 {
+			t.Errorf("commodity %d: supply %s != demand %s",
+				k, supply.RatString(), demand.RatString())
+		}
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	p := Generate(2, 2, 1, 3)
+	res, err := Decompose(context.Background(), p, LocalSolver{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the flow and expect Validate to object.
+	res.Flow[0][p.Sources[0]][p.Sinks[0]].Add(
+		res.Flow[0][p.Sources[0]][p.Sinks[0]], big.NewRat(1, 1))
+	if err := p.Validate(res.Flow); err == nil {
+		t.Error("Validate accepted a corrupted flow")
+	} else if !strings.Contains(err.Error(), "ships") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

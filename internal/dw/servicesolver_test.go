@@ -1,0 +1,88 @@
+package dw
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/core"
+)
+
+// fakeInvoker returns canned service responses for ServiceSolver tests.
+type fakeInvoker struct {
+	out core.Values
+	err error
+}
+
+func (f fakeInvoker) Call(_ context.Context, _ string, _ core.Values) (core.Values, error) {
+	return f.out, f.err
+}
+
+func TestServiceSolverParsesSolution(t *testing.T) {
+	s := &ServiceSolver{
+		Invoker: fakeInvoker{out: core.Values{
+			"status":    "optimal",
+			"objective": "7/2",
+			"solution": map[string]any{
+				"flow[s1,t1]": "3/2",
+				"flow[s1,t2]": "2",
+			},
+		}},
+		URI: "svc://solver",
+	}
+	obj, vals, err := s.SolveModel(context.Background(), "model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Cmp(big.NewRat(7, 2)) != 0 {
+		t.Errorf("objective = %s", obj.RatString())
+	}
+	if vals["flow[s1,t1]"].Cmp(big.NewRat(3, 2)) != 0 {
+		t.Errorf("value = %s", vals["flow[s1,t1]"].RatString())
+	}
+}
+
+func TestServiceSolverErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		inv  fakeInvoker
+		want string
+	}{
+		{"transport error", fakeInvoker{err: fmt.Errorf("connection refused")}, "connection refused"},
+		{"infeasible", fakeInvoker{out: core.Values{"status": "infeasible"}}, "status"},
+		{"bad objective", fakeInvoker{out: core.Values{
+			"status": "optimal", "objective": "huh"}}, "invalid objective"},
+		{"bad value", fakeInvoker{out: core.Values{
+			"status": "optimal", "objective": "1",
+			"solution": map[string]any{"x": "nope"}}}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &ServiceSolver{Invoker: tc.inv, URI: "svc://solver"}
+			_, _, err := s.SolveModel(context.Background(), "m")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEmptyPoolRejected(t *testing.T) {
+	pool := NewPool()
+	if _, _, err := pool.SolveModel(context.Background(), "m"); err == nil {
+		t.Error("empty pool solved a model")
+	}
+}
+
+func TestSolveAllPropagatesFirstError(t *testing.T) {
+	bad := solverFunc(func(context.Context, string) (*big.Rat, map[string]*big.Rat, error) {
+		return nil, nil, fmt.Errorf("solver crashed")
+	})
+	pool := NewPool(bad)
+	_, _, err := pool.SolveAll(context.Background(), []string{"a", "b"})
+	if err == nil || !strings.Contains(err.Error(), "solver crashed") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package dw
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+
+	"mathcloud/internal/ampl"
+	"mathcloud/internal/core"
+	"mathcloud/internal/simplex"
+	"mathcloud/internal/workflow"
+)
+
+// localSolve translates and solves an AMPL model in-process.
+func localSolve(model string) (*big.Rat, map[string]*big.Rat, error) {
+	m, err := ampl.Parse(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := m.Instantiate()
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := simplex.Solve(inst.Problem)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status != simplex.Optimal {
+		return nil, nil, fmt.Errorf("dw: subproblem is %s", sol.Status)
+	}
+	vals := make(map[string]*big.Rat, len(inst.VarNames))
+	for i, name := range inst.VarNames {
+		vals[name] = sol.X[i]
+	}
+	return sol.Objective, vals, nil
+}
+
+// ServiceSolver dispatches models to one optimization solver service via
+// the unified REST API.
+type ServiceSolver struct {
+	// Invoker calls services (workflow.HTTPInvoker in production).
+	Invoker workflow.Invoker
+	// URI is the solver service resource URI.
+	URI string
+}
+
+// SolveModel implements Solver.
+func (s *ServiceSolver) SolveModel(ctx context.Context, model string) (*big.Rat, map[string]*big.Rat, error) {
+	out, err := s.Invoker.Call(ctx, s.URI, core.Values{"model": model})
+	if err != nil {
+		return nil, nil, err
+	}
+	status, _ := out["status"].(string)
+	if status != "optimal" {
+		return nil, nil, fmt.Errorf("dw: solver service returned status %q", status)
+	}
+	objStr, _ := out["objective"].(string)
+	obj, ok := new(big.Rat).SetString(objStr)
+	if !ok {
+		return nil, nil, fmt.Errorf("dw: solver service returned invalid objective %q", objStr)
+	}
+	solMap, _ := out["solution"].(map[string]any)
+	vals := make(map[string]*big.Rat, len(solMap))
+	for name, raw := range solMap {
+		str, _ := raw.(string)
+		v, ok := new(big.Rat).SetString(str)
+		if !ok {
+			return nil, nil, fmt.Errorf("dw: invalid value %q for %s", str, name)
+		}
+		vals[name] = v
+	}
+	return obj, vals, nil
+}
+
+// Pool is the dispatcher of the paper's "special service ... dispatching
+// of optimization tasks to a pool of solver services": subproblems are
+// assigned round-robin over the pool members and solved concurrently.
+type Pool struct {
+	solvers []Solver
+	next    atomic.Uint64
+}
+
+// NewPool builds a dispatcher over the given solvers.
+func NewPool(solvers ...Solver) *Pool {
+	return &Pool{solvers: solvers}
+}
+
+// Size returns the number of pooled solvers.
+func (p *Pool) Size() int { return len(p.solvers) }
+
+// SolveModel implements Solver by delegating to the next pool member.
+func (p *Pool) SolveModel(ctx context.Context, model string) (*big.Rat, map[string]*big.Rat, error) {
+	if len(p.solvers) == 0 {
+		return nil, nil, fmt.Errorf("dw: empty solver pool")
+	}
+	i := int(p.next.Add(1)-1) % len(p.solvers)
+	return p.solvers[i].SolveModel(ctx, model)
+}
+
+// SolveAll solves the given models concurrently over the pool and returns
+// results in input order.
+func (p *Pool) SolveAll(ctx context.Context, models []string) ([]*big.Rat, []map[string]*big.Rat, error) {
+	type result struct {
+		idx int
+		obj *big.Rat
+		val map[string]*big.Rat
+		err error
+	}
+	ch := make(chan result, len(models))
+	for i, model := range models {
+		go func(i int, model string) {
+			obj, val, err := p.SolveModel(ctx, model)
+			ch <- result{i, obj, val, err}
+		}(i, model)
+	}
+	objs := make([]*big.Rat, len(models))
+	vals := make([]map[string]*big.Rat, len(models))
+	var firstErr error
+	for range models {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		objs[r.idx] = r.obj
+		vals[r.idx] = r.val
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return objs, vals, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mathcloud/internal/ampl"
+	"mathcloud/internal/dw"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/simplex"
+	"mathcloud/internal/workflow"
+)
+
+// DWPoolSizes are the solver-pool sizes swept by the experiment.
+var DWPoolSizes = []int{1, 2, 4, 8}
+
+// DWShape is the multicommodity instance shape (sources, sinks,
+// commodities).
+var DWShape = [3]int{8, 8, 8}
+
+// DWSlowdown is the simulated hardware slowdown of the solver services
+// (see adapter.NativeConfig.SimulatedSlowdown): each pool member models a
+// solver machine 4x slower than the local substrate, so that concurrent
+// subproblem solves overlap the way they do on distinct machines.
+const DWSlowdown = 4.0
+
+// RunDW reproduces the Section 4 claim that with the dispatcher service
+// "independent problems are solved in parallel thus increasing overall
+// performance in accordance with the number of available services": the
+// Dantzig–Wolfe decomposition of a multicommodity transportation problem
+// is run against solver-service pools of growing size, each pool member
+// being a separate single-worker container (one sequential solver
+// installation).
+func RunDW(w io.Writer) error {
+	p := dw.Generate(DWShape[0], DWShape[1], DWShape[2], 20130901)
+
+	// Monolithic reference solution for correctness, on a reduced
+	// instance (the full exact LP is too large to solve monolithically
+	// in reasonable time — which is rather the point of decomposing).
+	small := dw.Generate(4, 4, 4, 20130901)
+	lp, _ := small.DirectLP()
+	direct, err := simplex.Solve(lp)
+	if err != nil {
+		return err
+	}
+	smallRes, err := dw.Decompose(context.Background(), small, dw.LocalSolver{}, dw.Options{})
+	if err != nil {
+		return err
+	}
+	if direct.Status != simplex.Optimal || smallRes.Objective.Cmp(direct.Objective) != 0 {
+		return fmt.Errorf("experiments: dw: decomposition disagrees with direct LP on the reference instance")
+	}
+
+	fmt.Fprintln(w, "Dantzig-Wolfe decomposition of multicommodity transportation")
+	fmt.Fprintf(w, "(%d sources x %d sinks x %d commodities; subproblems priced via AMPL\n",
+		DWShape[0], DWShape[1], DWShape[2])
+	fmt.Fprintln(w, " solver services, one single-worker container per pool member)")
+	fmt.Fprintln(w)
+
+	tab := newTable("Solver services", "Wall time", "Speedup", "Pricing time", "Pricing speedup", "Rounds", "Subproblems")
+	var base, basePricing time.Duration
+	var refObjective string
+	for _, poolSize := range DWPoolSizes {
+		// One container per solver service, each with a single worker:
+		// a pool member can run exactly one subproblem at a time.
+		var deployments []*platform.Deployment
+		solvers := make([]dw.Solver, 0, poolSize)
+		ampl.RegisterFuncs()
+		for i := 0; i < poolSize; i++ {
+			d, err := platform.StartLocal(platform.Options{Workers: 1})
+			if err != nil {
+				return err
+			}
+			deployments = append(deployments, d)
+			if err := d.Container.Deploy(ampl.SolverServiceConfigSlow("solver", DWSlowdown)); err != nil {
+				return err
+			}
+			solvers = append(solvers, &dw.ServiceSolver{
+				Invoker: &workflow.HTTPInvoker{},
+				URI:     d.Container.ServiceURI("solver"),
+			})
+		}
+		pool := dw.NewPool(solvers...)
+
+		start := time.Now()
+		res, err := dw.Decompose(context.Background(), p, pool, dw.Options{})
+		elapsed := time.Since(start)
+		for _, d := range deployments {
+			d.Close()
+		}
+		if err != nil {
+			return err
+		}
+		if err := p.Validate(res.Flow); err != nil {
+			return err
+		}
+		if refObjective == "" {
+			refObjective = res.Objective.RatString()
+		} else if res.Objective.RatString() != refObjective {
+			return fmt.Errorf("experiments: dw: pool size %d found objective %s, expected %s",
+				poolSize, res.Objective.RatString(), refObjective)
+		}
+		if base == 0 {
+			base = elapsed
+			basePricing = res.PricingWall
+		}
+		tab.add(fmt.Sprint(poolSize),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", float64(base)/float64(elapsed)),
+			res.PricingWall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", float64(basePricing)/float64(res.PricingWall)),
+			fmt.Sprint(res.Rounds),
+			fmt.Sprint(res.SubproblemsSolved))
+	}
+	tab.write(w)
+	fmt.Fprintf(w, "\nEvery pool size reaches the same exact optimum %s; the decomposition was\n", refObjective)
+	fmt.Fprintln(w, "verified against the monolithic LP on a reference instance.")
+	return nil
+}

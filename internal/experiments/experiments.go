@@ -1,0 +1,107 @@
+// Package experiments regenerates every evaluation artifact of the paper:
+// Table 1 (the unified REST API), Table 2 (Hilbert matrix inversion
+// speedups), Figures 1–3 (container, workflow and security mechanisms
+// exercised end to end) and the quantitative claims of Section 4
+// (platform overhead, Dantzig–Wolfe scaling, the X-ray pipeline verdict).
+//
+// Each experiment is a self-contained function that deploys the platform
+// locally, drives it through real HTTP, and prints a table mirroring the
+// paper's.  The cmd/experiments binary exposes them as sub-commands; the
+// repository benchmarks reuse the same drivers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID is the sub-command name ("table2", "fig1", ...).
+	ID string
+	// Artifact names the paper artifact ("Table 2", "§4 claim", ...).
+	Artifact string
+	// Summary says what is being shown.
+	Summary string
+	// Run executes the experiment, writing its report to w.
+	Run func(w io.Writer) error
+}
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1", "REST API of computational web service (conformance matrix)", RunTable1},
+		{"table2", "Table 2", "Hilbert matrix inversion: serial vs 4-block parallel, speedup", RunTable2},
+		{"fig1", "Fig. 1", "service container architecture: one job through each adapter", RunFig1},
+		{"fig2", "Fig. 2", "workflow system: typed DAG, block states, composite service", RunFig2},
+		{"fig3", "Fig. 3", "security mechanism: authentication, authorization, delegation", RunFig3},
+		{"overhead", "§4 claim", "platform overhead vs pure computation (paper: 2-5%)", RunOverhead},
+		{"dw", "§4 claim", "Dantzig-Wolfe subproblem scaling with solver pool size", RunDW},
+		{"xray", "§4 claim", "X-ray diffractometry pipeline: dominant structure class", RunXRay},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a minimal fixed-width table writer used by all reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// sortedKeys returns map keys in sorted order, for deterministic reports.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The fast experiments run end to end in tests; the slow performance
+// sweeps (table2, overhead, dw) have their drivers covered by their own
+// packages and are only smoke-checked under -short skip rules.
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestAllRegistered(t *testing.T) {
+	ids := []string{"table1", "table2", "fig1", "fig2", "fig3", "overhead", "dw", "xray"}
+	if len(All()) != len(ids) {
+		t.Fatalf("registered %d experiments, want %d", len(All()), len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("bogus experiment found")
+	}
+}
+
+func TestTable1Conformance(t *testing.T) {
+	out := runExperiment(t, "table1")
+	for _, want := range []string{
+		"Service", "POST", "201, job created",
+		"DELETE", "404 on re-GET", "206 partial",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output lacks %q", want)
+		}
+	}
+}
+
+func TestFig1AllAdapters(t *testing.T) {
+	out := runExperiment(t, "fig1")
+	for _, want := range []string{"via-command", "via-native", "via-script",
+		"via-cluster", "via-grid", "49"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output lacks %q", want)
+		}
+	}
+}
+
+func TestFig2WorkflowSystem(t *testing.T) {
+	out := runExperiment(t, "fig2")
+	for _, want := range []string{"composite service", "DONE",
+		"exact Hilbert(12) inverse: true", "RUNNING block states during execution: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output lacks %q", want)
+		}
+	}
+}
+
+func TestFig3Security(t *testing.T) {
+	out := runExperiment(t, "fig3")
+	for _, want := range []string{"alice", "mallory", "401", "403", "proxy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output lacks %q", want)
+		}
+	}
+}
+
+func TestXRayVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("x-ray pipeline is moderately slow")
+	}
+	out := runExperiment(t, "xray")
+	if !strings.Contains(out, "Dominant class: toroid") {
+		t.Errorf("xray output lacks the toroid verdict:\n%s", out)
+	}
+}
+
+func TestTable2SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 sweep is slow")
+	}
+	var buf bytes.Buffer
+	if err := runTable2(&buf, []int{16, 24}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Errorf("table2 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	tab := newTable("A", "Blong")
+	tab.add("x", "y")
+	tab.add("wide-cell", "z")
+	var buf bytes.Buffer
+	tab.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "Blong") {
+		t.Errorf("header = %q", lines[0])
+	}
+	var _ io.Writer = &buf
+}

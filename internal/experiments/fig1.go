@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/grid"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/torque"
+)
+
+// RunFig1 exercises the container architecture of Fig. 1: incoming
+// requests are queued by the Job Manager and processed by every kind of
+// pluggable adapter — Command (separate process), Native (in-process,
+// the paper's Java adapter), Script (custom action), Cluster (TORQUE
+// batch job) and Grid (gLite-style grid job) — with the batch and grid
+// infrastructures provided by their simulators.
+func RunFig1(w io.Writer) error {
+	d, err := platform.StartLocal(platform.Options{Workers: 8})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// Build the computing infrastructure behind the cluster and grid
+	// adapters: one local cluster, plus a small grid of two sites.
+	cluster, err := torque.New("cluster.local", []torque.NodeSpec{
+		{Name: "node1", Slots: 4}, {Name: "node2", Slots: 4},
+	}, []torque.QueueSpec{{Name: "batch"}})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	clusters := torque.NewClusterRegistry()
+	clusters.Add(cluster)
+
+	mkSite := func(name string, reliability float64) (*grid.Site, error) {
+		c, err := torque.New(name, []torque.NodeSpec{{Name: name + "-n1", Slots: 4}}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &grid.Site{Name: name, Cluster: c, VOs: []string{"mathcloud"},
+			Reliability: reliability}, nil
+	}
+	siteA, err := mkSite("RU-Moscow", 0.9)
+	if err != nil {
+		return err
+	}
+	siteB, err := mkSite("RU-Dubna", 0.8)
+	if err != nil {
+		return err
+	}
+	infra, err := grid.New([]*grid.Site{siteA, siteB}, 1)
+	if err != nil {
+		return err
+	}
+	d.Registry.Register("cluster", torque.NewAdapterFactory(clusters, d.Registry))
+	d.Registry.Register("grid", grid.NewAdapterFactory(infra, d.Registry))
+
+	// A shared native function used by the cluster and grid adapters'
+	// inner execution.
+	adapter.RegisterFunc("fig1.square", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": x * x}, nil
+	})
+
+	num := func(name string) core.Param { return core.Param{Name: name} }
+	deploy := func(name, kind string, cfg any) error {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return err
+		}
+		return d.Container.Deploy(container.ServiceConfig{
+			Description: core.ServiceDescription{
+				Name:    name,
+				Inputs:  []core.Param{num("x")},
+				Outputs: []core.Param{num("y")},
+			},
+			Adapter: container.AdapterSpec{Kind: kind, Config: raw},
+		})
+	}
+
+	if err := deploy("via-command", "command", adapter.CommandConfig{
+		Command:    "/bin/sh",
+		Args:       []string{"-c", `echo "{{\"y\": $(({x}*{x}))}}"`},
+		StdoutJSON: true,
+	}); err != nil {
+		return err
+	}
+	if err := deploy("via-native", "native",
+		adapter.NativeConfig{Function: "fig1.square"}); err != nil {
+		return err
+	}
+	if err := deploy("via-script", "script",
+		adapter.ScriptConfig{Script: "out.y = in.x * in.x"}); err != nil {
+		return err
+	}
+	if err := deploy("via-cluster", "cluster", torque.AdapterConfig{
+		Cluster: "cluster.local", Slots: 2, Walltime: "30s",
+		Exec: torque.ExecConfig{Kind: "native",
+			Config: json.RawMessage(`{"function":"fig1.square"}`)},
+	}); err != nil {
+		return err
+	}
+	retries := 5
+	if err := deploy("via-grid", "grid", grid.AdapterConfig{
+		VO: "mathcloud", Slots: 1, Retries: &retries,
+		Exec: torque.ExecConfig{Kind: "native",
+			Config: json.RawMessage(`{"function":"fig1.square"}`)},
+	}); err != nil {
+		return err
+	}
+
+	cl := client.New()
+	tab := newTable("Service", "Adapter", "Result (7² = 49)", "Wall time", "Notes")
+	for _, name := range []string{"via-command", "via-native", "via-script", "via-cluster", "via-grid"} {
+		svc := cl.Service(d.BaseURL + "/services/" + name)
+		start := time.Now()
+		job, err := svc.Submit(context.Background(), core.Values{"x": 7.0}, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("experiments: fig1 %s: %w", name, err)
+		}
+		if !job.State.Terminal() {
+			job, err = svc.Wait(context.Background(), job.URI)
+			if err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		if job.State != core.StateDone {
+			return fmt.Errorf("experiments: fig1 %s: state %s: %s", name, job.State, job.Error)
+		}
+		note := ""
+		if len(job.Log) > 0 {
+			note = job.Log[len(job.Log)-1]
+		}
+		tab.add(name, name[4:], fmt.Sprint(job.Outputs["y"]), elapsed.Round(time.Millisecond).String(), note)
+	}
+	fmt.Fprintln(w, "Fig. 1 — one request through every pluggable adapter of the container")
+	fmt.Fprintln(w)
+	tab.write(w)
+	st := cluster.Stats()
+	fmt.Fprintf(w, "\nTORQUE simulator: %d nodes, %d slots, %d finished job(s); grid sites: %v\n",
+		st.Nodes, st.TotalSlots, st.FinishedJobs, infra.Sites())
+	return nil
+}

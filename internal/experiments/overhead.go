@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+
+	"mathcloud/internal/cas"
+	"mathcloud/internal/matrixinv"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/workflow"
+)
+
+// OverheadOrders are the Hilbert orders for the overhead measurement.
+var OverheadOrders = []int{48, 72, 96, 120}
+
+// RunOverhead reproduces the Section 4 claim that "the overhead introduced
+// by the platform including data transfer is about 2-5% of total computing
+// time": the 4-block inversion is run once through services (HTTP, JSON,
+// queueing) and once in-process with identical parallel structure; the
+// difference is the platform.
+func RunOverhead(w io.Writer) error {
+	d, err := platform.StartLocal(platform.Options{Workers: 16})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	names, err := cas.Deploy(d.Container, "maxima", 4)
+	if err != nil {
+		return err
+	}
+	uris := make([]string, len(names))
+	for i, n := range names {
+		uris[i] = d.Container.ServiceURI(n)
+	}
+	inv := &workflow.HTTPInvoker{}
+
+	fmt.Fprintln(w, "Platform overhead — distributed 4-block inversion vs identical in-process run")
+	fmt.Fprintln(w, "(paper: overhead including data transfer is about 2-5% of total computing time)")
+	fmt.Fprintln(w)
+	tab := newTable("N", "Via services", "In-process", "Overhead", "Data moved")
+	for _, n := range OverheadOrders {
+		o, err := matrixinv.MeasureOverhead(context.Background(), inv, inv, uris, n)
+		if err != nil {
+			return err
+		}
+		tab.add(fmt.Sprint(o.N),
+			o.Platform.Round(1e6).String(),
+			o.Pure.Round(1e6).String(),
+			fmt.Sprintf("%.1f%%", o.Percent),
+			fmt.Sprintf("%.1f MB", float64(o.DataBytes)/1e6))
+	}
+	tab.write(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Overhead shrinks as computation grows (the paper's Maxima jobs ran for")
+	fmt.Fprintln(w, "minutes to hours, where the same absolute overhead amounts to 2-5%).")
+	return nil
+}
+
+func quietLog() *log.Logger {
+	return log.New(io.Discard, "", 0)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"mathcloud/internal/cas"
+	"mathcloud/internal/matrixinv"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/workflow"
+)
+
+// Table2Orders are the Hilbert orders used by the experiment.  The paper
+// runs N = 250..500 on Maxima, where serial inversions take 8–109
+// minutes; exact rational inversion in-process is far faster per entry,
+// so the orders are scaled down to keep the serial column in the
+// 0.1–15 second range while preserving the 2:1 span of the original
+// sweep.  The claim under test is the *shape*: the distributed 4-block
+// workflow loses to one service at small N (platform overhead dominates)
+// and wins increasingly as N grows, exactly as the paper's speedups grow
+// from 1.60 to 2.73 over its sweep.
+var Table2Orders = []int{32, 48, 64, 80, 96}
+
+// Table2Slowdown is the simulated hardware slowdown of the CAS services
+// (adapter.NativeConfig.SimulatedSlowdown).  The paper's measurements come
+// from Maxima instances on separate machines, where the per-service
+// compute genuinely overlaps; on a single test CPU only sleeping overlaps,
+// so each CAS service models a machine 4x slower than the local substrate.
+// Both the serial and the parallel column run against the same slowed
+// services, so the comparison stays fair.
+const Table2Slowdown = 4.0
+
+// RunTable2 reproduces Table 2: serial execution time (one CAS service),
+// parallel execution time (4-block decomposition workflow over a pool of
+// CAS services) and the observed speedup.
+func RunTable2(w io.Writer) error {
+	return runTable2(w, Table2Orders)
+}
+
+func runTable2(w io.Writer, orders []int) error {
+	d, err := platform.StartLocal(platform.Options{Workers: 16})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	names, err := cas.DeploySlow(d.Container, "maxima", 4, Table2Slowdown)
+	if err != nil {
+		return err
+	}
+	uris := make([]string, len(names))
+	for i, n := range names {
+		uris[i] = d.Container.ServiceURI(n)
+	}
+	inv := &workflow.HTTPInvoker{}
+	rows, err := matrixinv.RunTable2(context.Background(), inv, inv, uris, orders)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 2 — Hilbert (NxN) matrix inversion in MathCloud")
+	fmt.Fprintln(w, "(paper: N=250..500 via Maxima, speedups 1.60 -> 2.73; here exact")
+	fmt.Fprintln(w, " rational arithmetic at scaled orders, same 4-block workflow)")
+	fmt.Fprintln(w)
+	tab := newTable("N", "Serial (1 service)", "Parallel (4-block workflow)", "Speedup")
+	for _, r := range rows {
+		tab.add(fmt.Sprint(r.N),
+			r.Serial.Round(1e6).String(),
+			r.Parallel.Round(1e6).String(),
+			fmt.Sprintf("%.2f", r.Speedup))
+	}
+	tab.write(w)
+	fmt.Fprintln(w)
+	if len(rows) >= 2 {
+		first, last := rows[0], rows[len(rows)-1]
+		trend := "rises"
+		if last.Speedup <= first.Speedup {
+			trend = "does NOT rise"
+		}
+		fmt.Fprintf(w, "Speedup %s with N (%.2f at N=%d -> %.2f at N=%d); every inverse verified exactly against the closed-form Hilbert inverse.\n",
+			trend, first.Speedup, first.N, last.Speedup, last.N)
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+// Package grid simulates a gLite-style grid infrastructure — multiple
+// sites, virtual organisations, a resource broker with retries — and
+// provides the Grid adapter that translates service requests into grid
+// jobs, as the paper's platform does for the European Grid Infrastructure.
+//
+// Each site wraps a simulated TORQUE cluster (internal/torque), so a grid
+// job passes through the full chain the real middleware exercises:
+// brokering, site selection by VO and free capacity, submission to the
+// site's batch system, failure and resubmission.  Site unreliability is
+// driven by a seeded deterministic generator, so experiments are
+// reproducible.
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mathcloud/internal/torque"
+)
+
+// State is a gLite-style grid job state.
+type State string
+
+// Grid job states, following the gLite lifecycle.
+const (
+	StateSubmitted State = "SUBMITTED"
+	StateWaiting   State = "WAITING"
+	StateScheduled State = "SCHEDULED"
+	StateRunning   State = "RUNNING"
+	StateDone      State = "DONE"
+	StateAborted   State = "ABORTED"
+	StateCancelled State = "CANCELLED"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateAborted || s == StateCancelled
+}
+
+// Site is one grid site: a batch cluster plus grid-level metadata.
+type Site struct {
+	// Name is the site name, e.g. "RU-Moscow-IITP".
+	Name string
+	// Cluster is the site's batch system.
+	Cluster *torque.Cluster
+	// VOs lists the virtual organisations the site supports.
+	VOs []string
+	// Reliability is the probability in [0,1] that a submission to this
+	// site succeeds; failures model middleware and site errors and cause
+	// the broker to resubmit elsewhere.
+	Reliability float64
+}
+
+func (s *Site) supportsVO(vo string) bool {
+	for _, v := range s.VOs {
+		if v == vo {
+			return true
+		}
+	}
+	return false
+}
+
+// JobSpec describes a grid job submission.
+type JobSpec struct {
+	// Name is a human-readable job name.
+	Name string
+	// VO is the virtual organisation the job runs under; sites not
+	// supporting it are excluded by the broker.
+	VO string
+	// Slots and Walltime are the resource request forwarded to the
+	// site's batch system.
+	Slots    int
+	Walltime time.Duration
+	// MaxRetries bounds broker resubmissions after site failures.
+	MaxRetries int
+	// Run is the payload.
+	Run torque.Payload
+}
+
+// JobInfo is a snapshot of a grid job.
+type JobInfo struct {
+	ID        string
+	Name      string
+	VO        string
+	State     State
+	Site      string
+	Attempts  int
+	Error     string
+	Submitted time.Time
+	Finished  time.Time
+}
+
+type gridJob struct {
+	info   JobInfo
+	spec   JobSpec
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Infrastructure is a simulated grid of sites managed by a broker.
+type Infrastructure struct {
+	mu    sync.Mutex
+	sites []*Site
+	jobs  map[string]*gridJob
+	rng   *rand.Rand
+	seq   int
+}
+
+// New builds a grid from the given sites using a deterministic random seed
+// for failure injection.
+func New(sites []*Site, seed int64) (*Infrastructure, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("grid: no sites")
+	}
+	for _, s := range sites {
+		if s.Cluster == nil {
+			return nil, fmt.Errorf("grid: site %q has no cluster", s.Name)
+		}
+		if s.Reliability < 0 || s.Reliability > 1 {
+			return nil, fmt.Errorf("grid: site %q: reliability %v out of [0,1]",
+				s.Name, s.Reliability)
+		}
+	}
+	return &Infrastructure{
+		sites: sites,
+		jobs:  make(map[string]*gridJob),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Sites returns the site names, sorted.
+func (g *Infrastructure) Sites() []string {
+	names := make([]string, 0, len(g.sites))
+	for _, s := range g.sites {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Submit hands a job to the resource broker and returns its grid job ID.
+func (g *Infrastructure) Submit(spec JobSpec) (string, error) {
+	if spec.Run == nil {
+		return "", fmt.Errorf("grid: submit: nil payload")
+	}
+	if spec.VO == "" {
+		return "", fmt.Errorf("grid: submit: empty VO")
+	}
+	if spec.Slots <= 0 {
+		spec.Slots = 1
+	}
+	if spec.MaxRetries < 0 {
+		spec.MaxRetries = 0
+	}
+	candidates := 0
+	for _, s := range g.sites {
+		if s.supportsVO(spec.VO) {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return "", fmt.Errorf("grid: submit: no site supports VO %q", spec.VO)
+	}
+
+	g.mu.Lock()
+	g.seq++
+	id := fmt.Sprintf("https://wms.mathcloud.example/%09d", g.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &gridJob{
+		spec: spec,
+		info: JobInfo{
+			ID:        id,
+			Name:      spec.Name,
+			VO:        spec.VO,
+			State:     StateSubmitted,
+			Submitted: time.Now(),
+		},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	g.jobs[id] = j
+	g.mu.Unlock()
+
+	go g.broker(ctx, j)
+	return id, nil
+}
+
+// broker drives one job through match-making, submission and retries.
+func (g *Infrastructure) broker(ctx context.Context, j *gridJob) {
+	defer close(j.done)
+	var lastErr error
+	for attempt := 0; attempt <= j.spec.MaxRetries; attempt++ {
+		if ctx.Err() != nil {
+			g.setState(j, StateCancelled, "", "cancelled by user")
+			return
+		}
+		g.setState(j, StateWaiting, "", "")
+		site := g.matchSite(j.spec.VO)
+		if site == nil {
+			lastErr = fmt.Errorf("no matching site for VO %q", j.spec.VO)
+			break
+		}
+		g.mu.Lock()
+		j.info.Attempts = attempt + 1
+		j.info.Site = site.Name
+		g.mu.Unlock()
+		g.setState(j, StateScheduled, site.Name, "")
+
+		// Failure injection: the site may reject or lose the job.
+		g.mu.Lock()
+		failed := g.rng.Float64() > site.Reliability
+		g.mu.Unlock()
+		if failed {
+			lastErr = fmt.Errorf("site %s failed the submission", site.Name)
+			continue
+		}
+
+		batchID, err := site.Cluster.Submit(torque.JobSpec{
+			Name:     j.spec.Name,
+			Slots:    j.spec.Slots,
+			Walltime: j.spec.Walltime,
+			Run: func(runCtx context.Context) error {
+				g.setState(j, StateRunning, site.Name, "")
+				return j.spec.Run(runCtx)
+			},
+		})
+		if err != nil {
+			lastErr = fmt.Errorf("site %s: %w", site.Name, err)
+			continue
+		}
+		info, err := site.Cluster.Wait(ctx, batchID)
+		if err != nil {
+			// The grid job was cancelled while the batch job ran.
+			_ = site.Cluster.Cancel(batchID)
+			g.setState(j, StateCancelled, site.Name, "cancelled by user")
+			return
+		}
+		switch info.State {
+		case torque.StateComplete:
+			g.setState(j, StateDone, site.Name, "")
+			return
+		case torque.StateCancelled:
+			g.setState(j, StateCancelled, site.Name, "cancelled by user")
+			return
+		default:
+			lastErr = fmt.Errorf("site %s: batch job failed: %s", site.Name, info.Error)
+			// Payload errors are not retried: the failure is the
+			// application's, not the infrastructure's.
+			g.setState(j, StateAborted, site.Name, lastErr.Error())
+			return
+		}
+	}
+	msg := "resubmission limit reached"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s: last error: %v", msg, lastErr)
+	}
+	g.setState(j, StateAborted, j.info.Site, msg)
+}
+
+// matchSite picks the VO-compatible site with the most free slots,
+// breaking ties by name for determinism.
+func (g *Infrastructure) matchSite(vo string) *Site {
+	var best *Site
+	bestFree := -1
+	for _, s := range g.sites {
+		if !s.supportsVO(vo) {
+			continue
+		}
+		stats := s.Cluster.Stats()
+		free := stats.TotalSlots - stats.BusySlots
+		if free > bestFree || (free == bestFree && best != nil && s.Name < best.Name) {
+			best, bestFree = s, free
+		}
+	}
+	return best
+}
+
+func (g *Infrastructure) setState(j *gridJob, s State, site, errMsg string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if j.info.State.Terminal() {
+		return
+	}
+	j.info.State = s
+	if site != "" {
+		j.info.Site = site
+	}
+	if errMsg != "" {
+		j.info.Error = errMsg
+	}
+	if s.Terminal() {
+		j.info.Finished = time.Now()
+	}
+}
+
+// Status returns a snapshot of the job.
+func (g *Infrastructure) Status(id string) (JobInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("grid: unknown job %q", id)
+	}
+	return j.info, nil
+}
+
+// Cancel aborts a job.
+func (g *Infrastructure) Cancel(id string) error {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("grid: unknown job %q", id)
+	}
+	j.cancel()
+	return nil
+}
+
+// Wait blocks until the job is terminal or ctx is cancelled.
+func (g *Infrastructure) Wait(ctx context.Context, id string) (JobInfo, error) {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	g.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("grid: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return g.Status(id)
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// ErrAborted is returned by the adapter when a grid job is aborted.
+var ErrAborted = errors.New("grid: job aborted")

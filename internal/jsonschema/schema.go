@@ -1,0 +1,680 @@
+// Package jsonschema implements the subset of JSON Schema that MathCloud
+// uses to describe input and output parameters of computational web
+// services.
+//
+// The paper adopts JSON Schema (then an IETF draft) as the description and
+// validation language for service parameters.  This package provides a
+// self-contained implementation of the keywords the platform needs:
+// type, title, description, default, enum, properties, required, items,
+// numeric bounds, string length bounds, pattern and format.  Schemas are
+// parsed from and serialized to plain JSON and can validate any value
+// produced by encoding/json (map[string]any, []any, string, float64, bool,
+// nil, json.Number).
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Type enumerates the primitive JSON Schema types understood by the
+// platform.  TypeAny accepts every value and is the implicit type of a
+// schema without a "type" keyword.
+type Type string
+
+// Primitive schema types.
+const (
+	TypeAny     Type = "any"
+	TypeString  Type = "string"
+	TypeNumber  Type = "number"
+	TypeInteger Type = "integer"
+	TypeBoolean Type = "boolean"
+	TypeArray   Type = "array"
+	TypeObject  Type = "object"
+	TypeNull    Type = "null"
+)
+
+// KnownType reports whether t is one of the types this package implements.
+func KnownType(t Type) bool {
+	switch t {
+	case TypeAny, TypeString, TypeNumber, TypeInteger, TypeBoolean,
+		TypeArray, TypeObject, TypeNull:
+		return true
+	}
+	return false
+}
+
+// Schema is a parsed JSON Schema document.  The zero value is a schema that
+// accepts any value.
+type Schema struct {
+	// Type restricts the primitive type of instances.  Empty means any.
+	Type Type
+	// Title and Description are human-readable annotations.
+	Title       string
+	Description string
+	// Default is the suggested default value for the parameter, if any.
+	Default any
+	// HasDefault distinguishes an explicit null default from no default.
+	HasDefault bool
+	// Enum, when non-empty, restricts instances to one of the listed
+	// values (compared by deep JSON equality).
+	Enum []any
+	// Format is an open-ended refinement of the type ("uri", "matrix",
+	// "file", ...).  Formats are used by the workflow system for port
+	// compatibility checks and are otherwise advisory.
+	Format string
+
+	// Object keywords.
+	Properties map[string]*Schema
+	Required   []string
+	// AdditionalProperties, when false, rejects object members that are
+	// not declared in Properties.  Default true.
+	AdditionalProperties bool
+
+	// Array keywords.
+	Items    *Schema
+	MinItems *int
+	MaxItems *int
+
+	// String keywords.
+	MinLength *int
+	MaxLength *int
+	Pattern   string
+	pattern   *regexp.Regexp
+
+	// Numeric keywords.
+	Minimum          *float64
+	Maximum          *float64
+	ExclusiveMinimum bool
+	ExclusiveMaximum bool
+}
+
+// New returns a schema of the given type that accepts any instance of that
+// type.
+func New(t Type) *Schema {
+	return &Schema{Type: t, AdditionalProperties: true}
+}
+
+// String returns a compact human-readable rendering of the schema type,
+// e.g. "array<number>" or "object".
+func (s *Schema) String() string {
+	if s == nil || s.Type == "" || s.Type == TypeAny {
+		return string(TypeAny)
+	}
+	switch s.Type {
+	case TypeArray:
+		if s.Items != nil {
+			return fmt.Sprintf("array<%s>", s.Items.String())
+		}
+		return "array"
+	default:
+		if s.Format != "" {
+			return fmt.Sprintf("%s(%s)", s.Type, s.Format)
+		}
+		return string(s.Type)
+	}
+}
+
+// Parse parses a JSON Schema document from its JSON encoding.
+func Parse(data []byte) (*Schema, error) {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("jsonschema: parse: %w", err)
+	}
+	return parseRaw(raw, "#")
+}
+
+// MustParse is like Parse but panics on error.  It is intended for
+// statically known schema literals in service definitions.
+func MustParse(data string) *Schema {
+	s, err := Parse([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseRaw(raw map[string]json.RawMessage, path string) (*Schema, error) {
+	s := &Schema{AdditionalProperties: true}
+	fail := func(key string, err error) error {
+		return fmt.Errorf("jsonschema: %s/%s: %w", path, key, err)
+	}
+	for key, val := range raw {
+		switch key {
+		case "type":
+			var t string
+			if err := json.Unmarshal(val, &t); err != nil {
+				return nil, fail(key, err)
+			}
+			if !KnownType(Type(t)) {
+				return nil, fail(key, fmt.Errorf("unknown type %q", t))
+			}
+			s.Type = Type(t)
+		case "title":
+			if err := json.Unmarshal(val, &s.Title); err != nil {
+				return nil, fail(key, err)
+			}
+		case "description":
+			if err := json.Unmarshal(val, &s.Description); err != nil {
+				return nil, fail(key, err)
+			}
+		case "format":
+			if err := json.Unmarshal(val, &s.Format); err != nil {
+				return nil, fail(key, err)
+			}
+		case "default":
+			var v any
+			if err := json.Unmarshal(val, &v); err != nil {
+				return nil, fail(key, err)
+			}
+			s.Default = v
+			s.HasDefault = true
+		case "enum":
+			if err := json.Unmarshal(val, &s.Enum); err != nil {
+				return nil, fail(key, err)
+			}
+			if len(s.Enum) == 0 {
+				return nil, fail(key, fmt.Errorf("enum must be non-empty"))
+			}
+		case "properties":
+			var props map[string]json.RawMessage
+			if err := json.Unmarshal(val, &props); err != nil {
+				return nil, fail(key, err)
+			}
+			s.Properties = make(map[string]*Schema, len(props))
+			for name, sub := range props {
+				var subRaw map[string]json.RawMessage
+				if err := json.Unmarshal(sub, &subRaw); err != nil {
+					return nil, fail(key+"/"+name, err)
+				}
+				ps, err := parseRaw(subRaw, path+"/properties/"+name)
+				if err != nil {
+					return nil, err
+				}
+				s.Properties[name] = ps
+			}
+		case "required":
+			if err := json.Unmarshal(val, &s.Required); err != nil {
+				return nil, fail(key, err)
+			}
+		case "additionalProperties":
+			if err := json.Unmarshal(val, &s.AdditionalProperties); err != nil {
+				return nil, fail(key, err)
+			}
+		case "items":
+			var subRaw map[string]json.RawMessage
+			if err := json.Unmarshal(val, &subRaw); err != nil {
+				return nil, fail(key, err)
+			}
+			items, err := parseRaw(subRaw, path+"/items")
+			if err != nil {
+				return nil, err
+			}
+			s.Items = items
+		case "minItems":
+			s.MinItems = new(int)
+			if err := json.Unmarshal(val, s.MinItems); err != nil {
+				return nil, fail(key, err)
+			}
+		case "maxItems":
+			s.MaxItems = new(int)
+			if err := json.Unmarshal(val, s.MaxItems); err != nil {
+				return nil, fail(key, err)
+			}
+		case "minLength":
+			s.MinLength = new(int)
+			if err := json.Unmarshal(val, s.MinLength); err != nil {
+				return nil, fail(key, err)
+			}
+		case "maxLength":
+			s.MaxLength = new(int)
+			if err := json.Unmarshal(val, s.MaxLength); err != nil {
+				return nil, fail(key, err)
+			}
+		case "pattern":
+			if err := json.Unmarshal(val, &s.Pattern); err != nil {
+				return nil, fail(key, err)
+			}
+		case "minimum":
+			s.Minimum = new(float64)
+			if err := json.Unmarshal(val, s.Minimum); err != nil {
+				return nil, fail(key, err)
+			}
+		case "maximum":
+			s.Maximum = new(float64)
+			if err := json.Unmarshal(val, s.Maximum); err != nil {
+				return nil, fail(key, err)
+			}
+		case "exclusiveMinimum":
+			if err := json.Unmarshal(val, &s.ExclusiveMinimum); err != nil {
+				return nil, fail(key, err)
+			}
+		case "exclusiveMaximum":
+			if err := json.Unmarshal(val, &s.ExclusiveMaximum); err != nil {
+				return nil, fail(key, err)
+			}
+		default:
+			// Unknown keywords are ignored, as JSON Schema requires.
+		}
+	}
+	if s.Pattern != "" {
+		re, err := regexp.Compile(s.Pattern)
+		if err != nil {
+			return nil, fail("pattern", err)
+		}
+		s.pattern = re
+	}
+	for _, req := range s.Required {
+		if s.Properties == nil || s.Properties[req] == nil {
+			// Required names need not be declared, but if additional
+			// properties are forbidden the schema is unsatisfiable.
+			if !s.AdditionalProperties {
+				return nil, fail("required",
+					fmt.Errorf("property %q required but not declared and additionalProperties is false", req))
+			}
+		}
+	}
+	return s, nil
+}
+
+// MarshalJSON encodes the schema back into standard JSON Schema syntax.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any)
+	if s.Type != "" && s.Type != TypeAny {
+		m["type"] = string(s.Type)
+	}
+	if s.Title != "" {
+		m["title"] = s.Title
+	}
+	if s.Description != "" {
+		m["description"] = s.Description
+	}
+	if s.Format != "" {
+		m["format"] = s.Format
+	}
+	if s.HasDefault {
+		m["default"] = s.Default
+	}
+	if len(s.Enum) > 0 {
+		m["enum"] = s.Enum
+	}
+	if len(s.Properties) > 0 {
+		m["properties"] = s.Properties
+	}
+	if len(s.Required) > 0 {
+		m["required"] = s.Required
+	}
+	if !s.AdditionalProperties {
+		m["additionalProperties"] = false
+	}
+	if s.Items != nil {
+		m["items"] = s.Items
+	}
+	if s.MinItems != nil {
+		m["minItems"] = *s.MinItems
+	}
+	if s.MaxItems != nil {
+		m["maxItems"] = *s.MaxItems
+	}
+	if s.MinLength != nil {
+		m["minLength"] = *s.MinLength
+	}
+	if s.MaxLength != nil {
+		m["maxLength"] = *s.MaxLength
+	}
+	if s.Pattern != "" {
+		m["pattern"] = s.Pattern
+	}
+	if s.Minimum != nil {
+		m["minimum"] = *s.Minimum
+	}
+	if s.Maximum != nil {
+		m["maximum"] = *s.Maximum
+	}
+	if s.ExclusiveMinimum {
+		m["exclusiveMinimum"] = true
+	}
+	if s.ExclusiveMaximum {
+		m["exclusiveMaximum"] = true
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes a schema, making *Schema usable directly as a field
+// of larger JSON documents (service descriptions, workflow files).
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	parsed, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	*s = *parsed
+	return nil
+}
+
+// A ValidationError describes why a value failed validation, with a JSON
+// pointer-like path to the offending element.
+type ValidationError struct {
+	Path    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("jsonschema: %s: %s", e.Path, e.Message)
+}
+
+func errAt(path, format string, args ...any) error {
+	return &ValidationError{Path: path, Message: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks value against the schema and returns a ValidationError
+// for the first violation found, or nil if the value conforms.  The value
+// must use encoding/json's generic representation.
+func (s *Schema) Validate(value any) error {
+	if s == nil {
+		return nil
+	}
+	return s.validate(value, "$")
+}
+
+func (s *Schema) validate(value any, path string) error {
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, e := range s.Enum {
+			if JSONEqual(e, value) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return errAt(path, "value %v not in enum", Compact(value))
+		}
+	}
+	switch s.Type {
+	case "", TypeAny:
+		return nil
+	case TypeNull:
+		if value != nil {
+			return errAt(path, "expected null, got %s", typeName(value))
+		}
+		return nil
+	case TypeBoolean:
+		if _, ok := value.(bool); !ok {
+			return errAt(path, "expected boolean, got %s", typeName(value))
+		}
+		return nil
+	case TypeString:
+		str, ok := value.(string)
+		if !ok {
+			return errAt(path, "expected string, got %s", typeName(value))
+		}
+		n := len([]rune(str))
+		if s.MinLength != nil && n < *s.MinLength {
+			return errAt(path, "string length %d < minLength %d", n, *s.MinLength)
+		}
+		if s.MaxLength != nil && n > *s.MaxLength {
+			return errAt(path, "string length %d > maxLength %d", n, *s.MaxLength)
+		}
+		if s.pattern == nil && s.Pattern != "" {
+			// Schema built programmatically; compile lazily.
+			re, err := regexp.Compile(s.Pattern)
+			if err != nil {
+				return errAt(path, "invalid pattern %q", s.Pattern)
+			}
+			s.pattern = re
+		}
+		if s.pattern != nil && !s.pattern.MatchString(str) {
+			return errAt(path, "string %q does not match pattern %q", str, s.Pattern)
+		}
+		return nil
+	case TypeNumber, TypeInteger:
+		f, ok := asFloat(value)
+		if !ok {
+			return errAt(path, "expected %s, got %s", s.Type, typeName(value))
+		}
+		if s.Type == TypeInteger && f != math.Trunc(f) {
+			return errAt(path, "expected integer, got %v", f)
+		}
+		if s.Minimum != nil {
+			if s.ExclusiveMinimum && f <= *s.Minimum {
+				return errAt(path, "value %v <= exclusive minimum %v", f, *s.Minimum)
+			}
+			if !s.ExclusiveMinimum && f < *s.Minimum {
+				return errAt(path, "value %v < minimum %v", f, *s.Minimum)
+			}
+		}
+		if s.Maximum != nil {
+			if s.ExclusiveMaximum && f >= *s.Maximum {
+				return errAt(path, "value %v >= exclusive maximum %v", f, *s.Maximum)
+			}
+			if !s.ExclusiveMaximum && f > *s.Maximum {
+				return errAt(path, "value %v > maximum %v", f, *s.Maximum)
+			}
+		}
+		return nil
+	case TypeArray:
+		arr, ok := value.([]any)
+		if !ok {
+			return errAt(path, "expected array, got %s", typeName(value))
+		}
+		if s.MinItems != nil && len(arr) < *s.MinItems {
+			return errAt(path, "array length %d < minItems %d", len(arr), *s.MinItems)
+		}
+		if s.MaxItems != nil && len(arr) > *s.MaxItems {
+			return errAt(path, "array length %d > maxItems %d", len(arr), *s.MaxItems)
+		}
+		if s.Items != nil {
+			for i, item := range arr {
+				if err := s.Items.validate(item, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case TypeObject:
+		obj, ok := value.(map[string]any)
+		if !ok {
+			return errAt(path, "expected object, got %s", typeName(value))
+		}
+		for _, req := range s.Required {
+			if _, ok := obj[req]; !ok {
+				return errAt(path, "missing required property %q", req)
+			}
+		}
+		// Deterministic order for reproducible error messages.
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, declared := s.Properties[k]
+			if !declared {
+				if !s.AdditionalProperties {
+					return errAt(path, "unexpected property %q", k)
+				}
+				continue
+			}
+			if err := sub.validate(obj[k], path+"."+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return errAt(path, "unknown schema type %q", s.Type)
+	}
+}
+
+// Compatible reports whether a value conforming to the producer schema is
+// acceptable wherever the consumer schema is expected.  It implements the
+// workflow editor's port type-compatibility check: any-typed consumers
+// accept everything, identical types are compatible, integers feed numbers,
+// array compatibility is element-wise, and differing non-empty formats are
+// incompatible.
+func Compatible(producer, consumer *Schema) bool {
+	if consumer == nil || consumer.Type == "" || consumer.Type == TypeAny {
+		return true
+	}
+	if producer == nil || producer.Type == "" || producer.Type == TypeAny {
+		// An untyped producer may emit anything; the connection is
+		// allowed and validated at run time.
+		return true
+	}
+	if consumer.Format != "" && producer.Format != "" && consumer.Format != producer.Format {
+		return false
+	}
+	if producer.Type == consumer.Type {
+		if producer.Type == TypeArray && producer.Items != nil && consumer.Items != nil {
+			return Compatible(producer.Items, consumer.Items)
+		}
+		return true
+	}
+	// Integer values are valid numbers.
+	if producer.Type == TypeInteger && consumer.Type == TypeNumber {
+		return true
+	}
+	return false
+}
+
+// JSONEqual reports deep equality of two generic JSON values.  Numbers are
+// compared by value so int, float64 and json.Number mix freely.
+func JSONEqual(a, b any) bool {
+	if af, aok := asFloat(a); aok {
+		bf, bok := asFloat(b)
+		return bok && af == bf
+	}
+	switch av := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !JSONEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, v := range av {
+			bvv, ok := bv[k]
+			if !ok || !JSONEqual(v, bvv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compact renders a JSON value on one line, truncated for error messages.
+func Compact(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	const limit = 64
+	str := string(data)
+	if len(str) > limit {
+		str = str[:limit] + "..."
+	}
+	return str
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case string:
+		return "string"
+	case float64, float32, int, int32, int64, json.Number:
+		return "number"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// Normalize converts a Go value into encoding/json's generic representation
+// by a marshal/unmarshal round trip.  It is used when native Go adapters
+// return structured results that must be validated against a schema.
+func Normalize(v any) (any, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("jsonschema: normalize: %w", err)
+	}
+	var out any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("jsonschema: normalize: %w", err)
+	}
+	return out, nil
+}
+
+// Describe returns a one-line human description of the schema suitable for
+// the auto-generated service web UI: title, type and constraints.
+func (s *Schema) Describe() string {
+	if s == nil {
+		return "any value"
+	}
+	var b strings.Builder
+	b.WriteString(s.String())
+	var cons []string
+	if s.Minimum != nil {
+		cons = append(cons, fmt.Sprintf("min %v", *s.Minimum))
+	}
+	if s.Maximum != nil {
+		cons = append(cons, fmt.Sprintf("max %v", *s.Maximum))
+	}
+	if len(s.Enum) > 0 {
+		cons = append(cons, fmt.Sprintf("one of %s", Compact(s.Enum)))
+	}
+	if s.Pattern != "" {
+		cons = append(cons, fmt.Sprintf("pattern %q", s.Pattern))
+	}
+	if len(cons) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(cons, ", "))
+		b.WriteString(")")
+	}
+	return b.String()
+}

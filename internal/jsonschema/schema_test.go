@@ -1,0 +1,377 @@
+package jsonschema
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return s
+}
+
+func TestParseBasicTypes(t *testing.T) {
+	for _, typ := range []Type{TypeString, TypeNumber, TypeInteger, TypeBoolean,
+		TypeArray, TypeObject, TypeNull, TypeAny} {
+		s := mustParse(t, `{"type": "`+string(typ)+`"}`)
+		if s.Type != typ {
+			t.Errorf("type = %q, want %q", s.Type, typ)
+		}
+	}
+}
+
+func TestParseRejectsUnknownType(t *testing.T) {
+	if _, err := Parse([]byte(`{"type": "frobnicator"}`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestParseRejectsBadPattern(t *testing.T) {
+	if _, err := Parse([]byte(`{"type": "string", "pattern": "("}`)); err == nil {
+		t.Error("invalid regexp accepted")
+	}
+}
+
+func TestParseRejectsEmptyEnum(t *testing.T) {
+	if _, err := Parse([]byte(`{"enum": []}`)); err == nil {
+		t.Error("empty enum accepted")
+	}
+}
+
+func TestValidateString(t *testing.T) {
+	s := mustParse(t, `{"type": "string", "minLength": 2, "maxLength": 4, "pattern": "^[a-z]+$"}`)
+	cases := []struct {
+		v  any
+		ok bool
+	}{
+		{"abc", true},
+		{"ab", true},
+		{"abcd", true},
+		{"a", false},     // too short
+		{"abcde", false}, // too long
+		{"AbC", false},   // pattern
+		{42.0, false},    // wrong type
+		{nil, false},     // null
+		{true, false},    // boolean
+		{[]any{}, false}, // array
+	}
+	for _, tc := range cases {
+		err := s.Validate(tc.v)
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", tc.v, err, tc.ok)
+		}
+	}
+}
+
+func TestValidateNumberBounds(t *testing.T) {
+	s := mustParse(t, `{"type": "number", "minimum": 0, "maximum": 10, "exclusiveMaximum": true}`)
+	for _, tc := range []struct {
+		v  float64
+		ok bool
+	}{{0, true}, {5, true}, {9.999, true}, {10, false}, {-0.1, false}} {
+		err := s.Validate(tc.v)
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", tc.v, err, tc.ok)
+		}
+	}
+}
+
+func TestValidateInteger(t *testing.T) {
+	s := mustParse(t, `{"type": "integer"}`)
+	if err := s.Validate(3.0); err != nil {
+		t.Errorf("3.0 rejected: %v", err)
+	}
+	if err := s.Validate(3.5); err == nil {
+		t.Error("3.5 accepted as integer")
+	}
+}
+
+func TestValidateEnum(t *testing.T) {
+	s := mustParse(t, `{"enum": ["a", 1, true, null]}`)
+	for _, ok := range []any{"a", 1.0, true, nil} {
+		if err := s.Validate(ok); err != nil {
+			t.Errorf("enum member %v rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []any{"b", 2.0, false} {
+		if err := s.Validate(bad); err == nil {
+			t.Errorf("non-member %v accepted", bad)
+		}
+	}
+}
+
+func TestValidateArray(t *testing.T) {
+	s := mustParse(t, `{"type": "array", "items": {"type": "number"}, "minItems": 1, "maxItems": 3}`)
+	if err := s.Validate([]any{1.0, 2.0}); err != nil {
+		t.Errorf("valid array rejected: %v", err)
+	}
+	if err := s.Validate([]any{}); err == nil {
+		t.Error("too-short array accepted")
+	}
+	if err := s.Validate([]any{1.0, 2.0, 3.0, 4.0}); err == nil {
+		t.Error("too-long array accepted")
+	}
+	if err := s.Validate([]any{1.0, "two"}); err == nil {
+		t.Error("array with wrong element type accepted")
+	}
+}
+
+func TestValidateObject(t *testing.T) {
+	s := mustParse(t, `{
+		"type": "object",
+		"properties": {"name": {"type": "string"}, "age": {"type": "integer"}},
+		"required": ["name"]
+	}`)
+	if err := s.Validate(map[string]any{"name": "ada", "age": 36.0}); err != nil {
+		t.Errorf("valid object rejected: %v", err)
+	}
+	if err := s.Validate(map[string]any{"age": 36.0}); err == nil {
+		t.Error("object missing required property accepted")
+	}
+	if err := s.Validate(map[string]any{"name": "ada", "extra": 1.0}); err != nil {
+		t.Errorf("additional property rejected by default: %v", err)
+	}
+
+	strict := mustParse(t, `{
+		"type": "object",
+		"properties": {"name": {"type": "string"}},
+		"additionalProperties": false
+	}`)
+	if err := strict.Validate(map[string]any{"name": "x", "extra": 1.0}); err == nil {
+		t.Error("additionalProperties=false did not reject extra member")
+	}
+}
+
+func TestValidationErrorPaths(t *testing.T) {
+	s := mustParse(t, `{
+		"type": "object",
+		"properties": {"rows": {"type": "array", "items": {"type": "number"}}}
+	}`)
+	err := s.Validate(map[string]any{"rows": []any{1.0, "x"}})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "$.rows[1]") {
+		t.Errorf("error %q lacks path $.rows[1]", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	srcs := []string{
+		`{"type":"string","minLength":1,"pattern":"^a"}`,
+		`{"type":"number","minimum":0,"maximum":5,"exclusiveMinimum":true}`,
+		`{"type":"array","items":{"type":"integer"},"minItems":2}`,
+		`{"type":"object","properties":{"x":{"type":"boolean"}},"required":["x"],"additionalProperties":false}`,
+		`{"enum":[1,"two",false]}`,
+		`{"type":"string","format":"matrix","title":"M","description":"a matrix","default":"x"}`,
+	}
+	for _, src := range srcs {
+		s := mustParse(t, src)
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back := mustParse(t, string(data))
+		data2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b any
+		if err := json.Unmarshal(data, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data2, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("round trip drift for %s:\n  %s\n  %s", src, data, data2)
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	num := New(TypeNumber)
+	integer := New(TypeInteger)
+	str := New(TypeString)
+	anyS := New(TypeAny)
+	arrNum := mustParse(t, `{"type":"array","items":{"type":"number"}}`)
+	arrStr := mustParse(t, `{"type":"array","items":{"type":"string"}}`)
+	matrix := mustParse(t, `{"type":"array","format":"matrix"}`)
+	curve := mustParse(t, `{"type":"array","format":"curve"}`)
+
+	cases := []struct {
+		from, to *Schema
+		want     bool
+	}{
+		{num, num, true},
+		{integer, num, true},  // integers feed numbers
+		{num, integer, false}, // not the reverse
+		{str, num, false},
+		{num, anyS, true}, // anything feeds any
+		{anyS, num, true}, // untyped producers allowed
+		{nil, num, true},
+		{num, nil, true},
+		{arrNum, arrNum, true},
+		{arrNum, arrStr, false},
+		{matrix, matrix, true},
+		{matrix, curve, false}, // differing formats
+	}
+	for i, tc := range cases {
+		if got := Compatible(tc.from, tc.to); got != tc.want {
+			t.Errorf("case %d: Compatible(%s, %s) = %v, want %v",
+				i, tc.from.String(), tc.to.String(), got, tc.want)
+		}
+	}
+}
+
+// genValue produces a random JSON value conforming to a random choice.
+func genValue(rng *rand.Rand, depth int) any {
+	switch rng.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Intn(2) == 0
+	case 2:
+		return rng.NormFloat64() * 100
+	case 3:
+		return randWord(rng)
+	case 4:
+		if depth > 2 {
+			return rng.Float64()
+		}
+		n := rng.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = genValue(rng, depth+1)
+		}
+		return arr
+	default:
+		if depth > 2 {
+			return randWord(rng)
+		}
+		n := rng.Intn(4)
+		obj := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			obj[randWord(rng)] = genValue(rng, depth+1)
+		}
+		return obj
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	letters := "abcdefg"
+	n := 1 + rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// TestPropertyJSONEqualReflexive checks v == v for random JSON values.
+func TestPropertyJSONEqualReflexive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := genValue(rng, 0)
+		return JSONEqual(v, v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyValidateAgreesWithMarshalTrip checks that validation gives
+// the same verdict on a value and on its JSON round trip — the schema must
+// not depend on in-memory representation quirks.
+func TestPropertyValidateAgreesWithMarshalTrip(t *testing.T) {
+	schemas := []*Schema{
+		mustParse(t, `{"type":"number"}`),
+		mustParse(t, `{"type":"string","minLength":2}`),
+		mustParse(t, `{"type":"array","items":{"type":"number"}}`),
+		mustParse(t, `{"type":"object"}`),
+		mustParse(t, `{"type":"boolean"}`),
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := genValue(rng, 0)
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		var back any
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		for _, s := range schemas {
+			if (s.Validate(v) == nil) != (s.Validate(back) == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEnumMembersValidate: a schema whose enum lists v accepts v.
+func TestPropertyEnumMembersValidate(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		raw := genValue(rng, 1)
+		// Normalize through JSON so numbers compare canonically.
+		norm, err := Normalize(raw)
+		if err != nil {
+			return false
+		}
+		s := &Schema{Enum: []any{norm}, AdditionalProperties: true}
+		return s.Validate(norm) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	type point struct {
+		X int    `json:"x"`
+		Y string `json:"y"`
+	}
+	v, err := Normalize(point{X: 3, Y: "up"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok || m["x"] != 3.0 || m["y"] != "up" {
+		t.Errorf("Normalize = %#v", v)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := mustParse(t, `{"type":"number","minimum":1,"maximum":9}`)
+	d := s.Describe()
+	if !strings.Contains(d, "number") || !strings.Contains(d, "min 1") {
+		t.Errorf("Describe = %q", d)
+	}
+	var nilSchema *Schema
+	if nilSchema.Describe() != "any value" {
+		t.Errorf("nil describe = %q", nilSchema.Describe())
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	if got := mustParse(t, `{"type":"array","items":{"type":"number"}}`).String(); got != "array<number>" {
+		t.Errorf("String = %q", got)
+	}
+	if got := mustParse(t, `{"type":"string","format":"uri"}`).String(); got != "string(uri)" {
+		t.Errorf("String = %q", got)
+	}
+}

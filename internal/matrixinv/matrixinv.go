@@ -1,0 +1,271 @@
+// Package matrixinv implements the paper's flagship application:
+// "error-free" inversion of ill-conditioned (Hilbert) matrices in a
+// distributed computing system of RESTful services of computer algebra.
+//
+// The input matrix is decomposed into 2×2 blocks and inverted via the
+// Schur complement; every elementary operation (submatrix extraction,
+// inversion, multiplication, addition, negation, assembly) is a call to a
+// CAS computational web service (internal/cas), and the whole computation
+// is described as a MathCloud workflow executed by the workflow engine —
+// exactly the shape of the original application.  The package also
+// provides the drivers that regenerate Table 2 (serial vs parallel times
+// and speedups) and the platform-overhead measurement of Section 4.
+package matrixinv
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"mathcloud/internal/client"
+	"mathcloud/internal/core"
+	"mathcloud/internal/ratmat"
+	"mathcloud/internal/workflow"
+)
+
+// ResolveMatrix decodes a matrix value returned by a CAS service: either
+// an inline JSON value or a file reference, which is fetched over HTTP and
+// parsed with the ratmat text codec.  Large results travel as files per
+// the unified API.
+func ResolveMatrix(ctx context.Context, v any) (*ratmat.Matrix, error) {
+	if _, isRef := core.FileRefID(v); isRef {
+		data, err := client.New().FetchFile(ctx, v)
+		if err != nil {
+			return nil, fmt.Errorf("matrixinv: fetch matrix file: %w", err)
+		}
+		return ratmat.ReadText(bytes.NewReader(data))
+	}
+	return ratmat.FromJSON(v)
+}
+
+// casCall invokes one CAS service through the workflow Invoker.
+func casCall(ctx context.Context, inv workflow.Invoker, uri, expr string, operands map[string]*ratmat.Matrix) (*ratmat.Matrix, error) {
+	in := core.Values{"expr": expr}
+	for name, m := range operands {
+		in[name] = m.ToJSON()
+	}
+	out, err := inv.Call(ctx, uri, in)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := out["result"]
+	if !ok {
+		return nil, fmt.Errorf("matrixinv: CAS service returned no result")
+	}
+	return ResolveMatrix(ctx, res)
+}
+
+// InvertSerial inverts the matrix with a single CAS service call — the
+// "serial execution in Maxima" column of Table 2.
+func InvertSerial(ctx context.Context, inv workflow.Invoker, casURI string, m *ratmat.Matrix) (*ratmat.Matrix, error) {
+	return casCall(ctx, inv, casURI, "invert(A)", map[string]*ratmat.Matrix{"A": m})
+}
+
+// BuildBlockWorkflow constructs the 4-block Schur-complement inversion of
+// an n×n matrix (split at k) as a MathCloud workflow whose service blocks
+// call the given pool of CAS services.  Blocks are spread over the pool
+// round-robin so independent operations land on different services.
+func BuildBlockWorkflow(name string, casURIs []string, n, k int) (*workflow.Workflow, error) {
+	if n < 2 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("matrixinv: invalid split %d of order %d", k, n)
+	}
+	if len(casURIs) == 0 {
+		return nil, fmt.Errorf("matrixinv: empty CAS service pool")
+	}
+	next := 0
+	pick := func() string {
+		uri := casURIs[next%len(casURIs)]
+		next++
+		return uri
+	}
+	wf := &workflow.Workflow{
+		Name:        name,
+		Title:       fmt.Sprintf("Block inversion of a %dx%d matrix", n, n),
+		Description: "Error-free matrix inversion by 2x2 block decomposition and Schur complement over CAS services.",
+		Blocks: []workflow.Block{
+			{ID: "matrix", Type: workflow.BlockInput, Name: "matrix",
+				Title: "matrix to invert"},
+		},
+	}
+	// svc adds one CAS service block with the given expression and
+	// operand wiring (operand port -> source "block.port").
+	svc := func(id, expr string, wires map[string]string) {
+		b := workflow.Block{
+			ID:      id,
+			Type:    workflow.BlockService,
+			Service: pick(),
+			Params:  core.Values{"expr": expr},
+		}
+		wf.Blocks = append(wf.Blocks, b)
+		for port, from := range wires {
+			wf.Edges = append(wf.Edges, workflow.Edge{
+				From: splitRef(from),
+				To:   workflow.PortRef{Block: id, Port: port},
+			})
+		}
+	}
+	sub := func(id string, r0, r1, c0, c1 int) {
+		svc(id, fmt.Sprintf("submatrix(A,%d,%d,%d,%d)", r0, r1, c0, c1),
+			map[string]string{"A": "matrix.value"})
+	}
+	sub("blockA", 0, k, 0, k)
+	sub("blockB", 0, k, k, n)
+	sub("blockC", k, n, 0, k)
+	sub("blockD", k, n, k, n)
+
+	svc("invA", "invert(A)", map[string]string{"A": "blockA.result"})
+	svc("CAinv", "A*B", map[string]string{"A": "blockC.result", "B": "invA.result"})
+	svc("AinvB", "A*B", map[string]string{"A": "invA.result", "B": "blockB.result"})
+	svc("CAinvB", "A*B", map[string]string{"A": "CAinv.result", "B": "blockB.result"})
+	svc("schur", "A-B", map[string]string{"A": "blockD.result", "B": "CAinvB.result"})
+	svc("invS", "invert(A)", map[string]string{"A": "schur.result"})
+	svc("AinvBSinv", "A*B", map[string]string{"A": "AinvB.result", "B": "invS.result"})
+	svc("SinvCAinv", "A*B", map[string]string{"A": "invS.result", "B": "CAinv.result"})
+	svc("corr", "A*B", map[string]string{"A": "AinvBSinv.result", "B": "CAinv.result"})
+	svc("topLeft", "A+B", map[string]string{"A": "invA.result", "B": "corr.result"})
+	svc("topRight", "-A", map[string]string{"A": "AinvBSinv.result"})
+	svc("bottomLeft", "-A", map[string]string{"A": "SinvCAinv.result"})
+	svc("assembled", "assemble(A,B,C,D)", map[string]string{
+		"A": "topLeft.result", "B": "topRight.result",
+		"C": "bottomLeft.result", "D": "invS.result",
+	})
+
+	wf.Blocks = append(wf.Blocks, workflow.Block{
+		ID: "inverse", Type: workflow.BlockOutput, Name: "inverse",
+		Title: "exact inverse"})
+	wf.Edges = append(wf.Edges, workflow.Edge{
+		From: workflow.PortRef{Block: "assembled", Port: "result"},
+		To:   workflow.PortRef{Block: "inverse", Port: "value"},
+	})
+	return wf, nil
+}
+
+func splitRef(s string) workflow.PortRef {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return workflow.PortRef{Block: s[:i], Port: s[i+1:]}
+		}
+	}
+	return workflow.PortRef{Block: s}
+}
+
+// InvertParallel runs the 4-block workflow with the engine and returns the
+// exact inverse — the "parallel execution in MathCloud" column of Table 2.
+func InvertParallel(ctx context.Context, inv workflow.Invoker, desc workflow.Describer,
+	casURIs []string, m *ratmat.Matrix) (*ratmat.Matrix, error) {
+
+	n := m.Rows()
+	wf, err := BuildBlockWorkflow("block-inverse", casURIs, n, n/2)
+	if err != nil {
+		return nil, err
+	}
+	engine := &workflow.Engine{Invoker: inv, Describer: desc}
+	out, err := engine.Run(ctx, wf, core.Values{"matrix": m.ToJSON()})
+	if err != nil {
+		return nil, err
+	}
+	return ResolveMatrix(ctx, out["inverse"])
+}
+
+// Row is one line of the Table 2 reproduction.
+type Row struct {
+	// N is the Hilbert matrix order.
+	N int
+	// Serial is the single-service inversion wall time.
+	Serial time.Duration
+	// Parallel is the 4-block workflow wall time over the service pool.
+	Parallel time.Duration
+	// Speedup is Serial/Parallel.
+	Speedup float64
+}
+
+// RunTable2 reproduces Table 2 over the given CAS service pool for the
+// given Hilbert orders, verifying every inverse exactly against the
+// closed-form Hilbert inverse.
+func RunTable2(ctx context.Context, inv workflow.Invoker, desc workflow.Describer,
+	casURIs []string, orders []int) ([]Row, error) {
+
+	rows := make([]Row, 0, len(orders))
+	for _, n := range orders {
+		h := ratmat.Hilbert(n)
+		want := ratmat.HilbertInverse(n)
+
+		start := time.Now()
+		serialInv, err := InvertSerial(ctx, inv, casURIs[0], h)
+		if err != nil {
+			return nil, fmt.Errorf("matrixinv: serial n=%d: %w", n, err)
+		}
+		serial := time.Since(start)
+		if !serialInv.Equal(want) {
+			return nil, fmt.Errorf("matrixinv: serial n=%d: wrong inverse", n)
+		}
+
+		start = time.Now()
+		parInv, err := InvertParallel(ctx, inv, desc, casURIs, h)
+		if err != nil {
+			return nil, fmt.Errorf("matrixinv: parallel n=%d: %w", n, err)
+		}
+		parallel := time.Since(start)
+		if !parInv.Equal(want) {
+			return nil, fmt.Errorf("matrixinv: parallel n=%d: wrong inverse", n)
+		}
+
+		rows = append(rows, Row{
+			N:        n,
+			Serial:   serial,
+			Parallel: parallel,
+			Speedup:  float64(serial) / float64(parallel),
+		})
+	}
+	return rows, nil
+}
+
+// Overhead measures the platform overhead of Section 4: the wall time of
+// the distributed block inversion versus the same block algorithm run
+// in-process with identical parallel structure.  The difference is
+// request handling, JSON transport and queueing — the paper reports
+// "about 2-5% of total computing time".
+type Overhead struct {
+	N         int
+	Platform  time.Duration // via services
+	Pure      time.Duration // in-process LocalOps
+	Percent   float64       // (Platform-Pure)/Platform * 100
+	DataBytes int64         // matrix text size moved per full run (approx)
+}
+
+// MeasureOverhead runs the comparison for one Hilbert order.
+func MeasureOverhead(ctx context.Context, inv workflow.Invoker, desc workflow.Describer,
+	casURIs []string, n int) (Overhead, error) {
+
+	h := ratmat.Hilbert(n)
+
+	start := time.Now()
+	platformInv, err := InvertParallel(ctx, inv, desc, casURIs, h)
+	if err != nil {
+		return Overhead{}, err
+	}
+	platform := time.Since(start)
+
+	start = time.Now()
+	pureInv, err := ratmat.BlockInverse(ctx, ratmat.LocalOps{}, h, n/2)
+	if err != nil {
+		return Overhead{}, err
+	}
+	pure := time.Since(start)
+
+	if !platformInv.Equal(pureInv) {
+		return Overhead{}, fmt.Errorf("matrixinv: overhead n=%d: results differ", n)
+	}
+	pct := 0.0
+	if platform > 0 {
+		pct = 100 * float64(platform-pure) / float64(platform)
+	}
+	return Overhead{
+		N:         n,
+		Platform:  platform,
+		Pure:      pure,
+		Percent:   pct,
+		DataBytes: h.TextSize() + platformInv.TextSize(),
+	}, nil
+}

@@ -1,0 +1,205 @@
+package matrixinv_test
+
+import (
+	"context"
+	"math/big"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/cas"
+	"mathcloud/internal/core"
+	"mathcloud/internal/matrixinv"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/ratmat"
+	"mathcloud/internal/workflow"
+)
+
+// startCASPool deploys a pool of CAS services and returns their URIs.
+func startCASPool(t *testing.T, count int) (*platform.Deployment, []string) {
+	t.Helper()
+	d, err := platform.StartLocal(platform.Options{Workers: 2 * count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	names, err := cas.Deploy(d.Container, "maxima", count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uris := make([]string, len(names))
+	for i, n := range names {
+		uris[i] = d.Container.ServiceURI(n)
+	}
+	return d, uris
+}
+
+func TestInvertSerialViaService(t *testing.T) {
+	_, uris := startCASPool(t, 1)
+	inv := &workflow.HTTPInvoker{}
+	got, err := matrixinv.InvertSerial(context.Background(), inv, uris[0], ratmat.Hilbert(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ratmat.HilbertInverse(8)) {
+		t.Error("serial service inversion is wrong")
+	}
+}
+
+func TestInvertParallelWorkflow(t *testing.T) {
+	_, uris := startCASPool(t, 4)
+	inv := &workflow.HTTPInvoker{}
+	got, err := matrixinv.InvertParallel(context.Background(), inv, inv, uris, ratmat.Hilbert(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ratmat.HilbertInverse(10)) {
+		t.Error("parallel workflow inversion is wrong")
+	}
+}
+
+func TestBlockWorkflowIsValidAndPublishable(t *testing.T) {
+	d, uris := startCASPool(t, 4)
+	wf, err := matrixinv.BuildBlockWorkflow("hilbert-inverse", uris, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := &workflow.HTTPInvoker{}
+	if err := wf.Check(inv); err != nil {
+		t.Fatalf("workflow invalid: %v", err)
+	}
+	// Round-trip through the JSON document format, as the editor does.
+	data, err := wf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := workflow.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := &workflow.Engine{Invoker: inv, Describer: inv}
+	out, err := engine.Run(context.Background(), back, core.Values{
+		"matrix": ratmat.Hilbert(6).ToJSON(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ratmat.FromJSON(out["inverse"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ratmat.HilbertInverse(6)) {
+		t.Error("round-tripped workflow produced a wrong inverse")
+	}
+	_ = d
+}
+
+func TestRunTable2SmallOrders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 driver is slow")
+	}
+	_, uris := startCASPool(t, 4)
+	inv := &workflow.HTTPInvoker{}
+	rows, err := matrixinv.RunTable2(context.Background(), inv, inv, uris, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Serial <= 0 || r.Parallel <= 0 || r.Speedup <= 0 {
+			t.Errorf("row %+v has non-positive measurements", r)
+		}
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead driver is slow")
+	}
+	_, uris := startCASPool(t, 4)
+	inv := &workflow.HTTPInvoker{}
+	o, err := matrixinv.MeasureOverhead(context.Background(), inv, inv, uris, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Platform <= 0 || o.Pure <= 0 {
+		t.Errorf("non-positive timings: %+v", o)
+	}
+	if o.Percent >= 100 {
+		t.Errorf("overhead percent %v out of range", o.Percent)
+	}
+}
+
+func TestBuildBlockWorkflowRejectsBadSplit(t *testing.T) {
+	if _, err := matrixinv.BuildBlockWorkflow("w", []string{"svc://x"}, 4, 0); err == nil {
+		t.Error("accepted split 0")
+	}
+	if _, err := matrixinv.BuildBlockWorkflow("w", []string{"svc://x"}, 4, 4); err == nil {
+		t.Error("accepted split n")
+	}
+	if _, err := matrixinv.BuildBlockWorkflow("w", nil, 4, 2); err == nil {
+		t.Error("accepted empty pool")
+	}
+}
+
+// TestLargeResultTravelsAsFile exercises the file-resource path: a matrix
+// whose text encoding exceeds cas.FileThreshold must come back as a file
+// reference, and ResolveMatrix must reconstruct it exactly.
+func TestLargeResultTravelsAsFile(t *testing.T) {
+	_, uris := startCASPool(t, 1)
+	inv := &workflow.HTTPInvoker{}
+	ctx := context.Background()
+
+	// hilbert(300) is cheap to build but its text encoding (~0.5 MB)
+	// exceeds the threshold.
+	out, err := inv.Call(ctx, uris[0], core.Values{"expr": "hilbert(300)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := out["result"].(string)
+	if !ok || !strings.HasPrefix(ref, core.FileRefPrefix) {
+		t.Fatalf("result = %T, want a file reference", out["result"])
+	}
+	m, err := matrixinv.ResolveMatrix(ctx, out["result"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(ratmat.Hilbert(300)) {
+		t.Error("file-transported matrix differs from hilbert(300)")
+	}
+}
+
+// TestFileRefFlowsThroughWorkflow feeds a file-resource matrix from one
+// CAS call into another through workflow edges.
+func TestFileRefFlowsThroughWorkflow(t *testing.T) {
+	_, uris := startCASPool(t, 2)
+	inv := &workflow.HTTPInvoker{}
+	ctx := context.Background()
+
+	// First call yields a big matrix as a file ref...
+	out, err := inv.Call(ctx, uris[0], core.Values{"expr": "hilbert(300)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...which the second call accepts as an operand: the container
+	// stages the file and the CAS reads the text codec.
+	out2, err := inv.Call(ctx, uris[1], core.Values{
+		"expr": "trace(A)", "A": out["result"],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ratmat.Hilbert(300)
+	trace := "0"
+	{
+		sum := new(big.Rat)
+		for i := 0; i < 300; i++ {
+			sum.Add(sum, want.At(i, i))
+		}
+		trace = sum.RatString()
+	}
+	if out2["result"] != trace {
+		t.Errorf("trace = %v, want %s", out2["result"], trace)
+	}
+}

@@ -1,0 +1,133 @@
+// Package platform provides one-call local deployments of the MathCloud
+// stack — container, HTTP listener, adapter registry, optional WMS and
+// catalogue — used by the examples, the experiment harness and the
+// benchmarks.  It is glue, not substance: everything it wires together is
+// the ordinary public API of the other packages.
+package platform
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/catalogue"
+	"mathcloud/internal/container"
+	"mathcloud/internal/workflow"
+)
+
+// Options configure a local deployment.
+type Options struct {
+	// Workers is the container's handler pool size (default 8).
+	Workers int
+	// Quiet suppresses request logging (default true behaviour is quiet;
+	// set Verbose to enable logs).
+	Verbose bool
+	// WithWMS additionally mounts a workflow management service.
+	WithWMS bool
+	// WithCatalogue additionally starts a service catalogue on a second
+	// listener.
+	WithCatalogue bool
+	// Guard optionally secures the container.
+	Guard container.Guard
+}
+
+// Deployment is a running local MathCloud instance.
+type Deployment struct {
+	// Container is the Everest instance.
+	Container *container.Container
+	// Registry is the adapter registry used by the container.
+	Registry *adapter.Registry
+	// BaseURL is the container's (or WMS's) HTTP base URL.
+	BaseURL string
+	// WMS is non-nil when Options.WithWMS was set.
+	WMS *workflow.WMS
+	// Catalogue and CatalogueURL are set when WithCatalogue was chosen.
+	Catalogue    *catalogue.Catalogue
+	CatalogueURL string
+
+	servers   []*http.Server
+	listeners []net.Listener
+}
+
+// StartLocal builds, wires and serves a local deployment on loopback
+// ports.
+func StartLocal(opts Options) (*Deployment, error) {
+	logger := log.New(io.Discard, "", 0)
+	if opts.Verbose {
+		logger = log.Default()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	registry := adapter.NewRegistry()
+	c, err := container.New(container.Options{
+		Workers:  workers,
+		Logger:   logger,
+		Adapters: registry,
+		Guard:    opts.Guard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Container: c, Registry: registry}
+
+	var handler http.Handler = c.Handler()
+	if opts.WithWMS {
+		invoker := &workflow.HTTPInvoker{}
+		d.WMS = workflow.NewWMS(c, registry, invoker, invoker)
+		handler = d.WMS.Handler()
+	}
+	base, err := d.serve(handler)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.BaseURL = base
+	c.SetBaseURL(base)
+
+	if opts.WithCatalogue {
+		d.Catalogue = catalogue.New(catalogue.ClientDescriber{})
+		catURL, err := d.serve(d.Catalogue.Handler())
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.CatalogueURL = catURL
+	}
+	return d, nil
+}
+
+func (d *Deployment) serve(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("platform: listen: %w", err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("platform: serve: %v", err)
+		}
+	}()
+	d.servers = append(d.servers, srv)
+	d.listeners = append(d.listeners, ln)
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts down the listeners, the container and the catalogue pinger.
+func (d *Deployment) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range d.servers {
+		_ = srv.Shutdown(ctx)
+	}
+	if d.Catalogue != nil {
+		d.Catalogue.Close()
+	}
+	d.Container.Close()
+}

@@ -1,0 +1,66 @@
+package platform_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"mathcloud/internal/cas"
+	"mathcloud/internal/catalogue"
+	"mathcloud/internal/client"
+	"mathcloud/internal/platform"
+)
+
+func TestStartLocalServesContainer(t *testing.T) {
+	d, err := platform.StartLocal(platform.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := cas.Deploy(d.Container, "maxima", 1); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.New().ServiceNames(context.Background(), d.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "maxima" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestStartLocalWithWMSAndCatalogue(t *testing.T) {
+	d, err := platform.StartLocal(platform.Options{WithWMS: true, WithCatalogue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.WMS == nil || d.Catalogue == nil || d.CatalogueURL == "" {
+		t.Fatal("WMS or catalogue missing")
+	}
+	// The WMS endpoint answers on the same listener.
+	resp, err := http.Get(d.BaseURL + "/workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("workflows status = %d", resp.StatusCode)
+	}
+	// Register a container service into the catalogue end to end.
+	if _, err := cas.Deploy(d.Container, "maxima", 1); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := d.Catalogue.Register(context.Background(),
+		d.Container.ServiceURI("maxima"), []string{"cas"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Description.Name != "maxima" {
+		t.Errorf("catalogue fetched %q", entry.Description.Name)
+	}
+	results := d.Catalogue.Search("algebra", catalogue.SearchOptions{})
+	if len(results) != 1 {
+		t.Errorf("search results = %d", len(results))
+	}
+}

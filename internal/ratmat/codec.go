@@ -1,0 +1,144 @@
+package ratmat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// Matrices travel between computational web services as JSON values (small
+// operands) or file resources (large operands).  The JSON encoding is an
+// array of rows, each an array of exact "p/q" strings, so no precision is
+// lost in transport — the property the application depends on.
+
+// ToJSON encodes the matrix as a generic JSON value.
+func (m *Matrix) ToJSON() any {
+	rows := make([]any, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := make([]any, m.cols)
+		for j := 0; j < m.cols; j++ {
+			row[j] = m.At(i, j).RatString()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// FromJSON decodes a matrix from its generic JSON value form.
+func FromJSON(v any) (*Matrix, error) {
+	rows, ok := v.([]any)
+	if !ok || len(rows) == 0 {
+		return nil, fmt.Errorf("ratmat: decode: expected a non-empty array of rows")
+	}
+	first, ok := rows[0].([]any)
+	if !ok || len(first) == 0 {
+		return nil, fmt.Errorf("ratmat: decode: expected non-empty rows")
+	}
+	m := New(len(rows), len(first))
+	for i, rv := range rows {
+		row, ok := rv.([]any)
+		if !ok {
+			return nil, fmt.Errorf("ratmat: decode: row %d is not an array", i)
+		}
+		if len(row) != m.cols {
+			return nil, fmt.Errorf("ratmat: decode: row %d has %d entries, want %d",
+				i, len(row), m.cols)
+		}
+		for j, ev := range row {
+			r, err := parseEntry(ev)
+			if err != nil {
+				return nil, fmt.Errorf("ratmat: decode: entry (%d,%d): %w", i, j, err)
+			}
+			m.Set(i, j, r)
+		}
+	}
+	return m, nil
+}
+
+func parseEntry(v any) (*big.Rat, error) {
+	switch x := v.(type) {
+	case string:
+		r, ok := new(big.Rat).SetString(x)
+		if !ok {
+			return nil, fmt.Errorf("invalid rational %q", x)
+		}
+		return r, nil
+	case float64:
+		return new(big.Rat).SetFloat64(x), nil
+	default:
+		return nil, fmt.Errorf("unsupported entry type %T", v)
+	}
+}
+
+// WriteText streams the matrix in the text format used for file-resource
+// transport: a header line "rows cols" then one row per line with
+// space-separated "p/q" entries.
+func (m *Matrix) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", m.rows, m.cols); err != nil {
+		return err
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(m.At(i, j).RatString()); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format produced by WriteText.
+func ReadText(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows, cols int
+	if _, err := fmt.Fscanf(br, "%d %d\n", &rows, &cols); err != nil {
+		return nil, fmt.Errorf("ratmat: read header: %w", err)
+	}
+	if rows <= 0 || cols <= 0 || rows > 1<<20 || cols > 1<<20 {
+		return nil, fmt.Errorf("ratmat: implausible shape %dx%d", rows, cols)
+	}
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && i == rows-1 && line != "") {
+			return nil, fmt.Errorf("ratmat: read row %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != cols {
+			return nil, fmt.Errorf("ratmat: row %d has %d entries, want %d", i, len(fields), cols)
+		}
+		for j, f := range fields {
+			v, ok := new(big.Rat).SetString(f)
+			if !ok {
+				return nil, fmt.Errorf("ratmat: row %d: invalid rational %q", i, f)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+// TextSize returns the byte size of the matrix's text encoding without
+// materializing it, used by the overhead experiment to account transfer
+// volume.
+func (m *Matrix) TextSize() int64 {
+	var n int64
+	n += int64(len(fmt.Sprintf("%d %d\n", m.rows, m.cols)))
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			n += int64(len(m.At(i, j).RatString())) + 1
+		}
+	}
+	return n
+}

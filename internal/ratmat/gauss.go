@@ -1,0 +1,86 @@
+package ratmat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Determinant computes the exact determinant by fraction-preserving
+// Gaussian elimination with row swaps.
+func (m *Matrix) Determinant() (*big.Rat, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("ratmat: determinant of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	det := big.NewRat(1, 1)
+	zero := new(big.Rat)
+	tmp := new(big.Rat)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col).Cmp(zero) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return new(big.Rat), nil
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			det.Neg(det)
+		}
+		p := a.At(col, col)
+		det.Mul(det, p)
+		inv := new(big.Rat).Inv(p)
+		for r := col + 1; r < n; r++ {
+			f := new(big.Rat).Mul(a.At(r, col), inv)
+			if f.Sign() == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				tmp.Mul(f, a.data[col*n+j])
+				a.data[r*n+j].Sub(a.data[r*n+j], tmp)
+			}
+		}
+	}
+	return det, nil
+}
+
+// Rank computes the exact rank by Gaussian elimination.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	rows, cols := a.rows, a.cols
+	zero := new(big.Rat)
+	tmp := new(big.Rat)
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if a.At(r, col).Cmp(zero) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != rank {
+			a.swapRows(pivot, rank)
+		}
+		inv := new(big.Rat).Inv(a.At(rank, col))
+		for r := rank + 1; r < rows; r++ {
+			f := new(big.Rat).Mul(a.At(r, col), inv)
+			if f.Sign() == 0 {
+				continue
+			}
+			for j := col; j < cols; j++ {
+				tmp.Mul(f, a.data[rank*cols+j])
+				a.data[r*cols+j].Sub(a.data[r*cols+j], tmp)
+			}
+		}
+		rank++
+	}
+	return rank
+}

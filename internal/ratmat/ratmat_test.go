@@ -1,0 +1,330 @@
+package ratmat
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertEntries(t *testing.T) {
+	h := Hilbert(3)
+	want := [][]int64{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if h.At(i, j).Cmp(big.NewRat(1, want[i][j])) != 0 {
+				t.Errorf("H[%d][%d] = %s, want 1/%d", i, j, h.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestInverseAgainstClosedFormHilbert(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		inv, err := Hilbert(n).Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !inv.Equal(HilbertInverse(n)) {
+			t.Errorf("n=%d: Gauss-Jordan inverse differs from closed form", n)
+		}
+	}
+}
+
+func TestInverseIsExact(t *testing.T) {
+	// The whole point of the application: H·H⁻¹ is *exactly* the
+	// identity, even for ill-conditioned Hilbert matrices.
+	for _, n := range []int{5, 10, 20} {
+		h := Hilbert(n)
+		inv, err := h.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Verify(h, inv); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		res, err := ResidualNorm(h, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != 0 {
+			t.Errorf("n=%d: residual %g, want exactly 0", n, res)
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	m := New(2, 2)
+	m.SetInt(0, 0, 1)
+	m.SetInt(0, 1, 2)
+	m.SetInt(1, 0, 2)
+	m.SetInt(1, 1, 4)
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("inverted a singular matrix")
+	}
+}
+
+// randomInvertible builds a random integer matrix that is invertible with
+// probability ~1 (diagonally dominant).
+func randomInvertible(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		sum := int64(0)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := int64(rng.Intn(19) - 9)
+			m.SetInt(i, j, v)
+			if v < 0 {
+				sum -= v
+			} else {
+				sum += v
+			}
+		}
+		m.SetInt(i, i, sum+1+int64(rng.Intn(5)))
+	}
+	return m
+}
+
+func TestPropertyInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := randomInvertible(r, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		return Verify(m, inv) == nil && Verify(inv, m) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBlockInverseMatchesDirect(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(9)
+		m := randomInvertible(r, n)
+		direct, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		k := 1 + r.Intn(n-1)
+		block, err := BlockInverse(context.Background(), LocalOps{}, m, k)
+		if err != nil {
+			// Block A may be singular even when m is not; that is a
+			// documented limitation, not a failure.
+			_, ok := err.(SingularError)
+			if !ok {
+				var se SingularError
+				ok = errorsAs(err, &se)
+			}
+			return ok
+		}
+		return block.Equal(direct)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func errorsAs(err error, target *SingularError) bool {
+	for err != nil {
+		if se, ok := err.(SingularError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestBlockInverseHilbert(t *testing.T) {
+	for _, n := range []int{4, 9, 16} {
+		h := Hilbert(n)
+		inv, err := BlockInverse(context.Background(), LocalOps{}, h, n/2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !inv.Equal(HilbertInverse(n)) {
+			t.Errorf("n=%d: block inverse differs from closed form", n)
+		}
+	}
+}
+
+func TestArithmeticIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomInvertible(rng, 5)
+	b := randomInvertible(rng, 5)
+
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(a) {
+		t.Error("(a+b)-b != a")
+	}
+	if !a.Transpose().Transpose().Equal(a) {
+		t.Error("transpose is not involutive")
+	}
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btat, err := b.Transpose().Mul(a.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ab.Transpose().Equal(btat) {
+		t.Error("(ab)' != b'a'")
+	}
+	if !a.Neg().Neg().Equal(a) {
+		t.Error("double negation is not identity")
+	}
+	half := big.NewRat(1, 2)
+	two := big.NewRat(2, 1)
+	if !a.Scale(half).Scale(two).Equal(a) {
+		t.Error("scale(2)·scale(1/2) is not identity")
+	}
+}
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	m := Hilbert(7)
+	a, b, c, d, err := Split2x2(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Assemble(a, b, c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Error("split/assemble round trip changed the matrix")
+	}
+}
+
+func TestJSONCodecRoundTrip(t *testing.T) {
+	m := Hilbert(6)
+	back, err := FromJSON(m.ToJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Error("JSON round trip changed the matrix")
+	}
+}
+
+func TestTextCodecRoundTrip(t *testing.T) {
+	inv, err := Hilbert(8).Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := inv.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(buf.Len()); got != inv.TextSize() {
+		t.Errorf("TextSize = %d, want %d", inv.TextSize(), got)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(inv) {
+		t.Error("text round trip changed the matrix")
+	}
+}
+
+func TestFromJSONRejectsMalformed(t *testing.T) {
+	cases := []any{
+		nil,
+		[]any{},
+		[]any{[]any{}},
+		[]any{[]any{"1/2"}, []any{"1", "2"}},
+		[]any{[]any{"not-a-rat"}},
+		[]any{[]any{true}},
+		"hello",
+	}
+	for i, c := range cases {
+		if _, err := FromJSON(c); err == nil {
+			t.Errorf("case %d: malformed matrix accepted", i)
+		}
+	}
+}
+
+func TestShapeMismatches(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 2)
+	if _, err := a.Add(b); err == nil {
+		t.Error("added mismatched shapes")
+	}
+	if _, err := a.Sub(b); err == nil {
+		t.Error("subtracted mismatched shapes")
+	}
+	if _, err := New(2, 2).Mul(New(3, 3)); err == nil {
+		t.Error("multiplied mismatched inner dims")
+	}
+	if _, err := a.Inverse(); err == nil {
+		t.Error("inverted a non-square matrix")
+	}
+}
+
+func TestMaxBitLenGrowsForIllConditioned(t *testing.T) {
+	inv10, _ := Hilbert(10).Inverse()
+	inv20, _ := Hilbert(20).Inverse()
+	if !(inv20.MaxBitLen() > inv10.MaxBitLen()) {
+		t.Errorf("bit length did not grow: %d vs %d", inv10.MaxBitLen(), inv20.MaxBitLen())
+	}
+}
+
+func TestDeterminantProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		a := randomInvertible(rng, n)
+		b := randomInvertible(rng, n)
+		da, err := a.Determinant()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, _ := b.Determinant()
+		ab, _ := a.Mul(b)
+		dab, _ := ab.Determinant()
+		// det(AB) = det(A)·det(B), exactly.
+		want := new(big.Rat).Mul(da, db)
+		if dab.Cmp(want) != 0 {
+			t.Fatalf("det(AB) = %s, want %s", dab.RatString(), want.RatString())
+		}
+		// Invertible matrices have full rank and nonzero determinant.
+		if da.Sign() == 0 || a.Rank() != n {
+			t.Fatalf("invertible matrix has det %s rank %d", da.RatString(), a.Rank())
+		}
+	}
+	// A singular matrix: det 0, deficient rank.
+	s := New(3, 3)
+	s.SetInt(0, 0, 1)
+	s.SetInt(1, 0, 2)
+	s.SetInt(2, 0, 3)
+	d, err := s.Determinant()
+	if err != nil || d.Sign() != 0 {
+		t.Errorf("det = %v err = %v, want 0", d, err)
+	}
+	if s.Rank() != 1 {
+		t.Errorf("rank = %d, want 1", s.Rank())
+	}
+}

@@ -1,0 +1,153 @@
+// Package rest provides the HTTP plumbing shared by all MathCloud server
+// components: JSON request/response encoding, mapping of platform errors to
+// HTTP status codes, and small routing helpers.  It exists so that the
+// container, the catalogue and the workflow management service expose a
+// uniform RESTful surface, which is the central argument of the paper.
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	"mathcloud/internal/core"
+)
+
+// MaxBodyBytes bounds the size of JSON request bodies.  Large data must be
+// passed through file resources, as the unified API prescribes.
+const MaxBodyBytes = 16 << 20
+
+// ErrorBody is the JSON error representation returned by all services.
+type ErrorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// WriteJSON encodes v as JSON with the given status code.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The header is already out; nothing more can be done but log.
+		log.Printf("rest: encode response: %v", err)
+	}
+}
+
+// WriteError maps a platform error onto an HTTP status and writes the JSON
+// error body.  Unknown errors become 500.
+func WriteError(w http.ResponseWriter, err error) {
+	status := StatusOf(err)
+	WriteJSON(w, status, ErrorBody{Error: err.Error(), Status: status})
+}
+
+// StatusOf returns the HTTP status code a platform error maps to.
+func StatusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case core.IsNotFound(err):
+		return http.StatusNotFound
+	case isType[*core.BadRequestError](err):
+		return http.StatusBadRequest
+	case isType[*core.ConflictError](err):
+		return http.StatusConflict
+	case isType[*core.ForbiddenError](err):
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func isType[T error](err error) bool {
+	for err != nil {
+		if _, ok := err.(T); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// ReadJSON decodes the request body into v, enforcing the body size limit
+// and rejecting trailing garbage.
+func ReadJSON(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		return core.ErrBadRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return core.ErrBadRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// ShiftPath splits the first path segment off p ("/a/b/c" → "a", "/b/c").
+// It is the routing primitive used by the handlers, which keeps the
+// resource hierarchy of the unified API explicit in code.
+func ShiftPath(p string) (head, tail string) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i:]
+	}
+	return p, "/"
+}
+
+// WantsHTML reports whether the client prefers an HTML representation
+// (a web browser), which triggers the container's auto-generated web UI.
+func WantsHTML(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	htmlPos := strings.Index(accept, "text/html")
+	if htmlPos < 0 {
+		return false
+	}
+	jsonPos := strings.Index(accept, "application/json")
+	return jsonPos < 0 || htmlPos < jsonPos
+}
+
+// MethodNotAllowed writes a 405 with the allowed methods advertised.
+func MethodNotAllowed(w http.ResponseWriter, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	WriteJSON(w, http.StatusMethodNotAllowed, ErrorBody{
+		Error:  fmt.Sprintf("method not allowed; allowed: %s", strings.Join(allowed, ", ")),
+		Status: http.StatusMethodNotAllowed,
+	})
+}
+
+// Logging wraps a handler with one-line request logging.
+func Logging(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Printf("%s %s -> %d", r.Method, r.URL.Path, rec.status)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// Drain reads and discards the remainder of a response body so the
+// underlying connection can be reused, then closes it.
+func Drain(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, MaxBodyBytes))
+	_ = body.Close()
+}

@@ -1,0 +1,116 @@
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/core"
+)
+
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{core.ErrNotFound("job", "x"), 404},
+		{core.ErrBadRequest("bad"), 400},
+		{core.ErrConflict("busy"), 409},
+		{core.ErrForbidden("no"), 403},
+		{errors.New("mystery failure"), 500},
+	}
+	for _, tc := range cases {
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestWriteErrorBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, core.ErrNotFound("service", "x"))
+	if rec.Code != 404 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var body ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != 404 || !strings.Contains(body.Error, "not found") {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"a": 1}`))
+	var v map[string]any
+	if err := ReadJSON(r, &v); err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if v["a"] != 1.0 {
+		t.Errorf("v = %v", v)
+	}
+
+	r = httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"a": 1} trailing`))
+	if err := ReadJSON(r, &v); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	r = httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{nope`))
+	if err := ReadJSON(r, &v); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestShiftPath(t *testing.T) {
+	cases := []struct {
+		in, head, tail string
+	}{
+		{"/a/b/c", "a", "/b/c"},
+		{"/a", "a", "/"},
+		{"/", "", "/"},
+		{"", "", "/"},
+		{"a/b", "a", "/b"},
+	}
+	for _, tc := range cases {
+		head, tail := ShiftPath(tc.in)
+		if head != tc.head || tail != tc.tail {
+			t.Errorf("ShiftPath(%q) = (%q, %q), want (%q, %q)",
+				tc.in, head, tail, tc.head, tc.tail)
+		}
+	}
+}
+
+func TestWantsHTML(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"text/html,application/xhtml+xml", true},
+		{"application/json", false},
+		{"", false},
+		{"application/json, text/html", false}, // JSON preferred
+		{"text/html, application/json", true},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/", nil)
+		r.Header.Set("Accept", tc.accept)
+		if got := WantsHTML(r); got != tc.want {
+			t.Errorf("WantsHTML(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MethodNotAllowed(rec, http.MethodGet, http.MethodPost)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != "GET, POST" {
+		t.Errorf("Allow = %q", allow)
+	}
+}

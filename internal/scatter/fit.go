@@ -1,0 +1,229 @@
+package scatter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The fitting stage: find non-negative weights w minimizing
+// ‖Σ_s w_s B_s − I_obs‖².  The study ran three different optimization
+// solvers on a cluster and cross-checked their answers; this file
+// implements three genuinely different non-negative least-squares methods.
+
+// SolverName identifies one of the three fit solvers.
+type SolverName string
+
+// The three solvers.
+const (
+	SolverProjGrad   SolverName = "projected-gradient"
+	SolverCoordinate SolverName = "coordinate-descent"
+	SolverMultUpdate SolverName = "multiplicative-update"
+)
+
+// Solvers lists the available fit solvers in canonical order.
+func Solvers() []SolverName {
+	return []SolverName{SolverProjGrad, SolverCoordinate, SolverMultUpdate}
+}
+
+// FitResult is the outcome of one NNLS fit.
+type FitResult struct {
+	Solver  SolverName `json:"solver"`
+	Weights []float64  `json:"weights"`
+	Chi2    float64    `json:"chi2"`
+	Iters   int        `json:"iters"`
+}
+
+// chi2 computes ‖Bw − y‖².
+func chi2(curves [][]float64, w, y []float64) float64 {
+	sum := 0.0
+	for qi := range y {
+		r := -y[qi]
+		for si := range w {
+			r += w[si] * curves[si][qi]
+		}
+		sum += r * r
+	}
+	return sum
+}
+
+// gram precomputes G = BᵀB and h = Bᵀy.
+func gram(curves [][]float64, y []float64) (g [][]float64, h []float64) {
+	n := len(curves)
+	g = make([][]float64, n)
+	h = make([]float64, n)
+	for i := 0; i < n; i++ {
+		g[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			dot := 0.0
+			for qi := range y {
+				dot += curves[i][qi] * curves[j][qi]
+			}
+			g[i][j] = dot
+			g[j][i] = dot
+		}
+		for qi := range y {
+			h[i] += curves[i][qi] * y[qi]
+		}
+	}
+	return g, h
+}
+
+// Fit runs the named solver.
+func Fit(name SolverName, curves [][]float64, y []float64, iters int) (*FitResult, error) {
+	if len(curves) == 0 || len(y) == 0 {
+		return nil, fmt.Errorf("scatter: empty fit input")
+	}
+	for si := range curves {
+		if len(curves[si]) != len(y) {
+			return nil, fmt.Errorf("scatter: curve %d has %d samples, observation has %d",
+				si, len(curves[si]), len(y))
+		}
+	}
+	if iters <= 0 {
+		iters = 2000
+	}
+	switch name {
+	case SolverProjGrad:
+		return fitProjGrad(curves, y, iters), nil
+	case SolverCoordinate:
+		return fitCoordinate(curves, y, iters), nil
+	case SolverMultUpdate:
+		return fitMultiplicative(curves, y, iters), nil
+	default:
+		return nil, fmt.Errorf("scatter: unknown solver %q", name)
+	}
+}
+
+// fitProjGrad is projected gradient descent with a Lipschitz step
+// 1/trace(G).
+func fitProjGrad(curves [][]float64, y []float64, iters int) *FitResult {
+	g, h := gram(curves, y)
+	n := len(curves)
+	w := make([]float64, n)
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		trace += g[i][i]
+	}
+	step := 1.0 / trace
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			grad := -h[i]
+			for j := 0; j < n; j++ {
+				grad += g[i][j] * w[j]
+			}
+			w[i] -= step * grad
+			if w[i] < 0 {
+				w[i] = 0
+			}
+		}
+	}
+	return &FitResult{Solver: SolverProjGrad, Weights: w,
+		Chi2: chi2(curves, w, y), Iters: iters}
+}
+
+// fitCoordinate is exact cyclic coordinate descent: each coordinate is set
+// to its unconstrained minimizer clipped at zero.
+func fitCoordinate(curves [][]float64, y []float64, iters int) *FitResult {
+	g, h := gram(curves, y)
+	n := len(curves)
+	w := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			if g[i][i] == 0 {
+				continue
+			}
+			num := h[i]
+			for j := 0; j < n; j++ {
+				if j != i {
+					num -= g[i][j] * w[j]
+				}
+			}
+			wi := num / g[i][i]
+			if wi < 0 {
+				wi = 0
+			}
+			w[i] = wi
+		}
+	}
+	return &FitResult{Solver: SolverCoordinate, Weights: w,
+		Chi2: chi2(curves, w, y), Iters: iters}
+}
+
+// fitMultiplicative is the Lee–Seung multiplicative update, which
+// preserves positivity by construction.
+func fitMultiplicative(curves [][]float64, y []float64, iters int) *FitResult {
+	g, h := gram(curves, y)
+	n := len(curves)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.1
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			denom := 0.0
+			for j := 0; j < n; j++ {
+				denom += g[i][j] * w[j]
+			}
+			if denom <= 1e-300 || h[i] <= 0 {
+				w[i] = 0
+				continue
+			}
+			w[i] *= h[i] / denom
+		}
+	}
+	return &FitResult{Solver: SolverMultUpdate, Weights: w,
+		Chi2: chi2(curves, w, y), Iters: iters}
+}
+
+// ClassShare aggregates fitted weights into per-class shares summing to 1.
+func ClassShare(lib []Structure, weights []float64) map[Class]float64 {
+	shares := make(map[Class]float64)
+	total := 0.0
+	for i, s := range lib {
+		shares[s.Class] += weights[i]
+		total += weights[i]
+	}
+	if total > 0 {
+		for c := range shares {
+			shares[c] /= total
+		}
+	}
+	return shares
+}
+
+// Dominant returns the class with the largest share.
+func Dominant(shares map[Class]float64) (Class, float64) {
+	classes := make([]Class, 0, len(shares))
+	for c := range shares {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var best Class
+	bestV := math.Inf(-1)
+	for _, c := range classes {
+		if shares[c] > bestV {
+			best, bestV = c, shares[c]
+		}
+	}
+	return best, bestV
+}
+
+// BestFit runs all three solvers and returns every result plus the index
+// of the lowest-χ² one — the cross-check the study performed across its
+// three solvers.
+func BestFit(curves [][]float64, y []float64, iters int) ([]*FitResult, int, error) {
+	results := make([]*FitResult, 0, 3)
+	best := -1
+	for _, name := range Solvers() {
+		r, err := Fit(name, curves, y, iters)
+		if err != nil {
+			return nil, -1, err
+		}
+		results = append(results, r)
+		if best < 0 || r.Chi2 < results[best].Chi2 {
+			best = len(results) - 1
+		}
+	}
+	return results, best, nil
+}

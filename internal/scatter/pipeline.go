@@ -1,0 +1,128 @@
+package scatter
+
+import (
+	"context"
+	"fmt"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/workflow"
+)
+
+// PipelineResult is the outcome of the distributed diffractometry
+// pipeline.
+type PipelineResult struct {
+	// Fits holds the three solver results; Best indexes the lowest-χ²
+	// one.
+	Fits []*FitResult
+	Best int
+	// Shares is the per-class distribution of the best fit.
+	Shares map[Class]float64
+	// Dominant is the winning class (the study's headline answer:
+	// toroid) and its share.
+	Dominant      Class
+	DominantShare float64
+}
+
+// RunPipeline executes the full X-ray interpretation pipeline through
+// computational web services: scattering curves for every library
+// structure are computed in parallel over the pool of curve services (the
+// grid part of the original application), then the three fit solvers run
+// in parallel over the fit services (the cluster part), and the best fit
+// yields the class distribution.
+func RunPipeline(ctx context.Context, inv workflow.Invoker,
+	curveURIs []string, fitURI string,
+	lib []Structure, obs *Observation, samples, iters int) (*PipelineResult, error) {
+
+	if len(curveURIs) == 0 {
+		return nil, fmt.Errorf("scatter: no curve services")
+	}
+	q := floatsToJSON(obs.Q)
+
+	// Stage 1: curves, one service call per structure, all concurrent.
+	type curveRes struct {
+		idx   int
+		curve []float64
+		err   error
+	}
+	ch := make(chan curveRes, len(lib))
+	for i, s := range lib {
+		go func(i int, s Structure) {
+			uri := curveURIs[i%len(curveURIs)]
+			out, err := inv.Call(ctx, uri, core.Values{
+				"structure": map[string]any{
+					"class": string(s.Class), "label": s.Label,
+					"r": s.R, "r2": s.R2,
+				},
+				"q":       q,
+				"samples": float64(samples),
+			})
+			if err != nil {
+				ch <- curveRes{i, nil, err}
+				return
+			}
+			curve, err := floatSlice(out["curve"])
+			ch <- curveRes{i, curve, err}
+		}(i, s)
+	}
+	curves := make([][]float64, len(lib))
+	for range lib {
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("scatter: curve stage: %w", r.err)
+		}
+		curves[r.idx] = r.curve
+	}
+
+	// Stage 2: the three solvers, concurrent over the fit service.
+	curvesJSON := make([]any, len(curves))
+	for i, c := range curves {
+		curvesJSON[i] = floatsToJSON(c)
+	}
+	type fitRes struct {
+		idx int
+		fit *FitResult
+		err error
+	}
+	fitCh := make(chan fitRes, len(Solvers()))
+	for i, name := range Solvers() {
+		go func(i int, name SolverName) {
+			out, err := inv.Call(ctx, fitURI, core.Values{
+				"solver":      string(name),
+				"curves":      curvesJSON,
+				"observation": floatsToJSON(obs.I),
+				"iters":       float64(iters),
+			})
+			if err != nil {
+				fitCh <- fitRes{i, nil, err}
+				return
+			}
+			weights, err := floatSlice(out["weights"])
+			if err != nil {
+				fitCh <- fitRes{i, nil, err}
+				return
+			}
+			chi, _ := out["chi2"].(float64)
+			fitCh <- fitRes{i, &FitResult{Solver: name, Weights: weights, Chi2: chi}, nil}
+		}(i, name)
+	}
+	fits := make([]*FitResult, len(Solvers()))
+	for range Solvers() {
+		r := <-fitCh
+		if r.err != nil {
+			return nil, fmt.Errorf("scatter: fit stage: %w", r.err)
+		}
+		fits[r.idx] = r.fit
+	}
+	best := 0
+	for i, f := range fits {
+		if f.Chi2 < fits[best].Chi2 {
+			best = i
+		}
+	}
+	shares := ClassShare(lib, fits[best].Weights)
+	dom, share := Dominant(shares)
+	return &PipelineResult{
+		Fits: fits, Best: best, Shares: shares,
+		Dominant: dom, DominantShare: share,
+	}, nil
+}

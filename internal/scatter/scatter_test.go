@@ -1,0 +1,163 @@
+package scatter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurveBasicProperties(t *testing.T) {
+	q := QGrid(5, 70, 40)
+	for _, s := range Library() {
+		curve := Curve(s, q, 256)
+		if len(curve) != len(q) {
+			t.Fatalf("%s: curve length %d, want %d", s.Label, len(curve), len(q))
+		}
+		for i, v := range curve {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: curve[%d] = %v", s.Label, i, v)
+			}
+			if v < -1 || v > 1.0001 {
+				t.Errorf("%s: curve[%d] = %v out of normalized range", s.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestCurveAtZeroQIsOne(t *testing.T) {
+	// I(0) = (1/N²)·N² = 1 for any structure.
+	s := Structure{Class: ClassSphere, R: 1.0}
+	curve := Curve(s, []float64{1e-12}, 128)
+	if math.Abs(curve[0]-1) > 1e-6 {
+		t.Errorf("I(0) = %v, want 1", curve[0])
+	}
+}
+
+func TestCurvesDistinguishClasses(t *testing.T) {
+	q := QGrid(5, 70, 40)
+	a := Curve(Structure{Class: ClassToroid, R: 2, R2: 0.5}, q, 256)
+	b := Curve(Structure{Class: ClassSphere, R: 1.2}, q, 256)
+	diff := 0.0
+	for i := range q {
+		diff += math.Abs(a[i] - b[i])
+	}
+	// Intensities decay quickly over this q range, so compare against
+	// the curves' own mass rather than an absolute threshold.
+	mass := 0.0
+	for i := range q {
+		mass += math.Abs(a[i]) + math.Abs(b[i])
+	}
+	if diff < 0.05*mass {
+		t.Errorf("toroid and sphere curves nearly identical (L1 %v vs mass %v)", diff, mass)
+	}
+}
+
+// buildProblem prepares the standard fitting problem used by the solver
+// tests.
+func buildProblem(t *testing.T) (lib []Structure, curves [][]float64, obs *Observation) {
+	t.Helper()
+	lib = Library()
+	q := QGrid(5, 70, 60)
+	curves = make([][]float64, len(lib))
+	for i, s := range lib {
+		curves[i] = Curve(s, q, 256)
+	}
+	obs = Synthesize(lib, q, curves, 0.01, 20260705)
+	return lib, curves, obs
+}
+
+func TestAllSolversRecoverToroidDominance(t *testing.T) {
+	lib, curves, obs := buildProblem(t)
+	for _, name := range Solvers() {
+		res, err := Fit(name, curves, obs.I, 3000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shares := ClassShare(lib, res.Weights)
+		dominant, share := Dominant(shares)
+		if dominant != ClassToroid {
+			t.Errorf("%s: dominant class %s (share %.2f), want toroid; shares %v",
+				name, dominant, share, shares)
+		}
+		if share < 0.4 {
+			t.Errorf("%s: toroid share %.2f suspiciously low", name, share)
+		}
+		for i, w := range res.Weights {
+			if w < 0 {
+				t.Errorf("%s: negative weight %v at %d", name, w, i)
+			}
+		}
+	}
+}
+
+func TestSolversAgreeOnChi2(t *testing.T) {
+	_, curves, obs := buildProblem(t)
+	results, best, err := BestFit(curves, obs.I, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || best < 0 {
+		t.Fatalf("results %d best %d", len(results), best)
+	}
+	// All three methods should reach comparable fits (within 10x of the
+	// best), and the best should be small.
+	for _, r := range results {
+		if r.Chi2 > 10*results[best].Chi2+1e-9 {
+			t.Errorf("%s: chi2 %v far from best %v", r.Solver, r.Chi2, results[best].Chi2)
+		}
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(SolverProjGrad, nil, nil, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit("bogus", [][]float64{{1}}, []float64{1}, 10); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if _, err := Fit(SolverProjGrad, [][]float64{{1, 2}}, []float64{1}, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestClassShareNormalization(t *testing.T) {
+	lib := Library()
+	w := make([]float64, len(lib))
+	for i := range w {
+		w[i] = 1
+	}
+	shares := ClassShare(lib, w)
+	total := 0.0
+	for _, v := range shares {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", total)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	lib := Library()
+	q := QGrid(5, 70, 20)
+	curves := make([][]float64, len(lib))
+	for i, s := range lib {
+		curves[i] = Curve(s, q, 128)
+	}
+	a := Synthesize(lib, q, curves, 0.02, 7)
+	b := Synthesize(lib, q, curves, 0.02, 7)
+	for i := range a.I {
+		if a.I[i] != b.I[i] {
+			t.Fatal("synthesis is not deterministic for equal seeds")
+		}
+	}
+	c := Synthesize(lib, q, curves, 0.02, 8)
+	same := true
+	for i := range a.I {
+		if a.I[i] != c.I[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical observations")
+	}
+}

@@ -1,0 +1,168 @@
+package scatter
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+)
+
+// Service wrappers: the curve computation (one structure per request,
+// embarrassingly parallel — run on the grid in the original study) and the
+// fit (one solver per request — run on a cluster).
+
+// CurveFuncName and FitFuncName are the native-function names.
+const (
+	CurveFuncName = "xray.curve"
+	FitFuncName   = "xray.fit"
+)
+
+func curveFunc(_ context.Context, inputs core.Values) (core.Values, error) {
+	var s Structure
+	raw, err := json.Marshal(inputs["structure"])
+	if err != nil {
+		return nil, fmt.Errorf("scatter: structure: %w", err)
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("scatter: structure: %w", err)
+	}
+	if s.Class == "" {
+		return nil, fmt.Errorf("scatter: missing structure class")
+	}
+	q, err := floatSlice(inputs["q"])
+	if err != nil {
+		return nil, fmt.Errorf("scatter: q grid: %w", err)
+	}
+	samples := 0
+	if v, ok := inputs["samples"].(float64); ok {
+		samples = int(v)
+	}
+	curve := Curve(s, q, samples)
+	return core.Values{"curve": floatsToJSON(curve)}, nil
+}
+
+func fitFunc(_ context.Context, inputs core.Values) (core.Values, error) {
+	solver, _ := inputs["solver"].(string)
+	rawCurves, ok := inputs["curves"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("scatter: missing curves")
+	}
+	curves := make([][]float64, len(rawCurves))
+	for i, rc := range rawCurves {
+		c, err := floatSlice(rc)
+		if err != nil {
+			return nil, fmt.Errorf("scatter: curve %d: %w", i, err)
+		}
+		curves[i] = c
+	}
+	y, err := floatSlice(inputs["observation"])
+	if err != nil {
+		return nil, fmt.Errorf("scatter: observation: %w", err)
+	}
+	iters := 0
+	if v, ok := inputs["iters"].(float64); ok {
+		iters = int(v)
+	}
+	res, err := Fit(SolverName(solver), curves, y, iters)
+	if err != nil {
+		return nil, err
+	}
+	return core.Values{
+		"weights": floatsToJSON(res.Weights),
+		"chi2":    res.Chi2,
+	}, nil
+}
+
+func floatSlice(v any) ([]float64, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("expected an array, got %T", v)
+	}
+	out := make([]float64, len(arr))
+	for i, e := range arr {
+		f, ok := e.(float64)
+		if !ok {
+			return nil, fmt.Errorf("element %d is %T, not a number", i, e)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func floatsToJSON(fs []float64) []any {
+	out := make([]any, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+// RegisterFuncs registers the curve and fit functions in the native
+// adapter registry.
+func RegisterFuncs() {
+	adapter.RegisterFunc(CurveFuncName, curveFunc)
+	adapter.RegisterFunc(FitFuncName, fitFunc)
+}
+
+// CurveServiceConfig returns a deployable curve-computation service.  The
+// adapter spec defaults to the in-process native adapter; experiment
+// harnesses override it to route through the grid simulator, as the
+// original application did.
+func CurveServiceConfig(name string) container.ServiceConfig {
+	numArray := jsonschema.MustParse(`{"type":"array","items":{"type":"number"}}`)
+	return container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        name,
+			Title:       "X-ray scattering curve service",
+			Description: "Computes the Debye scattering intensity of one carbon nanostructure on a q grid.",
+			Version:     "1.0",
+			Tags:        []string{"xray", "scattering", "nanostructure", "debye"},
+			Inputs: []core.Param{
+				{Name: "structure", Schema: jsonschema.MustParse(`{"type":"object"}`)},
+				{Name: "q", Schema: numArray},
+				{Name: "samples", Optional: true,
+					Schema: jsonschema.MustParse(`{"type":"integer","minimum":4}`)},
+			},
+			Outputs: []core.Param{{Name: "curve", Schema: numArray}},
+		},
+		Adapter: container.AdapterSpec{
+			Kind:   "native",
+			Config: []byte(fmt.Sprintf(`{"function": %q}`, CurveFuncName)),
+		},
+	}
+}
+
+// FitServiceConfig returns a deployable NNLS fit service.
+func FitServiceConfig(name string) container.ServiceConfig {
+	numArray := jsonschema.MustParse(`{"type":"array","items":{"type":"number"}}`)
+	return container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:        name,
+			Title:       "Nanostructure distribution fit service",
+			Description: "Fits non-negative structure weights to an observed scattering curve with a selectable solver.",
+			Version:     "1.0",
+			Tags:        []string{"xray", "optimization", "nnls", "fit"},
+			Inputs: []core.Param{
+				{Name: "solver", Schema: jsonschema.MustParse(
+					`{"type":"string","enum":["projected-gradient","coordinate-descent","multiplicative-update"]}`)},
+				{Name: "curves", Schema: jsonschema.MustParse(
+					`{"type":"array","items":{"type":"array","items":{"type":"number"}}}`)},
+				{Name: "observation", Schema: numArray},
+				{Name: "iters", Optional: true,
+					Schema: jsonschema.MustParse(`{"type":"integer","minimum":1}`)},
+			},
+			Outputs: []core.Param{
+				{Name: "weights", Schema: numArray},
+				{Name: "chi2", Schema: jsonschema.MustParse(`{"type":"number"}`)},
+			},
+		},
+		Adapter: container.AdapterSpec{
+			Kind:   "native",
+			Config: []byte(fmt.Sprintf(`{"function": %q}`, FitFuncName)),
+		},
+	}
+}

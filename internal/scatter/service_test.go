@@ -1,0 +1,95 @@
+package scatter
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mathcloud/internal/core"
+)
+
+func TestCurveFuncComputesViaService(t *testing.T) {
+	out, err := curveFunc(context.Background(), core.Values{
+		"structure": map[string]any{"class": "sphere", "r": 1.0},
+		"q":         []any{5.0, 10.0, 20.0},
+		"samples":   64.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, ok := out["curve"].([]any)
+	if !ok || len(curve) != 3 {
+		t.Fatalf("curve = %v", out["curve"])
+	}
+	// Must match the direct computation.
+	want := Curve(Structure{Class: ClassSphere, R: 1.0}, []float64{5, 10, 20}, 64)
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestCurveFuncValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   core.Values
+		want string
+	}{
+		{"missing class", core.Values{"structure": map[string]any{}, "q": []any{1.0}}, "class"},
+		{"bad q", core.Values{"structure": map[string]any{"class": "sphere", "r": 1.0}, "q": "nope"}, "q grid"},
+		{"q with non-number", core.Values{"structure": map[string]any{"class": "sphere", "r": 1.0},
+			"q": []any{1.0, "x"}}, "not a number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := curveFunc(context.Background(), tc.in)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFitFuncViaService(t *testing.T) {
+	lib := Library()[:3]
+	q := QGrid(5, 70, 20)
+	curves := make([]any, len(lib))
+	floatCurves := make([][]float64, len(lib))
+	for i, s := range lib {
+		floatCurves[i] = Curve(s, q, 64)
+		curves[i] = floatsToJSON(floatCurves[i])
+	}
+	obs := Synthesize(lib, q, floatCurves, 0, 5)
+	out, err := fitFunc(context.Background(), core.Values{
+		"solver":      string(SolverCoordinate),
+		"curves":      curves,
+		"observation": floatsToJSON(obs.I),
+		"iters":       500.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, ok := out["weights"].([]any)
+	if !ok || len(weights) != len(lib) {
+		t.Fatalf("weights = %v", out["weights"])
+	}
+	chi, ok := out["chi2"].(float64)
+	if !ok || chi < 0 {
+		t.Errorf("chi2 = %v", out["chi2"])
+	}
+}
+
+func TestFitFuncValidation(t *testing.T) {
+	_, err := fitFunc(context.Background(), core.Values{"solver": "coordinate-descent"})
+	if err == nil || !strings.Contains(err.Error(), "curves") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = fitFunc(context.Background(), core.Values{
+		"solver": "bogus",
+		"curves": []any{[]any{1.0}}, "observation": []any{1.0},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Errorf("err = %v", err)
+	}
+}

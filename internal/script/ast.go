@@ -1,0 +1,115 @@
+package script
+
+// The abstract syntax tree of MCScript.  Nodes carry their source position
+// for runtime error messages.
+
+type node interface {
+	pos() (line, col int)
+}
+
+type position struct {
+	line, col int
+}
+
+func (p position) pos() (int, int) { return p.line, p.col }
+
+// Statements.
+
+type stmtBlock struct {
+	position
+	stmts []node
+}
+
+type stmtAssign struct {
+	position
+	target node // identExpr, fieldExpr or indexExpr
+	value  node
+}
+
+type stmtIf struct {
+	position
+	cond node
+	then *stmtBlock
+	els  node // *stmtBlock, *stmtIf or nil
+}
+
+type stmtFor struct {
+	position
+	keyVar string // optional index/key variable ("" if absent)
+	valVar string
+	seq    node
+	body   *stmtBlock
+}
+
+type stmtWhile struct {
+	position
+	cond node
+	body *stmtBlock
+}
+
+type stmtReturn struct {
+	position
+	value node // may be nil
+}
+
+type stmtBreak struct{ position }
+
+type stmtContinue struct{ position }
+
+type stmtExpr struct {
+	position
+	expr node
+}
+
+// Expressions.
+
+type exprLiteral struct {
+	position
+	value any
+}
+
+type exprIdent struct {
+	position
+	name string
+}
+
+type exprField struct {
+	position
+	object node
+	name   string
+}
+
+type exprIndex struct {
+	position
+	object node
+	index  node
+}
+
+type exprCall struct {
+	position
+	fn   string
+	args []node
+}
+
+type exprUnary struct {
+	position
+	op      string
+	operand node
+}
+
+type exprBinary struct {
+	position
+	op          string
+	left, right node
+}
+
+type exprArray struct {
+	position
+	elems []node
+}
+
+type exprObject struct {
+	position
+	keys   []string
+	values []node
+}

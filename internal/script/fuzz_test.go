@@ -1,0 +1,60 @@
+package script
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyParserNeverPanics throws random token soup at the parser:
+// it must either parse or return a SyntaxError, never panic.
+func TestPropertyParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"out", ".", "=", "in", "x", "1", "2.5", "\"s\"", "(", ")", "[", "]",
+		"{", "}", "+", "-", "*", "/", "%", "if", "else", "for", "while",
+		"return", "break", "continue", "true", "false", "null", ",", ";",
+		"&&", "||", "==", "!=", "<", ">", "<=", ">=", "!", "len", ":",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("parser panicked: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = fragments[rng.Intn(len(fragments))]
+		}
+		src := strings.Join(parts, " ")
+		prog, err := Parse(src)
+		if err != nil {
+			return true // rejection is fine
+		}
+		// If it parses, a bounded run must not panic either.
+		_, _, _ = prog.RunLimited(map[string]any{"x": 1.0}, 50000)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLexerNeverPanics feeds random bytes to the lexer.
+func TestPropertyLexerNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = lexAll(string(data))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

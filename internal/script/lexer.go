@@ -1,0 +1,258 @@
+// Package script implements MCScript, the small embedded language that
+// MathCloud workflows use for custom actions.  The paper lets users attach
+// custom workflow actions written in JavaScript or Python — for example to
+// build complex string inputs for services or to collect extra timing.
+// MCScript is the stdlib-only stand-in: a deliberately small, deterministic,
+// JSON-native scripting language with a lexer, a recursive-descent parser
+// and a tree-walking evaluator.
+//
+// A script receives the block inputs in the predeclared object `in` and
+// publishes outputs by assigning fields of the predeclared object `out`:
+//
+//	total = 0
+//	for x in in.values { total = total + x }
+//	out.sum = total
+//	out.label = format("sum of %v values", len(in.values))
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokKeyword
+	tokOp
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	str  string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of script"
+	case tokString:
+		return strconv.Quote(t.str)
+	default:
+		return t.text
+	}
+}
+
+// keywords of the language.
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "in": false,
+	"return": true, "true": true, "false": true, "null": true,
+	"break": true, "continue": true,
+}
+
+// isKeyword reports whether the identifier is reserved.  `in` is special:
+// it is a keyword in `for x in e` position but also the conventional name
+// of the inputs object, so the parser treats it contextually.
+func isKeyword(s string) bool {
+	v, ok := keywords[s]
+	return ok && v
+}
+
+// A SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line, Col int
+	Message   string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: %d:%d: %s", e.Line, e.Col, e.Message)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Message: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// operators, longest first so that the two-byte forms win.
+var operators = []string{
+	"==", "!=", "<=", ">=", "&&", "||",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!",
+	"(", ")", "[", "]", "{", "}", ",", ".", ";", ":",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	startLine, startCol := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == '.' ||
+			l.peekByte() == 'e' || l.peekByte() == 'E' ||
+			((l.peekByte() == '+' || l.peekByte() == '-') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, &SyntaxError{Line: startLine, Col: startCol,
+				Message: fmt.Sprintf("invalid number %q", text)}
+		}
+		return token{kind: tokNumber, text: text, num: f, line: startLine, col: startCol}, nil
+	case c == '"' || c == '\'':
+		return l.lexString(c, startLine, startCol)
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if isKeyword(text) {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+	default:
+		for _, op := range operators {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				for range op {
+					l.advance()
+				}
+				return token{kind: tokOp, text: op, line: startLine, col: startCol}, nil
+			}
+		}
+		return token{}, &SyntaxError{Line: startLine, Col: startCol,
+			Message: fmt.Sprintf("unexpected character %q", string(c))}
+	}
+}
+
+func (l *lexer) lexString(quote byte, line, col int) (token, error) {
+	l.advance() // consume opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, &SyntaxError{Line: line, Col: col, Message: "unterminated string"}
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return token{}, &SyntaxError{Line: line, Col: col, Message: "unterminated escape"}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '"', '\'':
+				b.WriteByte(e)
+			default:
+				return token{}, &SyntaxError{Line: line, Col: col,
+					Message: fmt.Sprintf("unknown escape \\%c", e)}
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token{kind: tokString, text: b.String(), str: b.String(), line: line, col: col}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole source, used by the parser.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

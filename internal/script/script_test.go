@@ -1,0 +1,343 @@
+package script
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string, in map[string]any) map[string]any {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, _, err := prog.Run(in)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"out.v = 1 + 2 * 3", 7.0},
+		{"out.v = (1 + 2) * 3", 9.0},
+		{"out.v = 10 % 3", 1.0},
+		{"out.v = -2 * 3", -6.0},
+		{"out.v = 7 / 2", 3.5},
+		{"out.v = 1 < 2 && 3 >= 3", true},
+		{"out.v = !false || false", true},
+		{"out.v = \"a\" + \"b\" + 1", "ab1"},
+		{"out.v = [1,2] + [3]", []any{1.0, 2.0, 3.0}},
+		{"out.v = 1 == 1.0", true},
+		{"out.v = \"x\" != \"y\"", true},
+	}
+	for _, tc := range cases {
+		out := run(t, tc.src, nil)
+		got := out["v"]
+		switch want := tc.want.(type) {
+		case []any:
+			arr, ok := got.([]any)
+			if !ok || len(arr) != len(want) {
+				t.Errorf("%s = %v, want %v", tc.src, got, want)
+				continue
+			}
+			for i := range want {
+				if arr[i] != want[i] {
+					t.Errorf("%s = %v, want %v", tc.src, got, want)
+				}
+			}
+		default:
+			if got != tc.want {
+				t.Errorf("%s = %v (%T), want %v", tc.src, got, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+		total = 0
+		for x in in.values {
+			if x % 2 == 0 { continue }
+			if x > 100 { break }
+			total = total + x
+		}
+		i = 0
+		while i < 3 { i = i + 1 }
+		out.total = total
+		out.i = i
+	`
+	out := run(t, src, map[string]any{"values": []any{1.0, 2.0, 3.0, 201.0, 5.0}})
+	if out["total"] != 4.0 {
+		t.Errorf("total = %v, want 4 (1+3, breaking at 201)", out["total"])
+	}
+	if out["i"] != 3.0 {
+		t.Errorf("i = %v, want 3", out["i"])
+	}
+}
+
+func TestForOverMapAndString(t *testing.T) {
+	src := `
+		keysSeen = []
+		for k, v in in.obj { keysSeen = push(keysSeen, k + "=" + v) }
+		chars = 0
+		for c in "héllo" { chars = chars + 1 }
+		out.pairs = keysSeen
+		out.chars = chars
+	`
+	out := run(t, src, map[string]any{"obj": map[string]any{"b": 2.0, "a": 1.0}})
+	pairs, _ := out["pairs"].([]any)
+	// Map iteration is sorted for determinism.
+	if len(pairs) != 2 || pairs[0] != "a=1" || pairs[1] != "b=2" {
+		t.Errorf("pairs = %v", pairs)
+	}
+	if out["chars"] != 5.0 {
+		t.Errorf("chars = %v, want 5 (runes, not bytes)", out["chars"])
+	}
+}
+
+func TestObjectsAndIndexing(t *testing.T) {
+	src := `
+		rec = {name: "ada", "full name": "ada lovelace", tags: [1, 2, 3]}
+		rec.age = 36
+		rec.tags[0] = 10
+		out.name = rec.name
+		out.full = rec["full name"]
+		out.age = rec.age
+		out.first = rec.tags[0]
+	`
+	out := run(t, src, nil)
+	if out["name"] != "ada" || out["full"] != "ada lovelace" ||
+		out["age"] != 36.0 || out["first"] != 10.0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestReturnValue(t *testing.T) {
+	prog, err := Parse(`
+		if in.x > 0 { return "positive" }
+		return "non-positive"
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err := prog.Run(map[string]any{"x": 5.0})
+	if err != nil || ret != "positive" {
+		t.Errorf("ret = %v, err = %v", ret, err)
+	}
+	_, ret, err = prog.Run(map[string]any{"x": -5.0})
+	if err != nil || ret != "non-positive" {
+		t.Errorf("ret = %v, err = %v", ret, err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{`out.v = len("abc")`, 3.0},
+		{`out.v = len([1,2])`, 2.0},
+		{`out.v = join(split("a,b,c", ","), "-")`, "a-b-c"},
+		{`out.v = trim("  x  ")`, "x"},
+		{`out.v = contains([1,2,3], 2)`, true},
+		{`out.v = contains("hello", "ell")`, true},
+		{`out.v = min(3, 1, 2)`, 1.0},
+		{`out.v = max([3, 1, 2])`, 3.0},
+		{`out.v = sum(range(5))`, 10.0},
+		{`out.v = floor(2.7) + ceil(2.2) + round(2.5)`, 2.0 + 3.0 + 3.0},
+		{`out.v = abs(-4)`, 4.0},
+		{`out.v = sqrt(9)`, 3.0},
+		{`out.v = str(42)`, "42"},
+		{`out.v = num("3.5")`, 3.5},
+		{`out.v = type([])`, "array"},
+		{`out.v = format("%s-%v", "x", 7)`, "x-7"},
+		{`out.v = toJSON({a: 1})`, `{"a":1}`},
+		{`out.v = parseJSON("[1,2]")[1]`, 2.0},
+		{`out.v = has({a: 1}, "a")`, true},
+		{`out.v = keys({b: 1, a: 2})[0]`, "a"},
+		{`out.v = sort([3,1,2])[0]`, 1.0},
+		{`out.v = slice([1,2,3,4], 1, 3)[0]`, 2.0},
+		{`out.v = push([1], 2, 3)[2]`, 3.0},
+	}
+	for _, tc := range cases {
+		out := run(t, tc.src, nil)
+		if out["v"] != tc.want {
+			t.Errorf("%s = %v (%T), want %v", tc.src, out["v"], out["v"], tc.want)
+		}
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	prog, err := Parse(`while true { x = 1 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = prog.RunLimited(nil, 10000)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v, want step limit", err)
+	}
+}
+
+func TestInputsAreImmutable(t *testing.T) {
+	inputs := map[string]any{"arr": []any{1.0}}
+	run(t, `x = in.arr; x[0] = 99; out.done = true`, inputs)
+	if inputs["arr"].([]any)[0] != 1.0 {
+		t.Error("script mutated caller's inputs")
+	}
+	prog, err := Parse(`in = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prog.Run(nil); err == nil {
+		t.Error("overwriting `in` allowed")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`out.v = nope`, "undefined variable"},
+		{`out.v = 1 / 0`, "division by zero"},
+		{`out.v = 1 % 0`, "modulo by zero"},
+		{`out.v = [1][5]`, "out of range"},
+		{`out.v = "a" - 1`, "needs numbers"},
+		{`out.v = frob(1)`, "unknown function"},
+		{`out.v = len(5)`, "len of number"},
+		{`for x in 5 { }`, "cannot iterate"},
+		{`out.v = {}.x.y`, "cannot read field"},
+		{`out.v = -"s"`, "needs a number"},
+		{`out.v = 1 < "a"`, "cannot compare"},
+	}
+	for _, tc := range cases {
+		prog, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		_, _, err = prog.Run(nil)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`out.v = `,
+		`if { }`,
+		`for in x { }`,
+		`while true`,
+		`out.v = [1, 2`,
+		`out.v = {a: }`,
+		`1 = 2`,
+		`out.v = 1 ? 2`,
+		`"unterminated`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want syntax error", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	out := run(t, `
+		# hash comment
+		// slash comment
+		out.v = 1 # trailing
+	`, nil)
+	if out["v"] != 1.0 {
+		t.Errorf("v = %v", out["v"])
+	}
+}
+
+// Property: sum(arr) computed by the script equals the host-side sum.
+func TestPropertySumMatchesHost(t *testing.T) {
+	prog, err := Parse(`out.s = sum(in.values)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		arr := make([]any, n)
+		want := 0.0
+		for i := range arr {
+			v := float64(rng.Intn(1000))
+			arr[i] = v
+			want += v
+		}
+		out, _, err := prog.Run(map[string]any{"values": arr})
+		if err != nil {
+			return false
+		}
+		return out["s"] == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sort is idempotent and length-preserving.
+func TestPropertySort(t *testing.T) {
+	prog, err := Parse(`
+		s1 = sort(in.values)
+		out.sorted = s1
+		out.twice = sort(s1)
+		out.n = len(s1)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = float64(rng.Intn(100))
+		}
+		out, _, err := prog.Run(map[string]any{"values": arr})
+		if err != nil {
+			return false
+		}
+		sorted := out["sorted"].([]any)
+		twice := out["twice"].([]any)
+		if out["n"] != float64(n) || len(sorted) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if sorted[i-1].(float64) > sorted[i].(float64) {
+				return false
+			}
+		}
+		for i := range sorted {
+			if sorted[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinsListed(t *testing.T) {
+	names := Builtins()
+	if len(names) < 20 {
+		t.Errorf("only %d builtins listed", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("Builtins not sorted")
+		}
+	}
+}

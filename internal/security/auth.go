@@ -1,0 +1,151 @@
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Authenticator is one client authentication mechanism.  Implementations
+// return ok=false when the request carries no credentials of their type
+// (so the next mechanism in the chain is tried) and an error when it
+// carries invalid ones.
+type Authenticator interface {
+	Authenticate(r *http.Request) (identity string, ok bool, err error)
+}
+
+// CertAuthenticator authenticates clients by X.509 client certificate: the
+// first mechanism of the paper's security section.  The TLS layer has
+// already verified the chain against the platform CA; the authenticator
+// only derives the identity from the certificate's distinguished name.
+type CertAuthenticator struct{}
+
+// Authenticate implements Authenticator.
+func (CertAuthenticator) Authenticate(r *http.Request) (string, bool, error) {
+	if r.TLS == nil || len(r.TLS.PeerCertificates) == 0 {
+		return "", false, nil
+	}
+	cn := r.TLS.PeerCertificates[0].Subject.CommonName
+	if cn == "" {
+		return "", false, fmt.Errorf("security: client certificate without common name")
+	}
+	return CertIdentity(cn), true, nil
+}
+
+// WebIdentityProvider simulates the Loginza-style federated login service:
+// users authenticate with an external identity provider (Google, any
+// OpenID provider, ...) and receive a signed bearer token that MathCloud
+// services accept.  Tokens are HMAC-signed and carry the OpenID identifier
+// and an expiry.
+type WebIdentityProvider struct {
+	secret []byte
+	ttl    time.Duration
+
+	mu      sync.Mutex
+	revoked map[string]bool
+}
+
+// NewWebIdentityProvider creates a provider with a random signing secret
+// and the given token lifetime (0 means 24 h).
+func NewWebIdentityProvider(ttl time.Duration) (*WebIdentityProvider, error) {
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("security: provider secret: %w", err)
+	}
+	if ttl <= 0 {
+		ttl = 24 * time.Hour
+	}
+	return &WebIdentityProvider{secret: secret, ttl: ttl, revoked: make(map[string]bool)}, nil
+}
+
+// OpenIDIdentity is the platform identity for a federated web identity.
+func OpenIDIdentity(openID string) string { return "openid:" + openID }
+
+// Login issues a bearer token for the given OpenID identifier.  In the
+// real platform this happens after the identity-provider redirect dance;
+// the simulation starts at the point where the provider has vouched for
+// the identifier.
+func (p *WebIdentityProvider) Login(openID string) (string, error) {
+	if strings.TrimSpace(openID) == "" {
+		return "", fmt.Errorf("security: empty OpenID identifier")
+	}
+	if strings.ContainsAny(openID, "|") {
+		return "", fmt.Errorf("security: OpenID identifier must not contain '|'")
+	}
+	expires := time.Now().Add(p.ttl).Unix()
+	payload := fmt.Sprintf("%s|%d", openID, expires)
+	sig := p.sign(payload)
+	token := base64.RawURLEncoding.EncodeToString([]byte(payload + "|" + sig))
+	return token, nil
+}
+
+// Revoke invalidates a previously issued token.
+func (p *WebIdentityProvider) Revoke(token string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.revoked[token] = true
+}
+
+// Verify checks a token and returns the platform identity it vouches for.
+func (p *WebIdentityProvider) Verify(token string) (string, error) {
+	p.mu.Lock()
+	revoked := p.revoked[token]
+	p.mu.Unlock()
+	if revoked {
+		return "", fmt.Errorf("security: token revoked")
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return "", fmt.Errorf("security: malformed token")
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 3 {
+		return "", fmt.Errorf("security: malformed token")
+	}
+	openID, expiresStr, sig := parts[0], parts[1], parts[2]
+	payload := openID + "|" + expiresStr
+	if !hmac.Equal([]byte(p.sign(payload)), []byte(sig)) {
+		return "", fmt.Errorf("security: invalid token signature")
+	}
+	var expires int64
+	if _, err := fmt.Sscanf(expiresStr, "%d", &expires); err != nil {
+		return "", fmt.Errorf("security: malformed token expiry")
+	}
+	if time.Now().Unix() > expires {
+		return "", fmt.Errorf("security: token expired")
+	}
+	return OpenIDIdentity(openID), nil
+}
+
+func (p *WebIdentityProvider) sign(payload string) string {
+	mac := hmac.New(sha256.New, p.secret)
+	mac.Write([]byte(payload))
+	return base64.RawURLEncoding.EncodeToString(mac.Sum(nil))
+}
+
+// TokenAuthenticator authenticates bearer tokens issued by a
+// WebIdentityProvider: the second client-authentication mechanism, which
+// is convenient for users who do not have a certificate.
+type TokenAuthenticator struct {
+	Provider *WebIdentityProvider
+}
+
+// Authenticate implements Authenticator.
+func (a TokenAuthenticator) Authenticate(r *http.Request) (string, bool, error) {
+	header := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(header, prefix) {
+		return "", false, nil
+	}
+	identity, err := a.Provider.Verify(strings.TrimPrefix(header, prefix))
+	if err != nil {
+		return "", false, err
+	}
+	return identity, true, nil
+}

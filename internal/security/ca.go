@@ -1,0 +1,144 @@
+// Package security implements the common security mechanism of the
+// MathCloud platform (the paper's Fig. 3): authentication of services via
+// TLS server certificates, authentication of clients via X.509 client
+// certificates or a federated web-identity provider (the paper uses the
+// Loginza service over OpenID), authorization via per-service allow and
+// deny lists, and a limited delegation mechanism via proxy lists that let
+// trusted services — typically the workflow service — act on behalf of
+// users.
+package security
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is a certificate authority used to issue the platform's server and
+// client certificates.  Real deployments would use an external PKI; the CA
+// here makes the full certificate path — issuance, TLS handshake,
+// DN-based identity — exercisable in tests and experiments.
+type CA struct {
+	// Cert is the self-signed root certificate.
+	Cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+	// Pool contains the root, ready for tls.Config.RootCAs/ClientCAs.
+	Pool *x509.CertPool
+
+	serial int64
+}
+
+// NewCA creates a fresh certificate authority with the given name.
+func NewCA(name string) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("security: ca key: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"MathCloud"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("security: ca cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("security: ca parse: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CA{Cert: cert, key: key, Pool: pool, serial: 1}, nil
+}
+
+func (ca *CA) issue(tpl *x509.Certificate) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("security: issue key: %w", err)
+	}
+	ca.serial++
+	tpl.SerialNumber = big.NewInt(ca.serial)
+	tpl.NotBefore = time.Now().Add(-time.Hour)
+	tpl.NotAfter = time.Now().Add(365 * 24 * time.Hour)
+	der, err := x509.CreateCertificate(rand.Reader, tpl, ca.Cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("security: issue cert: %w", err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("security: issue parse: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der},
+		PrivateKey:  key,
+		Leaf:        leaf,
+	}, nil
+}
+
+// IssueClient issues a client certificate with the given common name.  The
+// resulting platform identity is CertIdentity(commonName).
+func (ca *CA) IssueClient(commonName string) (tls.Certificate, error) {
+	return ca.issue(&x509.Certificate{
+		Subject:     pkix.Name{CommonName: commonName, Organization: []string{"MathCloud"}},
+		KeyUsage:    x509.KeyUsageDigitalSignature,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	})
+}
+
+// IssueServer issues a server certificate for the given hosts (DNS names
+// or IP addresses).
+func (ca *CA) IssueServer(commonName string, hosts ...string) (tls.Certificate, error) {
+	tpl := &x509.Certificate{
+		Subject:     pkix.Name{CommonName: commonName, Organization: []string{"MathCloud"}},
+		KeyUsage:    x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tpl.IPAddresses = append(tpl.IPAddresses, ip)
+		} else {
+			tpl.DNSNames = append(tpl.DNSNames, h)
+		}
+	}
+	return ca.issue(tpl)
+}
+
+// ServerTLSConfig returns a TLS configuration for a MathCloud service:
+// server certificate presented, client certificates verified against the
+// CA when offered (clients may instead authenticate with a web identity
+// token, so certificates are requested but not required).
+func (ca *CA) ServerTLSConfig(serverCert tls.Certificate) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{serverCert},
+		ClientCAs:    ca.Pool,
+		ClientAuth:   tls.VerifyClientCertIfGiven,
+		MinVersion:   tls.VersionTLS12,
+	}
+}
+
+// ClientTLSConfig returns a TLS configuration for a client authenticating
+// with the given certificate (pass a zero tls.Certificate for anonymous
+// TLS).
+func (ca *CA) ClientTLSConfig(clientCert *tls.Certificate) *tls.Config {
+	cfg := &tls.Config{RootCAs: ca.Pool, MinVersion: tls.VersionTLS12}
+	if clientCert != nil {
+		cfg.Certificates = []tls.Certificate{*clientCert}
+	}
+	return cfg
+}
+
+// CertIdentity is the platform identity derived from a certificate common
+// name.
+func CertIdentity(commonName string) string { return "cn:" + commonName }

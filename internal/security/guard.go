@@ -1,0 +1,136 @@
+package security
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mathcloud/internal/core"
+)
+
+// ActForHeader carries the delegated user identity on proxied requests: a
+// trusted service (typically the workflow management service) sets it to
+// the identity of the user on whose behalf it invokes another service.
+const ActForHeader = core.ActForHeader
+
+// Policy is the per-service access control configuration: allow and deny
+// lists of identities, plus the proxy list of services trusted to act on
+// behalf of users.
+type Policy struct {
+	// Allow lists identities granted access.  Empty means everyone
+	// (subject to Deny).  The wildcard "*" is allowed explicitly.
+	Allow []string `json:"allow,omitempty"`
+	// Deny lists identities refused access; deny wins over allow.
+	Deny []string `json:"deny,omitempty"`
+	// Proxies lists identities of services trusted to invoke this
+	// service on behalf of users.
+	Proxies []string `json:"proxies,omitempty"`
+}
+
+func contains(list []string, id string) bool {
+	for _, entry := range list {
+		if entry == id || entry == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Guard is the container-facing security mechanism: an authenticator
+// chain plus per-service policies.  It implements container.Guard.
+type Guard struct {
+	// Authenticators are tried in order; the first one whose credential
+	// type is present decides.
+	Authenticators []Authenticator
+	// AllowAnonymous, when true, lets requests without any credentials
+	// through with an empty identity (still subject to policies).
+	AllowAnonymous bool
+
+	mu       sync.RWMutex
+	policies map[string]*Policy
+	fallback *Policy
+}
+
+// NewGuard builds a guard with the given authenticator chain.
+func NewGuard(auth ...Authenticator) *Guard {
+	return &Guard{Authenticators: auth, policies: make(map[string]*Policy)}
+}
+
+// SetPolicy installs the access policy of one service.
+func (g *Guard) SetPolicy(service string, p Policy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.policies[service] = &p
+}
+
+// SetDefaultPolicy installs the policy applied to services without an
+// explicit one.
+func (g *Guard) SetDefaultPolicy(p Policy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.fallback = &p
+}
+
+func (g *Guard) policy(service string) *Policy {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if p, ok := g.policies[service]; ok {
+		return p
+	}
+	return g.fallback
+}
+
+// Authenticate implements container.Guard: it resolves the caller identity
+// through the authenticator chain and captures a delegation request from
+// the Act-For header.  Whether the delegation is honoured is decided per
+// service in Authorize.
+func (g *Guard) Authenticate(r *http.Request) (core.Principal, error) {
+	var p core.Principal
+	for _, a := range g.Authenticators {
+		identity, ok, err := a.Authenticate(r)
+		if err != nil {
+			return core.Principal{}, err
+		}
+		if ok {
+			p.ID = identity
+			break
+		}
+	}
+	if p.ID == "" && !g.AllowAnonymous {
+		return core.Principal{}, fmt.Errorf("security: no acceptable credentials")
+	}
+	if actFor := r.Header.Get(ActForHeader); actFor != "" {
+		if p.ID == "" {
+			return core.Principal{}, fmt.Errorf("security: anonymous delegation is not allowed")
+		}
+		p.OnBehalfOf = actFor
+	}
+	return p, nil
+}
+
+// Authorize implements container.Guard: deny wins, then the allow list is
+// consulted, and proxied requests additionally require the caller to be on
+// the service's proxy list.
+func (g *Guard) Authorize(p core.Principal, service string) error {
+	pol := g.policy(service)
+	if pol == nil {
+		if p.OnBehalfOf != "" {
+			return core.ErrForbidden("service %q does not accept proxied requests", service)
+		}
+		return nil
+	}
+	if p.OnBehalfOf != "" {
+		if !contains(pol.Proxies, p.ID) {
+			return core.ErrForbidden(
+				"%s is not trusted to act on behalf of users for service %q", p.ID, service)
+		}
+	}
+	effective := p.Effective()
+	if contains(pol.Deny, effective) {
+		return core.ErrForbidden("%s is denied access to service %q", effective, service)
+	}
+	if len(pol.Allow) > 0 && !contains(pol.Allow, effective) {
+		return core.ErrForbidden("%s is not allowed to access service %q", effective, service)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package security_test
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/security"
+)
+
+func TestWebIdentityTokenRoundTrip(t *testing.T) {
+	p, err := security.NewWebIdentityProvider(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := p.Login("https://id.example/alice")
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	id, err := p.Verify(tok)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if id != "openid:https://id.example/alice" {
+		t.Errorf("identity = %q", id)
+	}
+}
+
+func TestTokenTamperingDetected(t *testing.T) {
+	p, _ := security.NewWebIdentityProvider(time.Hour)
+	tok, _ := p.Login("https://id.example/alice")
+	bad := tok[:len(tok)-2] + "zz"
+	if _, err := p.Verify(bad); err == nil {
+		t.Error("tampered token verified")
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	p, _ := security.NewWebIdentityProvider(time.Nanosecond)
+	tok, _ := p.Login("https://id.example/alice")
+	time.Sleep(2 * time.Second) // expiry granularity is one second
+	if _, err := p.Verify(tok); err == nil {
+		t.Error("expired token verified")
+	}
+}
+
+func TestTokenRevocation(t *testing.T) {
+	p, _ := security.NewWebIdentityProvider(time.Hour)
+	tok, _ := p.Login("https://id.example/alice")
+	p.Revoke(tok)
+	if _, err := p.Verify(tok); err == nil {
+		t.Error("revoked token verified")
+	}
+}
+
+func TestTokensFromOtherProviderRejected(t *testing.T) {
+	p1, _ := security.NewWebIdentityProvider(time.Hour)
+	p2, _ := security.NewWebIdentityProvider(time.Hour)
+	tok, _ := p1.Login("https://id.example/alice")
+	if _, err := p2.Verify(tok); err == nil {
+		t.Error("foreign token verified")
+	}
+}
+
+func TestGuardAllowDenyLists(t *testing.T) {
+	p, _ := security.NewWebIdentityProvider(time.Hour)
+	g := security.NewGuard(security.TokenAuthenticator{Provider: p})
+	g.SetPolicy("solver", security.Policy{
+		Allow: []string{"openid:alice", "cn:Bob"},
+		Deny:  []string{"cn:Bob"},
+	})
+
+	cases := []struct {
+		id   string
+		want bool // authorized?
+	}{
+		{"openid:alice", true},
+		{"cn:Bob", false},     // deny wins over allow
+		{"openid:eve", false}, // not on allow list
+	}
+	for _, tc := range cases {
+		err := g.Authorize(core.Principal{ID: tc.id}, "solver")
+		if (err == nil) != tc.want {
+			t.Errorf("Authorize(%s) err=%v, want authorized=%v", tc.id, err, tc.want)
+		}
+	}
+	// A service without a policy is open.
+	if err := g.Authorize(core.Principal{ID: "openid:eve"}, "open-service"); err != nil {
+		t.Errorf("open service denied: %v", err)
+	}
+}
+
+func TestGuardDelegationViaProxyList(t *testing.T) {
+	g := security.NewGuard()
+	g.AllowAnonymous = false
+	g.SetPolicy("solver", security.Policy{
+		Allow:   []string{"openid:alice"},
+		Proxies: []string{"cn:wms.mathcloud"},
+	})
+
+	// The WMS acting for alice is accepted.
+	p := core.Principal{ID: "cn:wms.mathcloud", OnBehalfOf: "openid:alice"}
+	if err := g.Authorize(p, "solver"); err != nil {
+		t.Errorf("trusted proxy rejected: %v", err)
+	}
+	// An untrusted service acting for alice is rejected.
+	p = core.Principal{ID: "cn:rogue", OnBehalfOf: "openid:alice"}
+	if err := g.Authorize(p, "solver"); err == nil {
+		t.Error("untrusted proxy accepted")
+	}
+	// The trusted proxy cannot elevate a user who is not allowed.
+	p = core.Principal{ID: "cn:wms.mathcloud", OnBehalfOf: "openid:eve"}
+	if err := g.Authorize(p, "solver"); err == nil {
+		t.Error("proxying bypassed the allow list")
+	}
+}
+
+func TestGuardRejectsMissingCredentials(t *testing.T) {
+	p, _ := security.NewWebIdentityProvider(time.Hour)
+	g := security.NewGuard(security.TokenAuthenticator{Provider: p})
+	r := httptest.NewRequest(http.MethodGet, "/services/x", nil)
+	if _, err := g.Authenticate(r); err == nil {
+		t.Error("anonymous request authenticated")
+	}
+	g.AllowAnonymous = true
+	if _, err := g.Authenticate(r); err != nil {
+		t.Errorf("anonymous request rejected with AllowAnonymous: %v", err)
+	}
+}
+
+// TestSecuredContainerEndToEnd exercises the full Fig. 3 mechanism over
+// real TLS: server certificate, client certificate identity, bearer-token
+// identity, allow lists and the 401/403 paths.
+func TestSecuredContainerEndToEnd(t *testing.T) {
+	ca, err := security.NewCA("MathCloud Test CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, _ := security.NewWebIdentityProvider(time.Hour)
+	guard := security.NewGuard(
+		security.CertAuthenticator{},
+		security.TokenAuthenticator{Provider: provider},
+	)
+	guard.SetPolicy("add", security.Policy{
+		Allow: []string{security.CertIdentity("alice"), security.OpenIDIdentity("bob@id.example")},
+	})
+
+	adapter.RegisterFunc("sec.add", func(ctx context.Context, in core.Values) (core.Values, error) {
+		return core.Values{"sum": in["a"].(float64) + in["b"].(float64)}, nil
+	})
+	c, err := container.New(container.Options{
+		Guard:  guard,
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "add",
+			Inputs:  []core.Param{{Name: "a"}, {Name: "b"}},
+			Outputs: []core.Param{{Name: "sum"}},
+		},
+		Adapter: container.AdapterSpec{
+			Kind: "native", Config: json.RawMessage(`{"function":"sec.add"}`),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewUnstartedServer(c.Handler())
+	serverCert, err := ca.IssueServer("everest.test", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.TLS = ca.ServerTLSConfig(serverCert)
+	srv.StartTLS()
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+
+	call := func(cl *client.Client) error {
+		_, err := cl.Service(srv.URL+"/services/add").Call(
+			context.Background(), core.Values{"a": 1.0, "b": 2.0})
+		return err
+	}
+	httpFor := func(cert *tls.Certificate) *http.Client {
+		return &http.Client{
+			Timeout:   10 * time.Second,
+			Transport: &http.Transport{TLSClientConfig: ca.ClientTLSConfig(cert)},
+		}
+	}
+
+	t.Run("client certificate accepted", func(t *testing.T) {
+		aliceCert, err := ca.IssueClient("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := call(&client.Client{HTTP: httpFor(&aliceCert)}); err != nil {
+			t.Errorf("alice (cert) rejected: %v", err)
+		}
+	})
+
+	t.Run("bearer token accepted", func(t *testing.T) {
+		tok, err := provider.Login("bob@id.example")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := call(&client.Client{HTTP: httpFor(nil), Token: tok}); err != nil {
+			t.Errorf("bob (token) rejected: %v", err)
+		}
+	})
+
+	t.Run("no credentials is 401", func(t *testing.T) {
+		err := call(&client.Client{HTTP: httpFor(nil)})
+		var api *client.APIError
+		if !asAPI(err, &api) || api.Status != http.StatusUnauthorized {
+			t.Errorf("err = %v, want 401", err)
+		}
+	})
+
+	t.Run("unlisted identity is 403", func(t *testing.T) {
+		eveCert, err := ca.IssueClient("eve")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = call(&client.Client{HTTP: httpFor(&eveCert)})
+		var api *client.APIError
+		if !asAPI(err, &api) || api.Status != http.StatusForbidden {
+			t.Errorf("err = %v, want 403", err)
+		}
+	})
+
+	t.Run("job owner records identity", func(t *testing.T) {
+		aliceCert, _ := ca.IssueClient("alice")
+		cl := &client.Client{HTTP: httpFor(&aliceCert)}
+		job, err := cl.Service(srv.URL+"/services/add").Submit(
+			context.Background(), core.Values{"a": 1.0, "b": 2.0}, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Owner != security.CertIdentity("alice") {
+			t.Errorf("owner = %q, want cn:alice", job.Owner)
+		}
+	})
+}
+
+func asAPI(err error, target **client.APIError) bool {
+	for err != nil {
+		if e, ok := err.(*client.APIError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,603 @@
+// Package simplex implements an exact rational linear programming solver:
+// the two-phase primal simplex method on math/big.Rat tableaus with
+// Bland's anti-cycling rule (and an optional Dantzig most-negative pivot
+// heuristic for the ablation benchmarks).
+//
+// The paper's optimization-modelling application integrates "various
+// optimization solvers intended for basic classes of mathematical
+// programming problems" as computational web services.  This package is
+// that solver substrate: because the arithmetic is exact, solutions are
+// certifiable (strong duality holds to equality), which keeps the
+// distributed Dantzig–Wolfe experiments deterministic.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Problem is a linear program over variables x, all constrained x ≥ 0
+// unless listed in Free.
+//
+//	min/max  cᵀx + C
+//	s.t.     A x (≤ | ≥ | =) b
+type Problem struct {
+	Sense Sense
+	// C is the objective coefficient per variable; ObjConst an additive
+	// constant reported back in the objective value.
+	C        []*big.Rat
+	ObjConst *big.Rat
+	// A, Rel and B define the constraints, one row each.
+	A   [][]*big.Rat
+	Rel []Rel
+	B   []*big.Rat
+	// Free marks variables that may take negative values.
+	Free []bool
+	// VarNames and ConNames are optional labels for reporting.
+	VarNames []string
+	ConNames []string
+}
+
+// NewProblem allocates an empty problem with n variables.
+func NewProblem(sense Sense, n int) *Problem {
+	p := &Problem{Sense: sense, C: make([]*big.Rat, n), Free: make([]bool, n),
+		ObjConst: new(big.Rat)}
+	for i := range p.C {
+		p.C[i] = new(big.Rat)
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.C) }
+
+// NumCons returns the number of constraints.
+func (p *Problem) NumCons() int { return len(p.A) }
+
+// AddConstraint appends a row.  The coefficient slice is copied; missing
+// trailing coefficients are zero.
+func (p *Problem) AddConstraint(coeffs []*big.Rat, rel Rel, rhs *big.Rat) {
+	row := make([]*big.Rat, p.NumVars())
+	for i := range row {
+		if i < len(coeffs) && coeffs[i] != nil {
+			row[i] = new(big.Rat).Set(coeffs[i])
+		} else {
+			row[i] = new(big.Rat)
+		}
+	}
+	p.A = append(p.A, row)
+	p.Rel = append(p.Rel, rel)
+	p.B = append(p.B, new(big.Rat).Set(rhs))
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	// X is the optimal assignment (nil unless Optimal).
+	X []*big.Rat
+	// Objective is the optimal objective value in the problem's own
+	// sense, including ObjConst.
+	Objective *big.Rat
+	// Duals holds one multiplier per constraint (sign convention: for a
+	// Minimize problem, duals of ≥ rows are ≥ 0 and of ≤ rows are ≤ 0;
+	// mirrored for Maximize).
+	Duals []*big.Rat
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+// PivotRule selects the entering-variable heuristic.
+type PivotRule int
+
+// Pivot rules.
+const (
+	// Bland always picks the lowest-index improving column; it cannot
+	// cycle.
+	Bland PivotRule = iota
+	// Dantzig picks the most-improving column and falls back to Bland
+	// after a pivot budget to stay terminating.
+	Dantzig
+)
+
+// Options tune the solver.
+type Options struct {
+	Rule PivotRule
+	// MaxPivots bounds the total pivot count (0 = 50000).
+	MaxPivots int
+}
+
+// Solve optimizes the problem with default options.
+func Solve(p *Problem) (*Solution, error) { return SolveOpt(p, Options{}) }
+
+// SolveOpt optimizes the problem with explicit options.
+func SolveOpt(p *Problem, opts Options) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve()
+}
+
+func validate(p *Problem) error {
+	n := p.NumVars()
+	if n == 0 {
+		return fmt.Errorf("simplex: problem has no variables")
+	}
+	if len(p.Rel) != len(p.A) || len(p.B) != len(p.A) {
+		return fmt.Errorf("simplex: inconsistent constraint arrays")
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("simplex: constraint %d has %d coefficients, want %d",
+				i, len(row), n)
+		}
+	}
+	if len(p.Free) != 0 && len(p.Free) != n {
+		return fmt.Errorf("simplex: Free has %d entries, want %d", len(p.Free), n)
+	}
+	return nil
+}
+
+// tableau is the dense simplex tableau.  Columns: the structural columns
+// (free variables split into x⁺−x⁻), then slack/surplus columns, then
+// artificial columns, then the RHS.  Rows: one per constraint, then the
+// objective row (phase-dependent).
+type tableau struct {
+	p    *Problem
+	opts Options
+
+	m, nStruct, nSlack, nArt int
+	// colVar maps structural column -> (original var, sign) pairs.
+	colVar  []int
+	colSign []int64
+
+	rows  [][]*big.Rat // m rows, each nCols+1 wide (RHS last)
+	basis []int        // basic column per row
+	// cost is the phase-2 objective per column (minimization form).
+	cost []*big.Rat
+	// artStart is the first artificial column.
+	artStart int
+	// slackCol maps constraint -> its slack/surplus column (-1 for EQ).
+	slackCol []int
+	// slackSign is +1 for LE slack, -1 for GE surplus.
+	slackSign []int64
+	// artCol maps constraint -> its artificial column (-1 if none).
+	artCol []int
+
+	pivots int
+}
+
+func newTableau(p *Problem, opts Options) (*tableau, error) {
+	if opts.MaxPivots <= 0 {
+		opts.MaxPivots = 50000
+	}
+	t := &tableau{p: p, opts: opts, m: p.NumCons()}
+
+	// Structural columns: one per non-negative variable, two per free
+	// variable (x = x⁺ − x⁻).
+	for j := 0; j < p.NumVars(); j++ {
+		t.colVar = append(t.colVar, j)
+		t.colSign = append(t.colSign, 1)
+		if len(p.Free) == len(p.C) && p.Free[j] {
+			t.colVar = append(t.colVar, j)
+			t.colSign = append(t.colSign, -1)
+		}
+	}
+	t.nStruct = len(t.colVar)
+
+	// Slack/surplus and artificial bookkeeping; rows are normalized to
+	// b ≥ 0 first.
+	type rowInfo struct {
+		rel    Rel
+		negate bool
+	}
+	infos := make([]rowInfo, t.m)
+	for i := 0; i < t.m; i++ {
+		rel := p.Rel[i]
+		negate := p.B[i].Sign() < 0
+		if negate {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		infos[i] = rowInfo{rel: rel, negate: negate}
+		if rel == LE || rel == GE {
+			t.nSlack++
+		}
+		if rel == GE || rel == EQ {
+			t.nArt++
+		}
+	}
+
+	nCols := t.nStruct + t.nSlack + t.nArt
+	t.artStart = t.nStruct + t.nSlack
+	t.slackCol = make([]int, t.m)
+	t.slackSign = make([]int64, t.m)
+	t.artCol = make([]int, t.m)
+	t.basis = make([]int, t.m)
+
+	slackNext := t.nStruct
+	artNext := t.artStart
+	t.rows = make([][]*big.Rat, t.m)
+	for i := 0; i < t.m; i++ {
+		row := make([]*big.Rat, nCols+1)
+		for c := range row {
+			row[c] = new(big.Rat)
+		}
+		sign := big.NewRat(1, 1)
+		if infos[i].negate {
+			sign.SetInt64(-1)
+		}
+		for sc := 0; sc < t.nStruct; sc++ {
+			v := new(big.Rat).Mul(p.A[i][t.colVar[sc]], sign)
+			if t.colSign[sc] < 0 {
+				v.Neg(v)
+			}
+			row[sc].Set(v)
+		}
+		row[nCols].Mul(p.B[i], sign)
+
+		t.slackCol[i] = -1
+		t.artCol[i] = -1
+		switch infos[i].rel {
+		case LE:
+			t.slackCol[i] = slackNext
+			t.slackSign[i] = 1
+			row[slackNext].SetInt64(1)
+			t.basis[i] = slackNext
+			slackNext++
+		case GE:
+			t.slackCol[i] = slackNext
+			t.slackSign[i] = -1
+			row[slackNext].SetInt64(-1)
+			slackNext++
+			t.artCol[i] = artNext
+			row[artNext].SetInt64(1)
+			t.basis[i] = artNext
+			artNext++
+		case EQ:
+			t.artCol[i] = artNext
+			row[artNext].SetInt64(1)
+			t.basis[i] = artNext
+			artNext++
+		}
+		t.rows[i] = row
+	}
+
+	// Phase-2 cost vector in minimization form.
+	t.cost = make([]*big.Rat, nCols)
+	for c := range t.cost {
+		t.cost[c] = new(big.Rat)
+	}
+	for sc := 0; sc < t.nStruct; sc++ {
+		v := new(big.Rat).Set(p.C[t.colVar[sc]])
+		if t.colSign[sc] < 0 {
+			v.Neg(v)
+		}
+		if p.Sense == Maximize {
+			v.Neg(v)
+		}
+		t.cost[sc].Set(v)
+	}
+	return t, nil
+}
+
+// reducedCosts computes z_j − c_j (we store c_j − z_j as the classic
+// "objective row"); column j improves when objRow[j] < 0.
+func (t *tableau) objRow(cost []*big.Rat) []*big.Rat {
+	nCols := len(t.cost)
+	obj := make([]*big.Rat, nCols+1)
+	for j := range obj {
+		obj[j] = new(big.Rat)
+	}
+	tmp := new(big.Rat)
+	for j := 0; j <= nCols; j++ {
+		if j < nCols {
+			obj[j].Set(cost[j])
+		}
+		for i := 0; i < t.m; i++ {
+			cb := cost[t.basis[i]]
+			if cb.Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.rows[i][j])
+			obj[j].Sub(obj[j], tmp)
+		}
+	}
+	return obj
+}
+
+// iterate runs simplex pivots for the given cost vector until optimal,
+// unbounded, or the pivot budget is exhausted.
+func (t *tableau) iterate(cost []*big.Rat, banArtificials bool) (Status, error) {
+	nCols := len(t.cost)
+	obj := t.objRow(cost)
+	for {
+		entering := t.chooseEntering(obj, nCols, banArtificials)
+		if entering < 0 {
+			return Optimal, nil
+		}
+		leaving := t.ratioTest(entering)
+		if leaving < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leaving, entering)
+		t.pivots++
+		if t.pivots > t.opts.MaxPivots {
+			return Optimal, fmt.Errorf("simplex: pivot budget %d exhausted", t.opts.MaxPivots)
+		}
+		obj = t.objRow(cost)
+	}
+}
+
+func (t *tableau) chooseEntering(obj []*big.Rat, nCols int, banArtificials bool) int {
+	limit := nCols
+	if banArtificials {
+		limit = t.artStart
+	}
+	useDantzig := t.opts.Rule == Dantzig && t.pivots < t.opts.MaxPivots/2
+	best := -1
+	var bestVal *big.Rat
+	for j := 0; j < limit; j++ {
+		if obj[j].Sign() >= 0 {
+			continue
+		}
+		if !useDantzig {
+			return j // Bland: first improving column
+		}
+		if best < 0 || obj[j].Cmp(bestVal) < 0 {
+			best, bestVal = j, obj[j]
+		}
+	}
+	return best
+}
+
+// ratioTest picks the leaving row by the minimum-ratio rule with Bland
+// tie-breaking on the basis variable index.
+func (t *tableau) ratioTest(entering int) int {
+	nCols := len(t.cost)
+	best := -1
+	var bestRatio *big.Rat
+	ratio := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][entering]
+		if a.Sign() <= 0 {
+			continue
+		}
+		ratio.Quo(t.rows[i][nCols], a)
+		switch {
+		case best < 0 || ratio.Cmp(bestRatio) < 0:
+			best = i
+			bestRatio = new(big.Rat).Set(ratio)
+		case ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[best]:
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(row, col int) {
+	nCols := len(t.cost)
+	inv := new(big.Rat).Inv(t.rows[row][col])
+	for j := 0; j <= nCols; j++ {
+		t.rows[row][j].Mul(t.rows[row][j], inv)
+	}
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := new(big.Rat).Set(t.rows[i][col])
+		if f.Sign() == 0 {
+			continue
+		}
+		for j := 0; j <= nCols; j++ {
+			tmp.Mul(f, t.rows[row][j])
+			t.rows[i][j].Sub(t.rows[i][j], tmp)
+		}
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) solve() (*Solution, error) {
+	nCols := len(t.cost)
+
+	// Phase 1: minimize the sum of artificials.
+	if t.nArt > 0 {
+		phase1 := make([]*big.Rat, nCols)
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+		}
+		for j := t.artStart; j < nCols; j++ {
+			phase1[j].SetInt64(1)
+		}
+		status, err := t.iterate(phase1, false)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			return nil, fmt.Errorf("simplex: phase 1 unbounded (internal error)")
+		}
+		// Feasible iff all artificials are zero.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] >= t.artStart && t.rows[i][nCols].Sign() != 0 {
+				return &Solution{Status: Infeasible, Iterations: t.pivots}, nil
+			}
+		}
+		// Drive remaining degenerate artificials out of the basis.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < t.artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artStart; j++ {
+				if t.rows[i][j].Sign() != 0 {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// The row is all-zero over real columns: a redundant
+				// constraint.  Leave the artificial basic at zero.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: the real objective, artificial columns banned.
+	status, err := t.iterate(t.cost, true)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: t.pivots}, nil
+	}
+
+	// Extract the primal solution.
+	n := t.p.NumVars()
+	x := make([]*big.Rat, n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := 0; i < t.m; i++ {
+		col := t.basis[i]
+		if col >= t.nStruct {
+			continue
+		}
+		v := t.rows[i][nCols]
+		if t.colSign[col] > 0 {
+			x[t.colVar[col]].Add(x[t.colVar[col]], v)
+		} else {
+			x[t.colVar[col]].Sub(x[t.colVar[col]], v)
+		}
+	}
+	obj := new(big.Rat)
+	for j := 0; j < n; j++ {
+		obj.Add(obj, new(big.Rat).Mul(t.p.C[j], x[j]))
+	}
+	if t.p.ObjConst != nil {
+		obj.Add(obj, t.p.ObjConst)
+	}
+
+	// Duals from the final objective row: for constraint i with initial
+	// basic/identity column k, y_i = −objRow[k] (minimization form),
+	// adjusted for surplus sign and row negation.
+	objRow := t.objRow(t.cost)
+	duals := make([]*big.Rat, t.m)
+	for i := 0; i < t.m; i++ {
+		var col int
+		var colSign int64 = 1
+		if t.artCol[i] >= 0 {
+			col = t.artCol[i]
+		} else {
+			col = t.slackCol[i]
+			colSign = t.slackSign[i]
+		}
+		y := new(big.Rat).Neg(objRow[col])
+		if colSign < 0 {
+			y.Neg(y)
+		}
+		if t.p.B[i].Sign() < 0 {
+			// The row was negated during normalization.
+			y.Neg(y)
+		}
+		if t.p.Sense == Maximize {
+			y.Neg(y)
+		}
+		duals[i] = y
+	}
+
+	return &Solution{
+		Status:     Optimal,
+		X:          x,
+		Objective:  obj,
+		Duals:      duals,
+		Iterations: t.pivots,
+	}, nil
+}
+
+// String renders the problem in an LP-like text form for debugging.
+func (p *Problem) String() string {
+	var b strings.Builder
+	if p.Sense == Maximize {
+		b.WriteString("maximize ")
+	} else {
+		b.WriteString("minimize ")
+	}
+	for j, c := range p.C {
+		if j > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%s·x%d", c.RatString(), j)
+	}
+	b.WriteString("\nsubject to\n")
+	for i, row := range p.A {
+		for j, c := range row {
+			if j > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%s·x%d", c.RatString(), j)
+		}
+		fmt.Fprintf(&b, " %s %s\n", p.Rel[i], p.B[i].RatString())
+	}
+	return b.String()
+}

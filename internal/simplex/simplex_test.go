@@ -1,0 +1,237 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rat(p, q int64) *big.Rat { return big.NewRat(p, q) }
+
+func coeffs(vals ...int64) []*big.Rat {
+	out := make([]*big.Rat, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewRat(v, 1)
+	}
+	return out
+}
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+// The classic production LP: max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18.
+// Optimum 36 at (2, 6).
+func TestTextbookMaximization(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	p.C = coeffs(3, 5)
+	p.AddConstraint(coeffs(1, 0), LE, rat(4, 1))
+	p.AddConstraint(coeffs(0, 2), LE, rat(12, 1))
+	p.AddConstraint(coeffs(3, 2), LE, rat(18, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	if sol.Objective.Cmp(rat(36, 1)) != 0 {
+		t.Errorf("objective = %s, want 36", sol.Objective.RatString())
+	}
+	if sol.X[0].Cmp(rat(2, 1)) != 0 || sol.X[1].Cmp(rat(6, 1)) != 0 {
+		t.Errorf("x = (%s, %s), want (2, 6)", sol.X[0].RatString(), sol.X[1].RatString())
+	}
+}
+
+func TestMinimizationWithGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x = 1  → y = 3, objective 11.
+	p := NewProblem(Minimize, 2)
+	p.C = coeffs(2, 3)
+	p.AddConstraint(coeffs(1, 1), GE, rat(4, 1))
+	p.AddConstraint(coeffs(1, 0), EQ, rat(1, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	if sol.Objective.Cmp(rat(11, 1)) != 0 {
+		t.Errorf("objective = %s, want 11", sol.Objective.RatString())
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Maximize, 1)
+	p.C = coeffs(1)
+	p.AddConstraint(coeffs(1), LE, rat(1, 1))
+	p.AddConstraint(coeffs(1), GE, rat(2, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %s, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize, 2)
+	p.C = coeffs(1, 1)
+	p.AddConstraint(coeffs(1, -1), LE, rat(1, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %s, want unbounded", sol.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x s.t. x >= -5 with x free → x = -5.
+	p := NewProblem(Minimize, 1)
+	p.C = coeffs(1)
+	p.Free[0] = true
+	p.AddConstraint(coeffs(1), GE, rat(-5, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	if sol.X[0].Cmp(rat(-5, 1)) != 0 {
+		t.Errorf("x = %s, want -5", sol.X[0].RatString())
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -3  (i.e. x >= 3) → x = 3.
+	p := NewProblem(Maximize, 1)
+	p.C = coeffs(-1)
+	p.AddConstraint(coeffs(-1), LE, rat(-3, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || sol.X[0].Cmp(rat(3, 1)) != 0 {
+		t.Errorf("status=%s x=%v, want optimal x=3", sol.Status, sol.X)
+	}
+}
+
+func TestExactRationalAnswer(t *testing.T) {
+	// max x + y s.t. 3x + y <= 1, x + 3y <= 1 → x = y = 1/4, obj = 1/2.
+	p := NewProblem(Maximize, 2)
+	p.C = coeffs(1, 1)
+	p.AddConstraint(coeffs(3, 1), LE, rat(1, 1))
+	p.AddConstraint(coeffs(1, 3), LE, rat(1, 1))
+	sol := solveOK(t, p)
+	if sol.Objective.Cmp(rat(1, 2)) != 0 {
+		t.Errorf("objective = %s, want exactly 1/2", sol.Objective.RatString())
+	}
+	if sol.X[0].Cmp(rat(1, 4)) != 0 || sol.X[1].Cmp(rat(1, 4)) != 0 {
+		t.Errorf("x = (%s, %s), want (1/4, 1/4)", sol.X[0].RatString(), sol.X[1].RatString())
+	}
+}
+
+func TestDegenerateCyclingGuard(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := NewProblem(Minimize, 4)
+	p.C = []*big.Rat{rat(-3, 4), rat(150, 1), rat(-1, 50), rat(6, 1)}
+	p.AddConstraint([]*big.Rat{rat(1, 4), rat(-60, 1), rat(-1, 25), rat(9, 1)}, LE, rat(0, 1))
+	p.AddConstraint([]*big.Rat{rat(1, 2), rat(-90, 1), rat(-1, 50), rat(3, 1)}, LE, rat(0, 1))
+	p.AddConstraint([]*big.Rat{rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)}, LE, rat(1, 1))
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %s", sol.Status)
+	}
+	if sol.Objective.Cmp(rat(-1, 20)) != 0 {
+		t.Errorf("objective = %s, want -1/20", sol.Objective.RatString())
+	}
+}
+
+func TestDantzigRuleMatchesBland(t *testing.T) {
+	p := NewProblem(Maximize, 3)
+	p.C = coeffs(5, 4, 3)
+	p.AddConstraint(coeffs(2, 3, 1), LE, rat(5, 1))
+	p.AddConstraint(coeffs(4, 1, 2), LE, rat(11, 1))
+	p.AddConstraint(coeffs(3, 4, 2), LE, rat(8, 1))
+	bland := solveOK(t, p)
+	dantzig, err := SolveOpt(p, Options{Rule: Dantzig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bland.Objective.Cmp(dantzig.Objective) != 0 {
+		t.Errorf("objectives differ: %s vs %s",
+			bland.Objective.RatString(), dantzig.Objective.RatString())
+	}
+	if bland.Objective.Cmp(rat(13, 1)) != 0 {
+		t.Errorf("objective = %s, want 13", bland.Objective.RatString())
+	}
+}
+
+// checkFeasible verifies Ax (rel) b exactly.
+func checkFeasible(t *testing.T, p *Problem, x []*big.Rat) {
+	t.Helper()
+	for i, row := range p.A {
+		lhs := new(big.Rat)
+		for j := range row {
+			lhs.Add(lhs, new(big.Rat).Mul(row[j], x[j]))
+		}
+		cmp := lhs.Cmp(p.B[i])
+		switch p.Rel[i] {
+		case LE:
+			if cmp > 0 {
+				t.Errorf("constraint %d violated: %s > %s", i, lhs.RatString(), p.B[i].RatString())
+			}
+		case GE:
+			if cmp < 0 {
+				t.Errorf("constraint %d violated: %s < %s", i, lhs.RatString(), p.B[i].RatString())
+			}
+		case EQ:
+			if cmp != 0 {
+				t.Errorf("constraint %d violated: %s != %s", i, lhs.RatString(), p.B[i].RatString())
+			}
+		}
+	}
+}
+
+// TestPropertyStrongDuality generates random feasible bounded LPs and
+// checks that the primal solution is feasible and that the dual bound
+// bᵀy equals the primal objective exactly (strong duality with exact
+// arithmetic).
+func TestPropertyStrongDuality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := NewProblem(Maximize, n)
+		for j := 0; j < n; j++ {
+			p.C[j] = big.NewRat(int64(rng.Intn(9)), 1) // non-negative objective
+		}
+		for i := 0; i < m; i++ {
+			row := make([]*big.Rat, n)
+			for j := range row {
+				row[j] = big.NewRat(int64(1+rng.Intn(5)), 1) // positive coefficients
+			}
+			p.AddConstraint(row, LE, big.NewRat(int64(1+rng.Intn(20)), 1))
+		}
+		// Positive rows with positive RHS: x=0 feasible, bounded above.
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		checkFeasible(t, p, sol.X)
+		// Strong duality: bᵀy == cᵀx.
+		dualObj := new(big.Rat)
+		for i := 0; i < m; i++ {
+			dualObj.Add(dualObj, new(big.Rat).Mul(p.B[i], sol.Duals[i]))
+		}
+		return dualObj.Cmp(sol.Objective) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	p := NewProblem(Minimize, 2)
+	p.A = append(p.A, coeffs(1))
+	p.Rel = append(p.Rel, LE)
+	p.B = append(p.B, rat(1, 1))
+	if _, err := Solve(p); err == nil {
+		t.Error("ragged constraint row accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package torque
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertySchedulerInvariants hammers a random cluster topology with a
+// random job mix and checks the scheduler's safety invariants throughout:
+// busy slots never exceed capacity, every job terminates, and per-node
+// occupancy returns to zero.
+func TestPropertySchedulerInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numNodes := 1 + rng.Intn(3)
+		nodes := make([]NodeSpec, numNodes)
+		maxSlots := 0
+		for i := range nodes {
+			slots := 1 + rng.Intn(4)
+			nodes[i] = NodeSpec{Name: string(rune('a' + i)), Slots: slots}
+			if slots > maxSlots {
+				maxSlots = slots
+			}
+		}
+		c, err := New("stress", nodes, nil)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+
+		// Observer goroutine: capacity invariant must hold at every
+		// sampled instant.
+		stop := make(chan struct{})
+		violated := false
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := c.Stats()
+				if s.BusySlots > s.TotalSlots || s.BusySlots < 0 {
+					violated = true
+					return
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+
+		numJobs := 5 + rng.Intn(20)
+		ids := make([]string, 0, numJobs)
+		for i := 0; i < numJobs; i++ {
+			slots := 1 + rng.Intn(maxSlots)
+			// Capture the sleep here: rng is not goroutine-safe and
+			// payloads run concurrently.
+			sleep := time.Duration(rng.Intn(3)) * time.Millisecond
+			id, err := c.Submit(JobSpec{
+				Slots: slots,
+				Run: func(ctx context.Context) error {
+					time.Sleep(sleep)
+					return nil
+				},
+			})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, id := range ids {
+			info, err := c.Wait(ctx, id)
+			if err != nil || info.State != StateComplete {
+				return false
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if violated {
+			return false
+		}
+		final := c.Stats()
+		return final.BusySlots == 0 && final.FinishedJobs == numJobs
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

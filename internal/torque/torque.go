@@ -1,0 +1,418 @@
+// Package torque simulates a TORQUE-managed computing cluster and provides
+// the Cluster adapter that the paper's service container uses to translate
+// service requests into batch jobs.
+//
+// The real platform submits jobs to a TORQUE resource manager.  That
+// infrastructure is not available here, so this package implements a
+// faithful, laptop-scale substitute: named nodes with CPU slots, submission
+// queues with walltime limits, FIFO scheduling with aggressive backfill,
+// and the classic qsub/qstat/qdel job lifecycle (Q → R → C/E).  Batch jobs
+// carry a real Go payload, so computations executed "on the cluster"
+// actually run — only the resource management is simulated.
+package torque
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BatchState is a TORQUE-style single-letter job state.
+type BatchState string
+
+// TORQUE job states.
+const (
+	// StateQueued (Q): the job waits for free slots.
+	StateQueued BatchState = "Q"
+	// StateRunning (R): the job executes on a node.
+	StateRunning BatchState = "R"
+	// StateComplete (C): the job finished successfully.
+	StateComplete BatchState = "C"
+	// StateExiting (E): the job failed or exceeded its walltime.
+	StateExiting BatchState = "E"
+	// StateCancelled (D): the job was deleted with qdel.
+	StateCancelled BatchState = "D"
+)
+
+// Terminal reports whether the state is final.
+func (s BatchState) Terminal() bool {
+	return s == StateComplete || s == StateExiting || s == StateCancelled
+}
+
+// NodeSpec describes one compute node.
+type NodeSpec struct {
+	// Name is the node host name.
+	Name string
+	// Slots is the number of CPU slots (np in TORQUE terms).
+	Slots int
+}
+
+// QueueSpec describes one submission queue.
+type QueueSpec struct {
+	// Name is the queue name ("batch" by convention).
+	Name string
+	// MaxWalltime bounds per-job walltime; zero means unlimited.
+	MaxWalltime time.Duration
+	// MaxSlots bounds per-job slot requests; zero means the cluster max.
+	MaxSlots int
+}
+
+// Payload is the work a batch job performs once scheduled.  The context is
+// cancelled on qdel and on walltime expiry.
+type Payload func(ctx context.Context) error
+
+// JobSpec is a batch job submission request.
+type JobSpec struct {
+	// Name is a human-readable job name.
+	Name string
+	// Queue selects the submission queue; empty means the default queue.
+	Queue string
+	// Slots is the number of CPU slots required (≥1).
+	Slots int
+	// Walltime is the execution time limit; zero means the queue limit.
+	Walltime time.Duration
+	// Run is the job payload.
+	Run Payload
+}
+
+// JobInfo is a snapshot of a batch job, the qstat view.
+type JobInfo struct {
+	ID        string
+	Name      string
+	Queue     string
+	Node      string
+	Slots     int
+	State     BatchState
+	Error     string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Stats summarises cluster occupancy.
+type Stats struct {
+	Nodes        int
+	TotalSlots   int
+	BusySlots    int
+	QueuedJobs   int
+	RunningJobs  int
+	FinishedJobs int
+}
+
+type node struct {
+	name  string
+	slots int
+	busy  int
+}
+
+type job struct {
+	info   JobInfo
+	spec   JobSpec
+	node   *node
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Cluster is a simulated TORQUE cluster.
+type Cluster struct {
+	name         string
+	defaultQueue string
+
+	mu       sync.Mutex
+	nodes    []*node
+	queues   map[string]QueueSpec
+	jobs     map[string]*job
+	pending  []*job // FIFO submission order
+	seq      int
+	finished int
+	closed   bool
+}
+
+// New creates a cluster with the given nodes and queues.  The first queue
+// is the default.  At least one node and one queue are required.
+func New(name string, nodes []NodeSpec, queues []QueueSpec) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("torque: cluster %q: no nodes", name)
+	}
+	if len(queues) == 0 {
+		queues = []QueueSpec{{Name: "batch"}}
+	}
+	c := &Cluster{
+		name:         name,
+		defaultQueue: queues[0].Name,
+		queues:       make(map[string]QueueSpec, len(queues)),
+		jobs:         make(map[string]*job),
+	}
+	for _, ns := range nodes {
+		if ns.Slots <= 0 {
+			return nil, fmt.Errorf("torque: node %q: non-positive slots %d", ns.Name, ns.Slots)
+		}
+		c.nodes = append(c.nodes, &node{name: ns.Name, slots: ns.Slots})
+	}
+	for _, qs := range queues {
+		if qs.Name == "" {
+			return nil, fmt.Errorf("torque: queue with empty name")
+		}
+		c.queues[qs.Name] = qs
+	}
+	return c, nil
+}
+
+// Name returns the cluster name.
+func (c *Cluster) Name() string { return c.name }
+
+// TotalSlots returns the cluster-wide slot count.
+func (c *Cluster) TotalSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.nodes {
+		total += n.slots
+	}
+	return total
+}
+
+// ErrClosed is returned for operations on a closed cluster.
+var ErrClosed = errors.New("torque: cluster is closed")
+
+// Submit enqueues a batch job (qsub) and returns its job identifier.
+func (c *Cluster) Submit(spec JobSpec) (string, error) {
+	if spec.Run == nil {
+		return "", fmt.Errorf("torque: submit: nil payload")
+	}
+	if spec.Slots <= 0 {
+		spec.Slots = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", ErrClosed
+	}
+	queueName := spec.Queue
+	if queueName == "" {
+		queueName = c.defaultQueue
+	}
+	q, ok := c.queues[queueName]
+	if !ok {
+		return "", fmt.Errorf("torque: submit: unknown queue %q", queueName)
+	}
+	if q.MaxSlots > 0 && spec.Slots > q.MaxSlots {
+		return "", fmt.Errorf("torque: submit: %d slots exceed queue %q limit %d",
+			spec.Slots, queueName, q.MaxSlots)
+	}
+	maxNode := 0
+	for _, n := range c.nodes {
+		if n.slots > maxNode {
+			maxNode = n.slots
+		}
+	}
+	if spec.Slots > maxNode {
+		return "", fmt.Errorf("torque: submit: no node has %d slots (max %d)", spec.Slots, maxNode)
+	}
+	if q.MaxWalltime > 0 && (spec.Walltime == 0 || spec.Walltime > q.MaxWalltime) {
+		spec.Walltime = q.MaxWalltime
+	}
+	c.seq++
+	id := fmt.Sprintf("%d.%s", c.seq, c.name)
+	j := &job{
+		spec: spec,
+		info: JobInfo{
+			ID:        id,
+			Name:      spec.Name,
+			Queue:     queueName,
+			Slots:     spec.Slots,
+			State:     StateQueued,
+			Submitted: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	c.jobs[id] = j
+	c.pending = append(c.pending, j)
+	c.scheduleLocked()
+	return id, nil
+}
+
+// scheduleLocked starts every pending job that fits, in FIFO order with
+// aggressive backfill: if the head job does not fit, smaller jobs behind it
+// may still start.  Callers must hold c.mu.
+func (c *Cluster) scheduleLocked() {
+	remaining := c.pending[:0]
+	for _, j := range c.pending {
+		if j.info.State != StateQueued {
+			continue // cancelled while queued
+		}
+		n := c.firstFitLocked(j.spec.Slots)
+		if n == nil {
+			remaining = append(remaining, j)
+			continue
+		}
+		c.startLocked(j, n)
+	}
+	c.pending = append([]*job(nil), remaining...)
+}
+
+func (c *Cluster) firstFitLocked(slots int) *node {
+	for _, n := range c.nodes {
+		if n.slots-n.busy >= slots {
+			return n
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) startLocked(j *job, n *node) {
+	n.busy += j.spec.Slots
+	j.node = n
+	j.info.Node = n.name
+	j.info.State = StateRunning
+	j.info.Started = time.Now()
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if j.spec.Walltime > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.spec.Walltime)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+	go c.runJob(j, ctx, cancel)
+}
+
+func (c *Cluster) runJob(j *job, ctx context.Context, cancel context.CancelFunc) {
+	defer cancel()
+	err := j.spec.Run(ctx)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.info.State == StateCancelled {
+		// qdel won the race; slots were already released.
+		close(j.done)
+		return
+	}
+	j.node.busy -= j.spec.Slots
+	j.info.Finished = time.Now()
+	switch {
+	case err == nil:
+		j.info.State = StateComplete
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		j.info.State = StateExiting
+		j.info.Error = fmt.Sprintf("walltime %s exceeded", j.spec.Walltime)
+	default:
+		j.info.State = StateExiting
+		j.info.Error = err.Error()
+	}
+	c.finished++
+	close(j.done)
+	c.scheduleLocked()
+}
+
+// Status returns the qstat snapshot of a job.
+func (c *Cluster) Status(id string) (JobInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("torque: unknown job %q", id)
+	}
+	return j.info, nil
+}
+
+// Cancel deletes a job (qdel).  Queued jobs are removed; running jobs have
+// their payload context cancelled.
+func (c *Cluster) Cancel(id string) error {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("torque: unknown job %q", id)
+	}
+	switch j.info.State {
+	case StateQueued:
+		j.info.State = StateCancelled
+		j.info.Finished = time.Now()
+		c.finished++
+		close(j.done)
+		c.mu.Unlock()
+		return nil
+	case StateRunning:
+		j.info.State = StateCancelled
+		j.info.Finished = time.Now()
+		j.node.busy -= j.spec.Slots
+		c.finished++
+		cancel := j.cancel
+		c.scheduleLocked()
+		c.mu.Unlock()
+		cancel()
+		return nil
+	default:
+		c.mu.Unlock()
+		return fmt.Errorf("torque: job %q already %s", id, j.info.State)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is cancelled,
+// then returns the final snapshot.
+func (c *Cluster) Wait(ctx context.Context, id string) (JobInfo, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("torque: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return c.Status(id)
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// Stats returns the current occupancy summary.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Nodes: len(c.nodes), FinishedJobs: c.finished}
+	for _, n := range c.nodes {
+		s.TotalSlots += n.slots
+		s.BusySlots += n.busy
+	}
+	for _, j := range c.jobs {
+		switch j.info.State {
+		case StateQueued:
+			s.QueuedJobs++
+		case StateRunning:
+			s.RunningJobs++
+		}
+	}
+	return s
+}
+
+// Jobs returns snapshots of all jobs, newest first.
+func (c *Cluster) Jobs() []JobInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobInfo, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, j.info)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Submitted.After(out[k].Submitted) })
+	return out
+}
+
+// Close cancels all queued and running jobs and rejects new submissions.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var ids []string
+	for id, j := range c.jobs {
+		if !j.info.State.Terminal() {
+			ids = append(ids, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		_ = c.Cancel(id)
+	}
+}

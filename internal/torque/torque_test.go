@@ -1,0 +1,340 @@
+package torque
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
+)
+
+func newCluster(t *testing.T, nodes ...NodeSpec) *Cluster {
+	t.Helper()
+	if len(nodes) == 0 {
+		nodes = []NodeSpec{{Name: "n1", Slots: 2}}
+	}
+	c, err := New("test", nodes, []QueueSpec{{Name: "batch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestJobRunsAndCompletes(t *testing.T) {
+	c := newCluster(t)
+	ran := atomic.Bool{}
+	id, err := c.Submit(JobSpec{Name: "j", Run: func(ctx context.Context) error {
+		ran.Store(true)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateComplete || !ran.Load() {
+		t.Errorf("state = %s ran = %v", info.State, ran.Load())
+	}
+	if info.Node == "" || info.Started.IsZero() || info.Finished.IsZero() {
+		t.Errorf("incomplete bookkeeping: %+v", info)
+	}
+}
+
+func TestJobFailureIsExiting(t *testing.T) {
+	c := newCluster(t)
+	id, _ := c.Submit(JobSpec{Run: func(ctx context.Context) error {
+		return fmt.Errorf("computation diverged")
+	}})
+	info, err := c.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateExiting || info.Error != "computation diverged" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestQueueingWhenSlotsBusy(t *testing.T) {
+	c := newCluster(t, NodeSpec{Name: "n1", Slots: 1})
+	release := make(chan struct{})
+	first, _ := c.Submit(JobSpec{Slots: 1, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}})
+	// Wait until the first job occupies the slot.
+	waitFor(t, func() bool {
+		info, _ := c.Status(first)
+		return info.State == StateRunning
+	})
+	second, _ := c.Submit(JobSpec{Slots: 1, Run: func(ctx context.Context) error { return nil }})
+	info, _ := c.Status(second)
+	if info.State != StateQueued {
+		t.Fatalf("second job state = %s, want Q", info.State)
+	}
+	close(release)
+	final, err := c.Wait(context.Background(), second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateComplete {
+		t.Errorf("second job final state = %s", final.State)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBackfillSmallerJobOvertakes(t *testing.T) {
+	// One node with 2 slots: a 2-slot job runs, another 2-slot job is
+	// queued at the head, and a 1-slot job... cannot backfill because
+	// the node is full.  Use a 3-slot topology instead: node with 3
+	// slots, running 2-slot job, head job needs 3, a 1-slot job should
+	// backfill into the free slot.
+	c := newCluster(t, NodeSpec{Name: "big", Slots: 3})
+	release := make(chan struct{})
+	_, _ = c.Submit(JobSpec{Slots: 2, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}})
+	head, _ := c.Submit(JobSpec{Slots: 3, Run: func(ctx context.Context) error { return nil }})
+	small, _ := c.Submit(JobSpec{Slots: 1, Run: func(ctx context.Context) error { return nil }})
+
+	info, err := c.Wait(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateComplete {
+		t.Fatalf("backfilled job state = %s", info.State)
+	}
+	headInfo, _ := c.Status(head)
+	if headInfo.State != StateQueued {
+		t.Errorf("head job state = %s, want still queued", headInfo.State)
+	}
+	close(release)
+	if _, err := c.Wait(context.Background(), head); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalltimeEnforced(t *testing.T) {
+	c := newCluster(t)
+	id, _ := c.Submit(JobSpec{
+		Walltime: 30 * time.Millisecond,
+		Run: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(10 * time.Second):
+				return nil
+			}
+		},
+	})
+	info, err := c.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateExiting {
+		t.Errorf("state = %s, want E (walltime)", info.State)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	c := newCluster(t, NodeSpec{Name: "n1", Slots: 1})
+	release := make(chan struct{})
+	defer close(release)
+	running, _ := c.Submit(JobSpec{Run: func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}})
+	waitFor(t, func() bool {
+		info, _ := c.Status(running)
+		return info.State == StateRunning
+	})
+	queued, _ := c.Submit(JobSpec{Run: func(ctx context.Context) error { return nil }})
+
+	if err := c.Cancel(queued); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := c.Status(queued); info.State != StateCancelled {
+		t.Errorf("queued job state = %s", info.State)
+	}
+	if err := c.Cancel(running); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Wait(context.Background(), running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateCancelled {
+		t.Errorf("running job state = %s", info.State)
+	}
+	if err := c.Cancel(running); err == nil {
+		t.Error("double cancel succeeded")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := newCluster(t, NodeSpec{Name: "n1", Slots: 2})
+	if _, err := c.Submit(JobSpec{}); err == nil {
+		t.Error("nil payload accepted")
+	}
+	if _, err := c.Submit(JobSpec{Slots: 5, Run: func(ctx context.Context) error { return nil }}); err == nil {
+		t.Error("oversized slot request accepted")
+	}
+	if _, err := c.Submit(JobSpec{Queue: "nope", Run: func(ctx context.Context) error { return nil }}); err == nil {
+		t.Error("unknown queue accepted")
+	}
+}
+
+func TestQueueLimits(t *testing.T) {
+	c, err := New("lim", []NodeSpec{{Name: "n", Slots: 8}},
+		[]QueueSpec{{Name: "small", MaxSlots: 2, MaxWalltime: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(JobSpec{Slots: 4, Run: noop}); err == nil {
+		t.Error("queue MaxSlots not enforced")
+	}
+	id, err := c.Submit(JobSpec{Slots: 2, Run: noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func noop(ctx context.Context) error { return nil }
+
+func TestStatsAndJobs(t *testing.T) {
+	c := newCluster(t, NodeSpec{Name: "n1", Slots: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		id, err := c.Submit(JobSpec{Run: noop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = c.Wait(context.Background(), id)
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.FinishedJobs != 5 || st.TotalSlots != 4 || st.BusySlots != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(c.Jobs()) != 5 {
+		t.Errorf("jobs = %d", len(c.Jobs()))
+	}
+}
+
+func TestClosedClusterRejectsSubmit(t *testing.T) {
+	c := newCluster(t)
+	c.Close()
+	if _, err := c.Submit(JobSpec{Run: noop}); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestClusterAdapterEndToEnd(t *testing.T) {
+	cluster := newCluster(t, NodeSpec{Name: "n1", Slots: 4})
+	clusters := NewClusterRegistry()
+	clusters.Add(cluster)
+	registry := adapter.NewRegistry()
+	registry.Register("cluster", NewAdapterFactory(clusters, registry))
+	adapter.RegisterFunc("torquetest.double", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": 2 * x}, nil
+	})
+	a, err := registry.New("cluster", json.RawMessage(`{
+		"cluster": "test", "slots": 2, "walltime": "30s",
+		"exec": {"kind": "native", "config": {"function": "torquetest.double"}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Invoke(context.Background(), &adapter.Request{
+		JobID: "j", Service: "s", Inputs: core.Values{"x": 21.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["y"] != 42.0 {
+		t.Errorf("y = %v", res.Outputs["y"])
+	}
+	if cluster.Stats().FinishedJobs != 1 {
+		t.Error("job did not go through the batch system")
+	}
+}
+
+func TestClusterAdapterConfigErrors(t *testing.T) {
+	clusters := NewClusterRegistry()
+	registry := adapter.NewRegistry()
+	factory := NewAdapterFactory(clusters, registry)
+	cases := []string{
+		`{"cluster": "missing", "exec": {"kind": "native", "config": {}}}`,
+		`{"cluster": "x"}`,
+		`{"cluster": "x", "exec": {"kind": "cluster", "config": {}}}`,
+		`{"cluster": "x", "walltime": "nope", "exec": {"kind": "script", "config": {"script": "out.x=1"}}}`,
+	}
+	for _, cfg := range cases {
+		if _, err := factory(json.RawMessage(cfg)); err == nil {
+			t.Errorf("config %s accepted", cfg)
+		}
+	}
+}
+
+func TestClusterAdapterCancellation(t *testing.T) {
+	cluster := newCluster(t, NodeSpec{Name: "n1", Slots: 1})
+	clusters := NewClusterRegistry()
+	clusters.Add(cluster)
+	registry := adapter.NewRegistry()
+	registry.Register("cluster", NewAdapterFactory(clusters, registry))
+	adapter.RegisterFunc("torquetest.sleep", func(ctx context.Context, in core.Values) (core.Values, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return core.Values{}, nil
+		}
+	})
+	a, err := registry.New("cluster", json.RawMessage(`{
+		"cluster": "test",
+		"exec": {"kind": "native", "config": {"function": "torquetest.sleep"}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := a.Invoke(ctx, &adapter.Request{JobID: "j", Service: "s", Inputs: core.Values{}}); err == nil {
+		t.Fatal("cancelled invocation succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation hung")
+	}
+}

@@ -1,0 +1,213 @@
+package workflow_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/security"
+	"mathcloud/internal/workflow"
+)
+
+// TestDelegationThroughWMS reproduces the paper's central delegation use
+// case end to end: a user invokes a composite (workflow) service; the
+// workflow service then accesses the services involved in the workflow on
+// behalf of that user, authorized by the downstream service's proxy list.
+func TestDelegationThroughWMS(t *testing.T) {
+	provider, err := security.NewWebIdentityProvider(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		wmsIdentity  = "openid:wms@mathcloud"
+		userIdentity = "openid:alice@id.example"
+	)
+	guard := security.NewGuard(security.TokenAuthenticator{Provider: provider})
+	// The solver admits alice (and trusts the WMS to proxy for users);
+	// the composite service admits alice directly.
+	// The WMS itself needs read access to validate the workflow against
+	// the service description, so it appears on the allow list too; the
+	// proxy list is what authorizes it to act for users.
+	guard.SetPolicy("double", security.Policy{
+		Allow:   []string{userIdentity, wmsIdentity},
+		Proxies: []string{wmsIdentity},
+	})
+	guard.SetPolicy("chain", security.Policy{Allow: []string{userIdentity}})
+
+	adapter.RegisterFunc("delegation.double", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": 2 * x}, nil
+	})
+	registry := adapter.NewRegistry()
+	c, err := container.New(container.Options{
+		Workers: 4, Guard: guard, Adapters: registry, Logger: quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// The WMS runs under its own identity; its invoker carries the WMS
+	// token and will add Act-For per job owner.
+	wmsToken, err := provider.Login(strings.TrimPrefix(wmsIdentity, "openid:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoker := &workflow.HTTPInvoker{Client: &client.Client{Token: wmsToken}}
+	wms := workflow.NewWMS(c, registry, invoker, invoker)
+
+	srv := httptest.NewServer(wms.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "double",
+			Inputs:  []core.Param{{Name: "x"}},
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "delegation.double"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wf := &workflow.Workflow{
+		Name: "chain",
+		Blocks: []workflow.Block{
+			{ID: "x", Type: workflow.BlockInput, Name: "x"},
+			{ID: "d", Type: workflow.BlockService, Service: c.ServiceURI("double")},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "x", Port: "value"}, To: workflow.PortRef{Block: "d", Port: "x"}},
+			{From: workflow.PortRef{Block: "d", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	if err := wms.Save(wf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice calls the composite service with her own token; the workflow
+	// engine calls "double" as the WMS acting for alice.
+	aliceToken, err := provider.Login(strings.TrimPrefix(userIdentity, "openid:"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := &client.Client{Token: aliceToken}
+	out, err := alice.Service(wms.ServiceURI("chain")).Call(
+		context.Background(), core.Values{"x": 21.0})
+	if err != nil {
+		t.Fatalf("delegated workflow failed: %v", err)
+	}
+	if out["y"] != 42.0 {
+		t.Errorf("y = %v, want 42", out["y"])
+	}
+
+	// The downstream job must record alice — not the WMS — as its owner.
+	jobs := c.Jobs().List("double")
+	if len(jobs) == 0 {
+		t.Fatal("no downstream job recorded")
+	}
+	if jobs[0].Owner != userIdentity {
+		t.Errorf("downstream owner = %q, want %q", jobs[0].Owner, userIdentity)
+	}
+
+	// A user not on the solver's allow list must be refused even through
+	// the trusted WMS: delegation does not elevate privileges.
+	eveToken, err := provider.Login("eve@id.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard.SetPolicy("chain", security.Policy{
+		Allow: []string{userIdentity, "openid:eve@id.example"},
+	})
+	eve := &client.Client{Token: eveToken}
+	_, err = eve.Service(wms.ServiceURI("chain")).Call(
+		context.Background(), core.Values{"x": 1.0})
+	if err == nil {
+		t.Fatal("eve's delegated run succeeded; proxying must not bypass the allow list")
+	}
+	if !strings.Contains(err.Error(), "not allowed") && !strings.Contains(err.Error(), "403") {
+		t.Errorf("err = %v, want an authorization failure", err)
+	}
+}
+
+// TestDelegationWithoutProxyTrustFails removes the WMS from the proxy list
+// and expects the composite run to fail at the downstream hop.
+func TestDelegationWithoutProxyTrustFails(t *testing.T) {
+	provider, err := security.NewWebIdentityProvider(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := security.NewGuard(security.TokenAuthenticator{Provider: provider})
+	guard.SetPolicy("double", security.Policy{
+		Allow: []string{"openid:alice", "openid:wms@mathcloud"},
+		// No proxies: nobody may act on behalf of users.
+	})
+	guard.SetPolicy("chain", security.Policy{Allow: []string{"openid:alice"}})
+
+	adapter.RegisterFunc("delegation.double2", func(_ context.Context, in core.Values) (core.Values, error) {
+		return core.Values{"y": 1.0}, nil
+	})
+	registry := adapter.NewRegistry()
+	c, err := container.New(container.Options{
+		Workers: 4, Guard: guard, Adapters: registry, Logger: quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	wmsToken, _ := provider.Login("wms@mathcloud")
+	invoker := &workflow.HTTPInvoker{Client: &client.Client{Token: wmsToken}}
+	wms := workflow.NewWMS(c, registry, invoker, invoker)
+	srv := httptest.NewServer(wms.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "double",
+			Inputs:  []core.Param{{Name: "x"}},
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "delegation.double2"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wms.Save(&workflow.Workflow{
+		Name: "chain",
+		Blocks: []workflow.Block{
+			{ID: "x", Type: workflow.BlockInput, Name: "x"},
+			{ID: "d", Type: workflow.BlockService, Service: c.ServiceURI("double")},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "x", Port: "value"}, To: workflow.PortRef{Block: "d", Port: "x"}},
+			{From: workflow.PortRef{Block: "d", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	aliceToken, _ := provider.Login("alice")
+	alice := &client.Client{Token: aliceToken}
+	_, err = alice.Service(wms.ServiceURI("chain")).Call(
+		context.Background(), core.Values{"x": 1.0})
+	if err == nil {
+		t.Fatal("delegated run succeeded without proxy trust")
+	}
+	if !strings.Contains(err.Error(), "not trusted") {
+		t.Errorf("err = %v, want proxy-trust failure", err)
+	}
+}
+
+func quietLog() *log.Logger { return log.New(io.Discard, "", 0) }

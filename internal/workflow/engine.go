@@ -1,0 +1,287 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/script"
+)
+
+// Invoker calls computational web services on behalf of the workflow
+// runtime.  The standard implementation goes through the unified REST API
+// (see HTTPInvoker); tests may substitute an in-process fake.
+type Invoker interface {
+	Call(ctx context.Context, serviceURI string, inputs core.Values) (core.Values, error)
+}
+
+// Engine executes validated workflows.  Independent blocks run
+// concurrently: the engine is dataflow-driven, which is what makes the
+// paper's coarse-grained application decompositions (e.g. block matrix
+// inversion) run in parallel across services.
+type Engine struct {
+	// Invoker performs service calls; required if the workflow contains
+	// service blocks.
+	Invoker Invoker
+	// Describer resolves service descriptions during validation;
+	// required if the workflow contains service blocks.
+	Describer Describer
+	// OnBlockState, when non-nil, receives per-block state transitions
+	// (the editor's colouring of running workflows).
+	OnBlockState func(block string, state core.JobState)
+	// ScriptStepLimit bounds script block execution (0 = default).
+	ScriptStepLimit int
+}
+
+// BlockError reports the failure of one workflow block.
+type BlockError struct {
+	Block string
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *BlockError) Error() string {
+	return fmt.Sprintf("workflow: block %q: %v", e.Block, e.Err)
+}
+
+// Unwrap returns the underlying error.
+func (e *BlockError) Unwrap() error { return e.Err }
+
+// Run validates and executes the workflow with the given request inputs
+// and returns the workflow outputs.
+func (e *Engine) Run(ctx context.Context, wf *Workflow, inputs core.Values) (core.Values, error) {
+	r, err := wf.validate(e.Describer)
+	if err != nil {
+		return nil, err
+	}
+	return e.runResolved(ctx, r, inputs)
+}
+
+func (e *Engine) setState(block string, s core.JobState) {
+	if e.OnBlockState != nil {
+		e.OnBlockState(block, s)
+	}
+}
+
+func (e *Engine) runResolved(ctx context.Context, r *resolved, inputs core.Values) (core.Values, error) {
+	// Check request inputs against the workflow's input blocks.
+	desc := r.wf.CompositeDescription()
+	inputs = desc.ApplyDefaults(inputs)
+	for _, b := range r.wf.Blocks {
+		if b.Type == BlockInput {
+			if _, ok := inputs[b.Name]; !ok {
+				if b.Optional {
+					if b.Default != nil {
+						inputs[b.Name] = b.Default
+					}
+					continue
+				}
+				return nil, core.ErrBadRequest("workflow: missing input %q", b.Name)
+			}
+			if b.Schema != nil {
+				if err := b.Schema.Validate(inputs[b.Name]); err != nil {
+					return nil, core.ErrBadRequest("workflow: input %q: %v", b.Name, err)
+				}
+			}
+		}
+	}
+	for name := range inputs {
+		if _, ok := desc.Input(name); !ok {
+			return nil, core.ErrBadRequest("workflow: unknown input %q", name)
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu     sync.Mutex
+		values = make(map[PortRef]any)
+		outs   = core.Values{}
+	)
+	// doneCh carries block completions back to the coordinator.
+	type completion struct {
+		block string
+		err   error
+	}
+	doneCh := make(chan completion)
+
+	// Dependency bookkeeping at block granularity.
+	waiting := make(map[string]map[string]bool) // block -> unfinished predecessor blocks
+	dependents := make(map[string][]string)
+	for _, b := range r.wf.Blocks {
+		waiting[b.ID] = make(map[string]bool)
+		e.setState(b.ID, core.StateWaiting)
+	}
+	for _, edge := range r.wf.Edges {
+		if !waiting[edge.To.Block][edge.From.Block] {
+			waiting[edge.To.Block][edge.From.Block] = true
+			dependents[edge.From.Block] = append(dependents[edge.From.Block], edge.To.Block)
+		}
+	}
+
+	running := 0
+	start := func(blockID string) {
+		running++
+		e.setState(blockID, core.StateRunning)
+		go func() {
+			err := e.runBlock(runCtx, r, blockID, inputs, &mu, values, outs)
+			select {
+			case doneCh <- completion{blockID, err}:
+			case <-runCtx.Done():
+				// Coordinator gave up; report anyway so it can drain.
+				doneCh <- completion{blockID, runCtx.Err()}
+			}
+		}()
+	}
+
+	// Launch all initially ready blocks in deterministic order.
+	for _, id := range r.order {
+		if len(waiting[id]) == 0 {
+			start(id)
+		}
+	}
+
+	finished := make(map[string]bool)
+	var firstErr error
+	for running > 0 {
+		c := <-doneCh
+		running--
+		finished[c.block] = true
+		if c.err != nil {
+			e.setState(c.block, core.StateError)
+			if firstErr == nil {
+				firstErr = &BlockError{Block: c.block, Err: c.err}
+				cancel()
+			}
+			continue
+		}
+		e.setState(c.block, core.StateDone)
+		if firstErr != nil {
+			continue
+		}
+		for _, dep := range dependents[c.block] {
+			delete(waiting[dep], c.block)
+			if len(waiting[dep]) == 0 && !finished[dep] {
+				start(dep)
+				finished[dep] = true // guard against double start
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// runBlock executes one block, reading its input port values and
+// publishing its output port values.
+func (e *Engine) runBlock(ctx context.Context, r *resolved, blockID string,
+	inputs core.Values, mu *sync.Mutex, values map[PortRef]any, outs core.Values) error {
+
+	b, _ := r.wf.Block(blockID)
+
+	// Gather the values on this block's input ports.
+	blockIn := core.Values{}
+	mu.Lock()
+	for name, p := range r.inPorts[blockID] {
+		if edge, ok := r.incoming[p.ref]; ok {
+			val, ok := lookup(values, edge.From)
+			if !ok {
+				mu.Unlock()
+				return fmt.Errorf("internal: value for %s not produced", edge.From)
+			}
+			blockIn[name] = val
+			continue
+		}
+		if b.Type == BlockService {
+			if v, ok := b.Params[name]; ok {
+				blockIn[name] = v
+			}
+		}
+	}
+	mu.Unlock()
+
+	publish := func(port string, val any) {
+		mu.Lock()
+		values[PortRef{Block: blockID, Port: port}] = val
+		mu.Unlock()
+	}
+
+	switch b.Type {
+	case BlockInput:
+		val, ok := inputs[b.Name]
+		if !ok {
+			// Optional input without a default: publish null.
+			val = nil
+		}
+		publish("value", val)
+		return nil
+	case BlockConst:
+		if b.Schema != nil {
+			if err := b.Schema.Validate(b.Value); err != nil {
+				return err
+			}
+		}
+		publish("value", b.Value)
+		return nil
+	case BlockOutput:
+		val := blockIn["value"]
+		if b.Schema != nil {
+			if _, isFile := core.FileRefID(val); !isFile {
+				if err := b.Schema.Validate(val); err != nil {
+					return err
+				}
+			}
+		}
+		mu.Lock()
+		outs[b.Name] = val
+		mu.Unlock()
+		return nil
+	case BlockService:
+		if e.Invoker == nil {
+			return fmt.Errorf("no invoker configured for service calls")
+		}
+		result, err := e.Invoker.Call(ctx, b.Service, blockIn)
+		if err != nil {
+			return err
+		}
+		for name := range r.outPorts[blockID] {
+			if v, ok := result[name]; ok {
+				publish(name, v)
+			}
+		}
+		return nil
+	case BlockScript:
+		prog := r.programs[blockID]
+		limit := e.ScriptStepLimit
+		if limit <= 0 {
+			limit = script.DefaultStepLimit
+		}
+		out, _, err := prog.RunLimited(map[string]any(blockIn), limit)
+		if err != nil {
+			return err
+		}
+		for _, p := range b.Outputs {
+			v, ok := out[p.Name]
+			if !ok {
+				return fmt.Errorf("script did not set out.%s", p.Name)
+			}
+			if p.Schema != nil {
+				if err := p.Schema.Validate(v); err != nil {
+					return err
+				}
+			}
+			publish(p.Name, v)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown block type %q", b.Type)
+	}
+}
+
+func lookup(values map[PortRef]any, ref PortRef) (any, bool) {
+	v, ok := values[ref]
+	return v, ok
+}

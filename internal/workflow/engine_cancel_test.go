@@ -1,0 +1,118 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+)
+
+// blockingInvoker blocks calls until its context is cancelled.
+type blockingInvoker struct {
+	started atomic.Int32
+	desc    *fakeInvoker
+}
+
+func (b *blockingInvoker) Describe(uri string) (core.ServiceDescription, error) {
+	return b.desc.Describe(uri)
+}
+
+func (b *blockingInvoker) Call(ctx context.Context, uri string, in core.Values) (core.Values, error) {
+	b.started.Add(1)
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestEngineCancellation cancels a run while service blocks are in flight;
+// the engine must return promptly with a context error.
+func TestEngineCancellation(t *testing.T) {
+	fake := newFakeInvoker()
+	inv := &blockingInvoker{desc: fake}
+	eng := &Engine{Invoker: inv, Describer: inv}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(ctx, diamond(), core.Values{"x": 1.0})
+		done <- err
+	}()
+	// Wait until both parallel branches are in flight, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for inv.started.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("branches never started (%d)", inv.started.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine did not return after cancellation")
+	}
+}
+
+// TestEngineFailureCancelsSiblings verifies that when one branch fails the
+// other in-flight branch is cancelled rather than left running.
+func TestEngineFailureCancelsSiblings(t *testing.T) {
+	fake := newFakeInvoker()
+	released := make(chan struct{})
+	fake.add("svc://hang", core.ServiceDescription{
+		Name:    "hang",
+		Inputs:  []core.Param{{Name: "x", Optional: true}},
+		Outputs: []core.Param{{Name: "y", Optional: true}},
+	}, nil)
+	// Route through a custom invoker: fail on svc://fail, block on
+	// svc://hang until ctx cancel, then record release.
+	inv := invokerFunc{
+		describe: fake.Describe,
+		call: func(ctx context.Context, uri string, in core.Values) (core.Values, error) {
+			switch uri {
+			case "svc://hang":
+				<-ctx.Done()
+				close(released)
+				return nil, ctx.Err()
+			default:
+				return fake.Call(ctx, uri, in)
+			}
+		},
+	}
+	wf := &Workflow{
+		Name: "sibling",
+		Blocks: []Block{
+			{ID: "h", Type: BlockService, Service: "svc://hang"},
+			{ID: "f", Type: BlockService, Service: "svc://fail"},
+			{ID: "o", Type: BlockOutput, Name: "y"},
+		},
+		Edges: []Edge{{From: PortRef{"h", "y"}, To: PortRef{"o", "value"}}},
+	}
+	eng := &Engine{Invoker: inv, Describer: inv}
+	_, err := eng.Run(context.Background(), wf, core.Values{})
+	if err == nil {
+		t.Fatal("run succeeded despite failing block")
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Error("hanging sibling was not cancelled after the failure")
+	}
+}
+
+type invokerFunc struct {
+	describe func(string) (core.ServiceDescription, error)
+	call     func(context.Context, string, core.Values) (core.Values, error)
+}
+
+func (f invokerFunc) Describe(uri string) (core.ServiceDescription, error) {
+	return f.describe(uri)
+}
+
+func (f invokerFunc) Call(ctx context.Context, uri string, in core.Values) (core.Values, error) {
+	return f.call(ctx, uri, in)
+}

@@ -1,0 +1,55 @@
+package workflow
+
+import (
+	"context"
+	"time"
+
+	"mathcloud/internal/client"
+	"mathcloud/internal/core"
+)
+
+// HTTPInvoker calls services through the unified REST API using the
+// platform client.  It implements both Invoker and Describer, so a single
+// value configures an Engine for real distributed execution.
+type HTTPInvoker struct {
+	// Client is the underlying platform client; nil uses a default one.
+	Client *client.Client
+	// DescribeTimeout bounds description fetches during validation
+	// (default 10 s).
+	DescribeTimeout time.Duration
+}
+
+func (i *HTTPInvoker) platformClient() *client.Client {
+	if i.Client != nil {
+		return i.Client
+	}
+	return client.New()
+}
+
+// Call implements Invoker.
+func (i *HTTPInvoker) Call(ctx context.Context, serviceURI string, inputs core.Values) (core.Values, error) {
+	return i.platformClient().Service(serviceURI).Call(ctx, inputs)
+}
+
+// ActingFor returns a copy of the invoker whose calls carry the delegated
+// user identity — the paper's proxying mechanism: the workflow service,
+// authenticated with its own credentials, invokes the services involved in
+// a workflow on behalf of the user who invoked it.  The copy shares the
+// invoker's own credentials (client certificate or bearer token) but adds
+// the Act-For header.
+func (i *HTTPInvoker) ActingFor(user string) Invoker {
+	base := i.platformClient()
+	delegated := &client.Client{HTTP: base.HTTP, Token: base.Token, ActFor: user}
+	return &HTTPInvoker{Client: delegated, DescribeTimeout: i.DescribeTimeout}
+}
+
+// Describe implements Describer.
+func (i *HTTPInvoker) Describe(serviceURI string) (core.ServiceDescription, error) {
+	timeout := i.DescribeTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return i.platformClient().Service(serviceURI).Describe(ctx)
+}

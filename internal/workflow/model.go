@@ -1,0 +1,461 @@
+// Package workflow implements the MathCloud workflow management system:
+// description, validation, storage, publication and execution of workflows
+// composed of computational web services.
+//
+// A workflow is a directed acyclic graph whose vertices are blocks and
+// whose edges define data flow, as in the paper's Fig. 2.  Input and Output
+// blocks carry the workflow's own parameters; Service blocks call a
+// computational web service through the unified REST API, with ports
+// generated from the service description retrieved at composition time;
+// Script blocks run custom MCScript actions.  Port connections are checked
+// for data-type compatibility using the parameters' JSON Schemas.  A saved
+// workflow is published as a new composite service, and executing it sends
+// a request to that service.
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/script"
+)
+
+// BlockType enumerates the block kinds of the workflow editor.
+type BlockType string
+
+// Block kinds.
+const (
+	// BlockInput is a workflow input parameter: one output port "value".
+	BlockInput BlockType = "input"
+	// BlockOutput is a workflow output parameter: one input port "value".
+	BlockOutput BlockType = "output"
+	// BlockService calls a computational web service; its ports come
+	// from the service description.
+	BlockService BlockType = "service"
+	// BlockScript runs a custom MCScript action with declared ports.
+	BlockScript BlockType = "script"
+	// BlockConst produces a fixed value on its output port "value".
+	BlockConst BlockType = "const"
+)
+
+// PortDecl declares one port of a script block.
+type PortDecl struct {
+	Name   string             `json:"name"`
+	Schema *jsonschema.Schema `json:"schema,omitempty"`
+}
+
+// Block is one vertex of the workflow graph.
+type Block struct {
+	// ID is the block identifier, unique within the workflow.
+	ID string `json:"id"`
+	// Type selects the block kind.
+	Type BlockType `json:"type"`
+	// Title is an optional display label.
+	Title string `json:"title,omitempty"`
+
+	// Name is the workflow parameter name for input/output blocks.
+	Name string `json:"name,omitempty"`
+	// Schema types the value of input, output and const blocks.
+	Schema *jsonschema.Schema `json:"schema,omitempty"`
+	// Optional marks input blocks whose value may be omitted.
+	Optional bool `json:"optional,omitempty"`
+	// Default is the default for an optional input block.
+	Default any `json:"default,omitempty"`
+
+	// Service is the URI of the called service, for service blocks.
+	Service string `json:"service,omitempty"`
+	// Params binds fixed values to service input ports, so constants do
+	// not need edges.
+	Params core.Values `json:"params,omitempty"`
+
+	// Script is the MCScript source, for script blocks.
+	Script string `json:"script,omitempty"`
+	// Inputs and Outputs declare script block ports.
+	Inputs  []PortDecl `json:"inputs,omitempty"`
+	Outputs []PortDecl `json:"outputs,omitempty"`
+
+	// Value is the fixed value of a const block.
+	Value any `json:"value,omitempty"`
+}
+
+// PortRef identifies one port of one block.
+type PortRef struct {
+	Block string `json:"block"`
+	Port  string `json:"port"`
+}
+
+// String renders the reference as "block.port".
+func (p PortRef) String() string { return p.Block + "." + p.Port }
+
+// Edge is a data-flow connection between an output port and an input port.
+type Edge struct {
+	From PortRef `json:"from"`
+	To   PortRef `json:"to"`
+}
+
+// Workflow is a complete workflow document, the JSON format the editor
+// downloads and uploads.
+type Workflow struct {
+	// Name is the identifier the workflow is published under.
+	Name        string  `json:"name"`
+	Title       string  `json:"title,omitempty"`
+	Description string  `json:"description,omitempty"`
+	Blocks      []Block `json:"blocks"`
+	Edges       []Edge  `json:"edges"`
+}
+
+// Parse decodes a workflow document from JSON.
+func Parse(data []byte) (*Workflow, error) {
+	var wf Workflow
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wf); err != nil {
+		return nil, fmt.Errorf("workflow: parse: %w", err)
+	}
+	return &wf, nil
+}
+
+// Encode serializes the workflow document to indented JSON.
+func (w *Workflow) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workflow: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Block returns the block with the given ID.
+func (w *Workflow) Block(id string) (*Block, bool) {
+	for i := range w.Blocks {
+		if w.Blocks[i].ID == id {
+			return &w.Blocks[i], true
+		}
+	}
+	return nil, false
+}
+
+// ServiceURIs returns the distinct service URIs referenced by the
+// workflow, sorted.
+func (w *Workflow) ServiceURIs() []string {
+	seen := make(map[string]bool)
+	for _, b := range w.Blocks {
+		if b.Type == BlockService && b.Service != "" {
+			seen[b.Service] = true
+		}
+	}
+	uris := make([]string, 0, len(seen))
+	for u := range seen {
+		uris = append(uris, u)
+	}
+	sort.Strings(uris)
+	return uris
+}
+
+// port is a resolved port with its schema, produced during validation.
+type port struct {
+	ref      PortRef
+	schema   *jsonschema.Schema
+	optional bool
+}
+
+// resolved holds the validated static structure of a workflow: per-block
+// ports, topological order and adjacency.
+type resolved struct {
+	wf *Workflow
+	// inPorts and outPorts map block IDs to their ports by port name.
+	inPorts  map[string]map[string]port
+	outPorts map[string]map[string]port
+	// incoming maps an input port to its single feeding edge.
+	incoming map[PortRef]Edge
+	// order is a deterministic topological order of block IDs.
+	order []string
+	// descriptions caches the service descriptions used for ports.
+	descriptions map[string]core.ServiceDescription
+	// programs caches compiled scripts per block ID.
+	programs map[string]*script.Program
+}
+
+// Describer retrieves service descriptions during workflow validation,
+// which is how the editor "dynamically retrieves service description and
+// extracts information about the number, types and names of input and
+// output parameters".
+type Describer interface {
+	Describe(serviceURI string) (core.ServiceDescription, error)
+}
+
+// ValidationError reports a workflow that fails static checks.
+type ValidationError struct {
+	Message string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string { return "workflow: invalid: " + e.Message }
+
+func invalidf(format string, args ...any) error {
+	return &ValidationError{Message: fmt.Sprintf(format, args...)}
+}
+
+// Validate statically checks the workflow: unique block IDs, well-formed
+// blocks, edges between existing ports, single writer per input port,
+// type-compatible connections, all mandatory ports fed, and acyclicity.
+// It returns the resolved structure used by the engine.
+func (w *Workflow) validate(desc Describer) (*resolved, error) {
+	if strings.TrimSpace(w.Name) == "" {
+		return nil, invalidf("empty workflow name")
+	}
+	r := &resolved{
+		wf:           w,
+		inPorts:      make(map[string]map[string]port),
+		outPorts:     make(map[string]map[string]port),
+		incoming:     make(map[PortRef]Edge),
+		descriptions: make(map[string]core.ServiceDescription),
+		programs:     make(map[string]*script.Program),
+	}
+	seen := make(map[string]bool)
+	inputNames := make(map[string]bool)
+	outputNames := make(map[string]bool)
+	for i := range w.Blocks {
+		b := &w.Blocks[i]
+		if strings.TrimSpace(b.ID) == "" {
+			return nil, invalidf("block %d has an empty id", i)
+		}
+		if strings.Contains(b.ID, ".") {
+			return nil, invalidf("block id %q must not contain '.'", b.ID)
+		}
+		if seen[b.ID] {
+			return nil, invalidf("duplicate block id %q", b.ID)
+		}
+		seen[b.ID] = true
+		ins, outs, err := r.blockPorts(b, desc)
+		if err != nil {
+			return nil, err
+		}
+		r.inPorts[b.ID] = ins
+		r.outPorts[b.ID] = outs
+		switch b.Type {
+		case BlockInput:
+			if inputNames[b.Name] {
+				return nil, invalidf("duplicate workflow input %q", b.Name)
+			}
+			inputNames[b.Name] = true
+		case BlockOutput:
+			if outputNames[b.Name] {
+				return nil, invalidf("duplicate workflow output %q", b.Name)
+			}
+			outputNames[b.Name] = true
+		}
+	}
+
+	for _, e := range w.Edges {
+		fromPorts, ok := r.outPorts[e.From.Block]
+		if !ok {
+			return nil, invalidf("edge from unknown block %q", e.From.Block)
+		}
+		from, ok := fromPorts[e.From.Port]
+		if !ok {
+			return nil, invalidf("edge from unknown port %s", e.From)
+		}
+		toPorts, ok := r.inPorts[e.To.Block]
+		if !ok {
+			return nil, invalidf("edge to unknown block %q", e.To.Block)
+		}
+		to, ok := toPorts[e.To.Port]
+		if !ok {
+			return nil, invalidf("edge to unknown port %s", e.To)
+		}
+		if _, dup := r.incoming[e.To]; dup {
+			return nil, invalidf("input port %s has multiple incoming edges", e.To)
+		}
+		if !jsonschema.Compatible(from.schema, to.schema) {
+			return nil, invalidf("incompatible connection %s (%s) -> %s (%s)",
+				e.From, from.schema.String(), e.To, to.schema.String())
+		}
+		r.incoming[e.To] = e
+	}
+
+	// Every mandatory input port must be fed by an edge, a constant
+	// parameter binding or (for input blocks) the request itself.
+	for blockID, ports := range r.inPorts {
+		b, _ := w.Block(blockID)
+		for name, p := range ports {
+			if _, fed := r.incoming[p.ref]; fed {
+				continue
+			}
+			if b.Type == BlockService {
+				if _, bound := b.Params[name]; bound {
+					continue
+				}
+			}
+			if p.optional {
+				continue
+			}
+			return nil, invalidf("mandatory input port %s is not connected", p.ref)
+		}
+	}
+
+	order, err := r.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	r.order = order
+	return r, nil
+}
+
+// blockPorts derives the input and output ports of one block.
+func (r *resolved) blockPorts(b *Block, desc Describer) (ins, outs map[string]port, err error) {
+	ins = make(map[string]port)
+	outs = make(map[string]port)
+	mk := func(name string, schema *jsonschema.Schema, optional bool) port {
+		return port{ref: PortRef{Block: b.ID, Port: name}, schema: schema, optional: optional}
+	}
+	switch b.Type {
+	case BlockInput:
+		if strings.TrimSpace(b.Name) == "" {
+			return nil, nil, invalidf("input block %q has no parameter name", b.ID)
+		}
+		outs["value"] = mk("value", b.Schema, false)
+	case BlockOutput:
+		if strings.TrimSpace(b.Name) == "" {
+			return nil, nil, invalidf("output block %q has no parameter name", b.ID)
+		}
+		ins["value"] = mk("value", b.Schema, false)
+	case BlockConst:
+		outs["value"] = mk("value", b.Schema, false)
+	case BlockService:
+		if strings.TrimSpace(b.Service) == "" {
+			return nil, nil, invalidf("service block %q has no service URI", b.ID)
+		}
+		d, ok := r.descriptions[b.Service]
+		if !ok {
+			if desc == nil {
+				return nil, nil, invalidf("service block %q needs a describer to resolve %q",
+					b.ID, b.Service)
+			}
+			var err error
+			d, err = desc.Describe(b.Service)
+			if err != nil {
+				return nil, nil, fmt.Errorf("workflow: block %q: describe %s: %w",
+					b.ID, b.Service, err)
+			}
+			r.descriptions[b.Service] = d
+		}
+		for _, p := range d.Inputs {
+			optional := p.Optional || (p.Schema != nil && p.Schema.HasDefault)
+			ins[p.Name] = mk(p.Name, p.Schema, optional)
+		}
+		for _, p := range d.Outputs {
+			outs[p.Name] = mk(p.Name, p.Schema, p.Optional)
+		}
+		for name := range b.Params {
+			if _, ok := ins[name]; !ok {
+				return nil, nil, invalidf("block %q binds unknown parameter %q", b.ID, name)
+			}
+		}
+	case BlockScript:
+		prog, err := script.Parse(b.Script)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workflow: block %q: %w", b.ID, err)
+		}
+		r.programs[b.ID] = prog
+		for _, p := range b.Inputs {
+			ins[p.Name] = mk(p.Name, p.Schema, false)
+		}
+		for _, p := range b.Outputs {
+			outs[p.Name] = mk(p.Name, p.Schema, false)
+		}
+	default:
+		return nil, nil, invalidf("block %q has unknown type %q", b.ID, b.Type)
+	}
+	return ins, outs, nil
+}
+
+// topoSort returns a deterministic topological order of the block IDs, or
+// an error naming a block on a cycle.
+func (r *resolved) topoSort() ([]string, error) {
+	// Build predecessor counts at block granularity.
+	preds := make(map[string]map[string]bool) // block -> set of predecessor blocks
+	ids := make([]string, 0, len(r.wf.Blocks))
+	for _, b := range r.wf.Blocks {
+		ids = append(ids, b.ID)
+		preds[b.ID] = make(map[string]bool)
+	}
+	sort.Strings(ids)
+	for _, e := range r.wf.Edges {
+		if e.From.Block != e.To.Block {
+			preds[e.To.Block][e.From.Block] = true
+		} else {
+			return nil, invalidf("block %q feeds itself", e.From.Block)
+		}
+	}
+	var order []string
+	done := make(map[string]bool)
+	for len(order) < len(ids) {
+		progressed := false
+		for _, id := range ids {
+			if done[id] {
+				continue
+			}
+			ready := true
+			for p := range preds[id] {
+				if !done[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[id] = true
+				order = append(order, id)
+				progressed = true
+			}
+		}
+		if !progressed {
+			var cyclic []string
+			for _, id := range ids {
+				if !done[id] {
+					cyclic = append(cyclic, id)
+				}
+			}
+			return nil, invalidf("workflow graph has a cycle through %v", cyclic)
+		}
+	}
+	return order, nil
+}
+
+// Check validates the workflow against the given describer without
+// executing it, returning the first problem found.
+func (w *Workflow) Check(desc Describer) error {
+	_, err := w.validate(desc)
+	return err
+}
+
+// CompositeDescription derives the service description of the composite
+// service publishing this workflow: the workflow's input blocks become
+// service inputs and output blocks become service outputs.
+func (w *Workflow) CompositeDescription() core.ServiceDescription {
+	d := core.ServiceDescription{
+		Name:        w.Name,
+		Title:       w.Title,
+		Description: w.Description,
+		Version:     "workflow",
+		Tags:        []string{"workflow", "composite"},
+	}
+	for _, b := range w.Blocks {
+		switch b.Type {
+		case BlockInput:
+			d.Inputs = append(d.Inputs, core.Param{
+				Name: b.Name, Title: b.Title, Schema: b.Schema, Optional: b.Optional,
+			})
+		case BlockOutput:
+			d.Outputs = append(d.Outputs, core.Param{
+				Name: b.Name, Title: b.Title, Schema: b.Schema,
+			})
+		}
+	}
+	sort.Slice(d.Inputs, func(i, j int) bool { return d.Inputs[i].Name < d.Inputs[j].Name })
+	sort.Slice(d.Outputs, func(i, j int) bool { return d.Outputs[i].Name < d.Outputs[j].Name })
+	return d
+}

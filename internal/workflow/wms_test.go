@@ -1,0 +1,307 @@
+package workflow_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/workflow"
+)
+
+// startWMS brings up a platform deployment with a WMS and two base
+// services deployed in the same container.
+func startWMS(t *testing.T) *platform.Deployment {
+	t.Helper()
+	d, err := platform.StartLocal(platform.Options{Workers: 8, WithWMS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	adapter.RegisterFunc("wmstest.double", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": 2 * x}, nil
+	})
+	num := jsonschema.New(jsonschema.TypeNumber)
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "double",
+			Inputs:  []core.Param{{Name: "x", Schema: num}},
+			Outputs: []core.Param{{Name: "y", Schema: num}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "wmstest.double"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func chainWorkflow(d *platform.Deployment) *workflow.Workflow {
+	uri := d.Container.ServiceURI("double")
+	num := jsonschema.New(jsonschema.TypeNumber)
+	return &workflow.Workflow{
+		Name: "quadruple",
+		Blocks: []workflow.Block{
+			{ID: "x", Type: workflow.BlockInput, Name: "x", Schema: num},
+			{ID: "d1", Type: workflow.BlockService, Service: uri},
+			{ID: "d2", Type: workflow.BlockService, Service: uri},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y", Schema: num},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "x", Port: "value"}, To: workflow.PortRef{Block: "d1", Port: "x"}},
+			{From: workflow.PortRef{Block: "d1", Port: "y"}, To: workflow.PortRef{Block: "d2", Port: "x"}},
+			{From: workflow.PortRef{Block: "d2", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+}
+
+func TestWMSPublishesCompositeService(t *testing.T) {
+	d := startWMS(t)
+	wf := chainWorkflow(d)
+	if err := d.WMS.Save(wf); err != nil {
+		t.Fatal(err)
+	}
+	// The composite service answers the unified API like any service.
+	svc := client.New().Service(d.WMS.ServiceURI("quadruple"))
+	desc, err := svc.Describe(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc.Inputs) != 1 || desc.Inputs[0].Name != "x" {
+		t.Errorf("composite inputs = %+v", desc.Inputs)
+	}
+	out, err := svc.Call(context.Background(), core.Values{"x": 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != 20.0 {
+		t.Errorf("y = %v, want 20", out["y"])
+	}
+}
+
+func TestWMSRESTLifecycle(t *testing.T) {
+	d := startWMS(t)
+	wf := chainWorkflow(d)
+	doc, err := wf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// POST /workflows saves and publishes.
+	resp, err := http.Post(d.BaseURL+"/workflows", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("save status = %d", resp.StatusCode)
+	}
+
+	// GET /workflows lists it.
+	resp, err = http.Get(d.BaseURL + "/workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Workflows []struct {
+			Name    string `json:"name"`
+			Service string `json:"service"`
+		} `json:"workflows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Workflows) != 1 || list.Workflows[0].Name != "quadruple" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// GET /workflows/{name} returns the JSON document (the editor's
+	// download path).
+	resp, err = http.Get(d.BaseURL + "/workflows/quadruple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back workflow.Workflow
+	if err := json.NewDecoder(resp.Body).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(back.Blocks) != len(wf.Blocks) {
+		t.Errorf("document round trip lost blocks: %d vs %d", len(back.Blocks), len(wf.Blocks))
+	}
+
+	// Update: re-POST with a tweak redeploys.
+	back.Title = "updated"
+	doc2, _ := back.Encode()
+	resp, err = http.Post(d.BaseURL+"/workflows", "application/json", bytes.NewReader(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("update status = %d", resp.StatusCode)
+	}
+
+	// Execute through the composite service over plain HTTP.
+	body := bytes.NewReader([]byte(`{"x": 3}`))
+	resp, err = http.Post(d.BaseURL+"/services/quadruple?wait=10s", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != core.StateDone || job.Outputs["y"] != 12.0 {
+		t.Errorf("job = %+v", job)
+	}
+	if len(job.Blocks) != 4 {
+		t.Errorf("job carries %d block states, want 4", len(job.Blocks))
+	}
+
+	// DELETE removes workflow and composite service.
+	req, _ := http.NewRequest(http.MethodDelete, d.BaseURL+"/workflows/quadruple", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, err := client.New().Service(d.BaseURL + "/services/quadruple").Describe(context.Background()); !client.IsNotFound(err) {
+		t.Errorf("composite service survives delete: %v", err)
+	}
+}
+
+func TestWMSRejectsInvalidWorkflow(t *testing.T) {
+	d := startWMS(t)
+	bad := &workflow.Workflow{
+		Name: "bad",
+		Blocks: []workflow.Block{
+			{ID: "s", Type: workflow.BlockService, Service: d.Container.ServiceURI("double")},
+		},
+		// Mandatory input x unconnected.
+	}
+	doc, _ := bad.Encode()
+	resp, err := http.Post(d.BaseURL+"/workflows", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid workflow save status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWMSSubWorkflowComposition(t *testing.T) {
+	// Publish a workflow, then use its composite service inside another
+	// workflow — "dividing complex workflow into several simpler
+	// sub-workflows by publishing and composing workflows as services".
+	d := startWMS(t)
+	if err := d.WMS.Save(chainWorkflow(d)); err != nil {
+		t.Fatal(err)
+	}
+	num := jsonschema.New(jsonschema.TypeNumber)
+	outer := &workflow.Workflow{
+		Name: "sixteenfold",
+		Blocks: []workflow.Block{
+			{ID: "x", Type: workflow.BlockInput, Name: "x", Schema: num},
+			{ID: "q1", Type: workflow.BlockService, Service: d.WMS.ServiceURI("quadruple")},
+			{ID: "q2", Type: workflow.BlockService, Service: d.WMS.ServiceURI("quadruple")},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y", Schema: num},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "x", Port: "value"}, To: workflow.PortRef{Block: "q1", Port: "x"}},
+			{From: workflow.PortRef{Block: "q1", Port: "y"}, To: workflow.PortRef{Block: "q2", Port: "x"}},
+			{From: workflow.PortRef{Block: "q2", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	if err := d.WMS.Save(outer); err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.New().Service(d.WMS.ServiceURI("sixteenfold")).Call(
+		context.Background(), core.Values{"x": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != 32.0 {
+		t.Errorf("y = %v, want 32", out["y"])
+	}
+}
+
+func TestCompositeJobCancellation(t *testing.T) {
+	d := startWMS(t)
+	adapter.RegisterFunc("wmstest.slow", func(ctx context.Context, in core.Values) (core.Values, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return core.Values{"y": 1.0}, nil
+		}
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "slow",
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "wmstest.slow"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wf := &workflow.Workflow{
+		Name: "slowflow",
+		Blocks: []workflow.Block{
+			{ID: "s", Type: workflow.BlockService, Service: d.Container.ServiceURI("slow")},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "s", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	if err := d.WMS.Save(wf); err != nil {
+		t.Fatal(err)
+	}
+	svc := client.New().Service(d.WMS.ServiceURI("slowflow"))
+	job, err := svc.Submit(context.Background(), core.Values{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the workflow job to start running, then cancel it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := svc.Job(context.Background(), job.URI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == core.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workflow job stuck in %s", j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := svc.Cancel(context.Background(), job.URI); err != nil {
+		t.Fatal(err)
+	}
+	final, err := svc.Wait(context.Background(), job.URI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != core.StateCancelled {
+		t.Errorf("state = %s, want CANCELLED", final.State)
+	}
+}

@@ -1,0 +1,437 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+)
+
+// fakeInvoker serves canned service descriptions and dispatches calls to
+// functions, without HTTP.
+type fakeInvoker struct {
+	mu       sync.Mutex
+	descs    map[string]core.ServiceDescription
+	handlers map[string]func(core.Values) (core.Values, error)
+	calls    []string
+	barrier  chan struct{} // when non-nil, Call blocks until two arrive
+	inFlight int
+	maxPar   int
+}
+
+func newFakeInvoker() *fakeInvoker {
+	f := &fakeInvoker{
+		descs:    make(map[string]core.ServiceDescription),
+		handlers: make(map[string]func(core.Values) (core.Values, error)),
+	}
+	num := jsonschema.New(jsonschema.TypeNumber)
+	f.add("svc://add", core.ServiceDescription{
+		Name:    "add",
+		Inputs:  []core.Param{{Name: "a", Schema: num}, {Name: "b", Schema: num}},
+		Outputs: []core.Param{{Name: "sum", Schema: num}},
+	}, func(in core.Values) (core.Values, error) {
+		return core.Values{"sum": in["a"].(float64) + in["b"].(float64)}, nil
+	})
+	f.add("svc://double", core.ServiceDescription{
+		Name:    "double",
+		Inputs:  []core.Param{{Name: "x", Schema: num}},
+		Outputs: []core.Param{{Name: "y", Schema: num}},
+	}, func(in core.Values) (core.Values, error) {
+		return core.Values{"y": 2 * in["x"].(float64)}, nil
+	})
+	f.add("svc://fail", core.ServiceDescription{
+		Name:    "fail",
+		Inputs:  []core.Param{{Name: "x", Optional: true}},
+		Outputs: []core.Param{{Name: "y", Optional: true}},
+	}, func(in core.Values) (core.Values, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	})
+	return f
+}
+
+func (f *fakeInvoker) add(uri string, d core.ServiceDescription, h func(core.Values) (core.Values, error)) {
+	f.descs[uri] = d
+	f.handlers[uri] = h
+}
+
+func (f *fakeInvoker) Describe(uri string) (core.ServiceDescription, error) {
+	d, ok := f.descs[uri]
+	if !ok {
+		return d, fmt.Errorf("no such service %q", uri)
+	}
+	return d, nil
+}
+
+func (f *fakeInvoker) Call(ctx context.Context, uri string, in core.Values) (core.Values, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, uri)
+	f.inFlight++
+	if f.inFlight > f.maxPar {
+		f.maxPar = f.inFlight
+	}
+	barrier := f.barrier
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.inFlight--
+		f.mu.Unlock()
+	}()
+	if barrier != nil && uri == "svc://double" {
+		// Rendezvous with the concurrent partner call: one side sends,
+		// the other receives.  Serial execution would deadlock, so a
+		// timeout marks the failure.
+		select {
+		case barrier <- struct{}{}:
+		case <-barrier:
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("barrier timeout: no concurrent partner call")
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	h, ok := f.handlers[uri]
+	if !ok {
+		return nil, fmt.Errorf("no such service %q", uri)
+	}
+	return h(in)
+}
+
+func numSchema() *jsonschema.Schema { return jsonschema.New(jsonschema.TypeNumber) }
+
+// diamond builds the workflow  in -> double -> add <- double <- in
+// computing 2x + 2x = 4x with two parallel "double" calls.
+func diamond() *Workflow {
+	return &Workflow{
+		Name: "diamond",
+		Blocks: []Block{
+			{ID: "x", Type: BlockInput, Name: "x", Schema: numSchema()},
+			{ID: "d1", Type: BlockService, Service: "svc://double"},
+			{ID: "d2", Type: BlockService, Service: "svc://double"},
+			{ID: "plus", Type: BlockService, Service: "svc://add"},
+			{ID: "result", Type: BlockOutput, Name: "result", Schema: numSchema()},
+		},
+		Edges: []Edge{
+			{From: PortRef{"x", "value"}, To: PortRef{"d1", "x"}},
+			{From: PortRef{"x", "value"}, To: PortRef{"d2", "x"}},
+			{From: PortRef{"d1", "y"}, To: PortRef{"plus", "a"}},
+			{From: PortRef{"d2", "y"}, To: PortRef{"plus", "b"}},
+			{From: PortRef{"plus", "sum"}, To: PortRef{"result", "value"}},
+		},
+	}
+}
+
+func TestDiamondWorkflowComputes(t *testing.T) {
+	inv := newFakeInvoker()
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), diamond(), core.Values{"x": 5.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out["result"] != 20.0 {
+		t.Errorf("result = %v, want 20", out["result"])
+	}
+}
+
+func TestParallelBranchesRunConcurrently(t *testing.T) {
+	inv := newFakeInvoker()
+	// The two double calls must rendezvous with each other, proving that
+	// the independent branches of the diamond execute concurrently.
+	inv.barrier = make(chan struct{})
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), diamond(), core.Values{"x": 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out["result"] != 4.0 {
+		t.Errorf("result = %v, want 4", out["result"])
+	}
+	if inv.maxPar < 2 {
+		t.Errorf("max parallel calls = %d, want >= 2", inv.maxPar)
+	}
+}
+
+func TestBlockStatesReported(t *testing.T) {
+	inv := newFakeInvoker()
+	var mu sync.Mutex
+	states := make(map[string][]core.JobState)
+	eng := &Engine{Invoker: inv, Describer: inv,
+		OnBlockState: func(b string, s core.JobState) {
+			mu.Lock()
+			states[b] = append(states[b], s)
+			mu.Unlock()
+		}}
+	if _, err := eng.Run(context.Background(), diamond(), core.Values{"x": 1.0}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, b := range []string{"x", "d1", "d2", "plus", "result"} {
+		seq := states[b]
+		if len(seq) < 3 || seq[0] != core.StateWaiting || seq[len(seq)-1] != core.StateDone {
+			t.Errorf("block %s states = %v, want WAITING..DONE", b, seq)
+		}
+	}
+}
+
+func TestBlockFailurePropagates(t *testing.T) {
+	inv := newFakeInvoker()
+	wf := &Workflow{
+		Name: "failing",
+		Blocks: []Block{
+			{ID: "f", Type: BlockService, Service: "svc://fail"},
+			{ID: "out", Type: BlockOutput, Name: "y"},
+		},
+		Edges: []Edge{{From: PortRef{"f", "y"}, To: PortRef{"out", "value"}}},
+	}
+	eng := &Engine{Invoker: inv, Describer: inv}
+	_, err := eng.Run(context.Background(), wf, core.Values{})
+	if err == nil {
+		t.Fatal("run succeeded, want block failure")
+	}
+	var be *BlockError
+	if !asBlockErr(err, &be) || be.Block != "f" {
+		t.Errorf("err = %v, want BlockError on f", err)
+	}
+}
+
+func asBlockErr(err error, target **BlockError) bool {
+	for err != nil {
+		if e, ok := err.(*BlockError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestScriptAndConstBlocks(t *testing.T) {
+	inv := newFakeInvoker()
+	wf := &Workflow{
+		Name: "scripted",
+		Blocks: []Block{
+			{ID: "n", Type: BlockInput, Name: "n", Schema: numSchema()},
+			{ID: "k", Type: BlockConst, Value: 10.0, Schema: numSchema()},
+			{ID: "combine", Type: BlockScript,
+				Script:  "out.v = in.a * in.b + 1",
+				Inputs:  []PortDecl{{Name: "a"}, {Name: "b"}},
+				Outputs: []PortDecl{{Name: "v", Schema: numSchema()}}},
+			{ID: "res", Type: BlockOutput, Name: "v"},
+		},
+		Edges: []Edge{
+			{From: PortRef{"n", "value"}, To: PortRef{"combine", "a"}},
+			{From: PortRef{"k", "value"}, To: PortRef{"combine", "b"}},
+			{From: PortRef{"combine", "v"}, To: PortRef{"res", "value"}},
+		},
+	}
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), wf, core.Values{"n": 4.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out["v"] != 41.0 {
+		t.Errorf("v = %v, want 41", out["v"])
+	}
+}
+
+func TestServiceParamBindings(t *testing.T) {
+	inv := newFakeInvoker()
+	wf := &Workflow{
+		Name: "bound",
+		Blocks: []Block{
+			{ID: "n", Type: BlockInput, Name: "n", Schema: numSchema()},
+			{ID: "plus", Type: BlockService, Service: "svc://add",
+				Params: core.Values{"b": 100.0}},
+			{ID: "res", Type: BlockOutput, Name: "sum"},
+		},
+		Edges: []Edge{
+			{From: PortRef{"n", "value"}, To: PortRef{"plus", "a"}},
+			{From: PortRef{"plus", "sum"}, To: PortRef{"res", "value"}},
+		},
+	}
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), wf, core.Values{"n": 1.0})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out["sum"] != 101.0 {
+		t.Errorf("sum = %v, want 101", out["sum"])
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	inv := newFakeInvoker()
+	str := jsonschema.New(jsonschema.TypeString)
+	cases := []struct {
+		name string
+		wf   *Workflow
+		want string
+	}{
+		{"empty name", &Workflow{}, "empty workflow name"},
+		{"duplicate block ids", &Workflow{Name: "w", Blocks: []Block{
+			{ID: "a", Type: BlockConst}, {ID: "a", Type: BlockConst},
+		}}, "duplicate block id"},
+		{"unknown edge target", &Workflow{Name: "w",
+			Blocks: []Block{{ID: "c", Type: BlockConst}},
+			Edges:  []Edge{{From: PortRef{"c", "value"}, To: PortRef{"nope", "x"}}},
+		}, "unknown block"},
+		{"double-fed port", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "c1", Type: BlockConst}, {ID: "c2", Type: BlockConst},
+				{ID: "o", Type: BlockOutput, Name: "v"},
+			},
+			Edges: []Edge{
+				{From: PortRef{"c1", "value"}, To: PortRef{"o", "value"}},
+				{From: PortRef{"c2", "value"}, To: PortRef{"o", "value"}},
+			},
+		}, "multiple incoming"},
+		{"type mismatch", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "s", Type: BlockConst, Schema: str, Value: "hi"},
+				{ID: "d", Type: BlockService, Service: "svc://double"},
+				{ID: "o", Type: BlockOutput, Name: "y"},
+			},
+			Edges: []Edge{
+				{From: PortRef{"s", "value"}, To: PortRef{"d", "x"}},
+				{From: PortRef{"d", "y"}, To: PortRef{"o", "value"}},
+			},
+		}, "incompatible connection"},
+		{"unconnected mandatory", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "d", Type: BlockService, Service: "svc://double"},
+				{ID: "o", Type: BlockOutput, Name: "y"},
+			},
+			Edges: []Edge{{From: PortRef{"d", "y"}, To: PortRef{"o", "value"}}},
+		}, "not connected"},
+		{"cycle", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "a", Type: BlockService, Service: "svc://double"},
+				{ID: "b", Type: BlockService, Service: "svc://double"},
+			},
+			Edges: []Edge{
+				{From: PortRef{"a", "y"}, To: PortRef{"b", "x"}},
+				{From: PortRef{"b", "y"}, To: PortRef{"a", "x"}},
+			},
+		}, "cycle"},
+		{"self edge", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "a", Type: BlockService, Service: "svc://double",
+					Params: core.Values{"x": 1.0}},
+			},
+			Edges: []Edge{{From: PortRef{"a", "y"}, To: PortRef{"a", "x"}}},
+		}, "feeds itself"},
+		{"bad script", &Workflow{Name: "w",
+			Blocks: []Block{{ID: "s", Type: BlockScript, Script: "out.x = "}},
+		}, "script"},
+		{"unknown binding", &Workflow{Name: "w",
+			Blocks: []Block{
+				{ID: "d", Type: BlockService, Service: "svc://double",
+					Params: core.Values{"x": 1.0, "bogus": 2.0}},
+			},
+		}, "unknown parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.wf.Check(inv)
+			if err == nil {
+				t.Fatal("Check passed, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseEncodeRoundTrip(t *testing.T) {
+	wf := diamond()
+	data, err := wf.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if back.Name != wf.Name || len(back.Blocks) != len(wf.Blocks) || len(back.Edges) != len(wf.Edges) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	inv := newFakeInvoker()
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), back, core.Values{"x": 3.0})
+	if err != nil {
+		t.Fatalf("Run parsed workflow: %v", err)
+	}
+	if out["result"] != 12.0 {
+		t.Errorf("result = %v, want 12", out["result"])
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"w","bogus":1}`)); err == nil {
+		t.Error("Parse accepted unknown field")
+	}
+}
+
+func TestCompositeDescription(t *testing.T) {
+	d := diamond().CompositeDescription()
+	if d.Name != "diamond" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if len(d.Inputs) != 1 || d.Inputs[0].Name != "x" {
+		t.Errorf("inputs = %+v, want [x]", d.Inputs)
+	}
+	if len(d.Outputs) != 1 || d.Outputs[0].Name != "result" {
+		t.Errorf("outputs = %+v, want [result]", d.Outputs)
+	}
+}
+
+func TestMissingWorkflowInputRejected(t *testing.T) {
+	inv := newFakeInvoker()
+	eng := &Engine{Invoker: inv, Describer: inv}
+	_, err := eng.Run(context.Background(), diamond(), core.Values{})
+	if err == nil || !strings.Contains(err.Error(), "missing input") {
+		t.Errorf("err = %v, want missing input", err)
+	}
+}
+
+func TestUnknownWorkflowInputRejected(t *testing.T) {
+	inv := newFakeInvoker()
+	eng := &Engine{Invoker: inv, Describer: inv}
+	_, err := eng.Run(context.Background(), diamond(), core.Values{"x": 1.0, "zz": 2.0})
+	if err == nil || !strings.Contains(err.Error(), "unknown input") {
+		t.Errorf("err = %v, want unknown input", err)
+	}
+}
+
+func TestOptionalInputDefault(t *testing.T) {
+	inv := newFakeInvoker()
+	wf := &Workflow{
+		Name: "opt",
+		Blocks: []Block{
+			{ID: "x", Type: BlockInput, Name: "x", Schema: numSchema(),
+				Optional: true, Default: 7.0},
+			{ID: "d", Type: BlockService, Service: "svc://double"},
+			{ID: "o", Type: BlockOutput, Name: "y"},
+		},
+		Edges: []Edge{
+			{From: PortRef{"x", "value"}, To: PortRef{"d", "x"}},
+			{From: PortRef{"d", "y"}, To: PortRef{"o", "value"}},
+		},
+	}
+	eng := &Engine{Invoker: inv, Describer: inv}
+	out, err := eng.Run(context.Background(), wf, core.Values{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out["y"] != 14.0 {
+		t.Errorf("y = %v, want 14", out["y"])
+	}
+}
