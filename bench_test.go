@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -465,6 +467,177 @@ func BenchmarkFileStaging(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStagingStreamedVsBuffered quantifies the streaming file plane:
+// staging a stored file into a job work directory by the old buffered
+// round-trip (ReadAll + WriteFile, O(file) heap per transfer) vs the
+// streamed StageTo path (hardlink or pooled-buffer copy, O(buffer) heap).
+// Run with -benchmem: the streamed variant's B/op must stay flat as the
+// file grows while the buffered variant scales with the payload.
+func BenchmarkStagingStreamedVsBuffered(b *testing.B) {
+	const fileSize = 8 << 20
+	store, err := container.NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := store.PutBytes([]byte(strings.Repeat("s", fileSize)), "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := b.TempDir()
+
+	b.Run("buffered-readall", func(b *testing.B) {
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := store.ReadAll(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(work, "in_buf"), data, 0o600); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		dst := filepath.Join(work, "in_stream")
+		for i := 0; i < b.N; i++ {
+			_ = os.Remove(dst)
+			if err := store.StageTo(id, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkInvokerLocalVsHTTP is the in-process fast-path ablation: the
+// same service call (and the same diamond workflow as Fig. 2) executed
+// through the REST API vs dispatched straight into the job manager by the
+// LocalInvoker.  Both run against one process, so the difference is pure
+// transport: HTTP framing, JSON re-marshal and connection handling.
+func BenchmarkInvokerLocalVsHTTP(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.inc", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": x + 1}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "inc",
+			Inputs:  []core.Param{{Name: "x"}},
+			Outputs: []core.Param{{Name: "y"}}},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.inc"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	uri := d.Container.ServiceURI("inc")
+	httpInv := &workflow.HTTPInvoker{}
+	localInv := workflow.NewLocalInvoker(httpInv)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name string
+		inv  workflow.Invoker
+	}{{"call-http", httpInv}, {"call-local", localInv}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := tc.inv.Call(ctx, uri, core.Values{"x": 1.0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out["y"] != 2.0 {
+					b.Fatalf("y = %v", out["y"])
+				}
+			}
+		})
+	}
+
+	wf := &workflow.Workflow{
+		Name: "bench-diamond",
+		Blocks: []workflow.Block{
+			{ID: "in", Type: workflow.BlockInput, Name: "x"},
+			{ID: "l", Type: workflow.BlockService, Service: uri},
+			{ID: "r", Type: workflow.BlockService, Service: uri},
+			{ID: "join", Type: workflow.BlockScript,
+				Script:  "out.sum = in.a + in.b",
+				Inputs:  []workflow.PortDecl{{Name: "a"}, {Name: "b"}},
+				Outputs: []workflow.PortDecl{{Name: "sum"}}},
+			{ID: "out", Type: workflow.BlockOutput, Name: "sum"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "l", Port: "x"}},
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "r", Port: "x"}},
+			{From: workflow.PortRef{Block: "l", Port: "y"}, To: workflow.PortRef{Block: "join", Port: "a"}},
+			{From: workflow.PortRef{Block: "r", Port: "y"}, To: workflow.PortRef{Block: "join", Port: "b"}},
+			{From: workflow.PortRef{Block: "join", Port: "sum"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		inv  workflow.Invoker
+		desc workflow.Describer
+	}{
+		{"workflow-http", httpInv, httpInv},
+		{"workflow-local", localInv, localInv},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			engine := &workflow.Engine{Invoker: tc.inv, Describer: tc.desc}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := engine.Run(ctx, wf, core.Values{"x": 3.0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out["sum"] != 8.0 {
+					b.Fatalf("sum = %v", out["sum"])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransportReuse is the tuned-transport ablation: the identical
+// Table 1 request cycle through the shared keep-alive transport
+// (client.New) vs a client that redials for every request — the per-call
+// connection-setup cost the pooled transport eliminates.
+func BenchmarkTransportReuse(b *testing.B) {
+	d := startBench(b, 8)
+	adapter.RegisterFunc("bench.ping", func(_ context.Context, _ core.Values) (core.Values, error) {
+		return core.Values{"pong": true}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "ping",
+			Outputs: []core.Param{{Name: "pong"}}},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.ping"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	uri := d.Container.ServiceURI("ping")
+	ctx := context.Background()
+
+	redial := &client.Client{HTTP: &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   30 * time.Second,
+	}}
+	for _, tc := range []struct {
+		name string
+		cl   *client.Client
+	}{{"pooled-keepalive", client.New()}, {"redial-per-request", redial}} {
+		svc := tc.cl.Service(uri)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Call(ctx, core.Values{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimplexPivot compares Bland's rule against the Dantzig

@@ -32,7 +32,9 @@ func main() {
 	}
 	defer c.Close()
 
-	invoker := &workflow.HTTPInvoker{}
+	// Workflow blocks targeting services in this very container dispatch
+	// in-process; remote blocks go over HTTP.
+	invoker := workflow.NewLocalInvoker(&workflow.HTTPInvoker{})
 	wms := workflow.NewWMS(c, registry, invoker, invoker)
 
 	if *baseURL != "" {

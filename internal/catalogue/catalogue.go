@@ -56,7 +56,10 @@ type ClientDescriber struct {
 func (d ClientDescriber) Describe(ctx context.Context, uri string) (core.ServiceDescription, error) {
 	cl := d.Client
 	if cl == nil {
-		cl = client.New()
+		// The shared default client keeps one connection pool across all
+		// catalogue pings, so periodic availability probes reuse
+		// keep-alive connections instead of redialling every service.
+		cl = client.Default()
 	}
 	return cl.Service(uri).Describe(ctx)
 }

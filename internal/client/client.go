@@ -21,7 +21,8 @@ import (
 
 // Client holds the transport configuration shared by service handles.
 type Client struct {
-	// HTTP is the underlying transport; nil uses a 30 s-timeout client.
+	// HTTP is the underlying transport; nil uses the process-wide tuned
+	// client (rest.SharedClient).
 	HTTP *http.Client
 	// Token, when non-empty, is sent as a bearer token; this is how
 	// OpenID-style identities authenticate against secured containers.
@@ -30,18 +31,40 @@ type Client struct {
 	// as made on behalf of that user (the delegation mechanism; the
 	// caller must be on the target service's proxy list).
 	ActFor string
+	// WaitWindow is the server-side long-poll window used by Wait and
+	// Call (0 = 10 s).  The server completes the window the instant the
+	// job finishes, so longer windows only reduce round trips.
+	WaitWindow time.Duration
 }
 
-// New returns a client with default transport settings.
+// New returns a client with default transport settings.  All clients built
+// this way share one tuned http.Transport (rest.SharedTransport), so
+// keep-alive connections are pooled across every Service handle in the
+// process instead of per call site.
 func New() *Client {
-	return &Client{HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{HTTP: rest.SharedClient}
 }
+
+// defaultClient backs Default.
+var defaultClient = New()
+
+// Default returns the process-wide shared client.  Use it for one-off calls
+// (description fetches, file downloads) instead of allocating a client per
+// call.
+func Default() *Client { return defaultClient }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return rest.SharedClient
+}
+
+func (c *Client) waitWindow() time.Duration {
+	if c.WaitWindow > 0 {
+		return c.WaitWindow
+	}
+	return 10 * time.Second
 }
 
 func (c *Client) do(req *http.Request) (*http.Response, error) {
@@ -185,9 +208,12 @@ func (s *Service) Job(ctx context.Context, jobURI string) (*core.Job, error) {
 }
 
 // Wait polls the job resource (using server-side long-poll windows) until
-// the job is terminal or ctx is cancelled.
+// the job is terminal or ctx is cancelled.  The server blocks each window
+// on the job's completion channel, so the response arrives the instant the
+// job finishes — the window length only bounds how often an idle wait
+// re-issues the request.
 func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
-	const window = 2 * time.Second
+	window := s.client.waitWindow()
 	for {
 		var job core.Job
 		uri := jobURI + "?wait=" + window.String()
@@ -228,7 +254,7 @@ func (s *Service) Cancel(ctx context.Context, jobURI string) (*core.Job, error) 
 // completion and return the outputs, turning job-level failures into
 // errors.
 func (s *Service) Call(ctx context.Context, inputs core.Values) (core.Values, error) {
-	job, err := s.Submit(ctx, inputs, 2*time.Second)
+	job, err := s.Submit(ctx, inputs, s.client.waitWindow())
 	if err != nil {
 		return nil, err
 	}
@@ -287,24 +313,40 @@ func (c *Client) UploadFile(ctx context.Context, containerBase string, data io.R
 }
 
 // FetchFile downloads the content behind a file-reference parameter value.
+// It buffers the whole file; prefer FetchFileTo for large data.
 func (c *Client) FetchFile(ctx context.Context, value any) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.FetchFileTo(ctx, value, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FetchFileTo streams the content behind a file-reference parameter value
+// into dst through a pooled copy buffer, returning the number of bytes
+// transferred.  The heap cost is O(buffer) regardless of file size.
+func (c *Client) FetchFileTo(ctx context.Context, value any, dst io.Writer) (int64, error) {
 	ref, ok := core.FileRefID(value)
 	if !ok {
-		return nil, fmt.Errorf("client: value is not a file reference")
+		return 0, fmt.Errorf("client: value is not a file reference")
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ref, nil)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return 0, fmt.Errorf("client: %w", err)
 	}
 	resp, err := c.do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: GET %s: %w", ref, err)
+		return 0, fmt.Errorf("client: GET %s: %w", ref, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return 0, apiError(resp)
 	}
-	return io.ReadAll(resp.Body)
+	n, err := rest.Copy(dst, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("client: download %s: %w", ref, err)
+	}
+	return n, nil
 }
 
 // ServiceNames fetches the container index and returns the deployed

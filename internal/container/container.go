@@ -26,6 +26,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
 )
 
 // Guard authenticates requests and authorizes access to services.  It is
@@ -70,8 +71,9 @@ type Options struct {
 	// Adapters supplies the adapter registry; nil uses a fresh registry
 	// with the built-in command/native/script adapters.
 	Adapters *adapter.Registry
-	// HTTPClient performs remote file staging; nil uses a 30 s-timeout
-	// client.
+	// HTTPClient performs remote file staging; nil uses a client over the
+	// shared tuned transport (rest.SharedTransport) so staging reuses
+	// keep-alive connections across jobs and containers.
 	HTTPClient *http.Client
 }
 
@@ -127,7 +129,9 @@ func New(opts Options) (*Container, error) {
 	}
 	httpClient := opts.HTTPClient
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+		// Staging streams arbitrarily large files, so the overall timeout
+		// is generous; job contexts cancel hung transfers.
+		httpClient = rest.NewHTTPClient(5 * time.Minute)
 	}
 	c := &Container{
 		registry:   registry,
@@ -146,6 +150,7 @@ func New(opts Options) (*Container, error) {
 
 // Close shuts down the worker pool and removes container-owned data.
 func (c *Container) Close() {
+	unregisterLocal(c.BaseURL(), c)
 	c.jobs.Close()
 	if c.ownsData {
 		_ = os.RemoveAll(c.dataDir)
@@ -243,9 +248,20 @@ func (c *Container) Files() *FileStore { return c.files }
 // is known.
 func (c *Container) SetBaseURL(u string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	old := c.baseURL
 	c.baseURL = strings.TrimRight(u, "/")
+	base := c.baseURL
+	c.mu.Unlock()
+	// Publish the container in the in-process registry so callers holding
+	// its URIs can take the local invocation fast path.
+	unregisterLocal(old, c)
+	registerLocal(base, c)
 }
+
+// HasGuard reports whether the container enforces authentication and
+// authorization.  In-process fast paths must not bypass a guard, so they
+// fall back to HTTP when this is true.
+func (c *Container) HasGuard() bool { return c.guard != nil }
 
 // BaseURL returns the configured base URL ("" before SetBaseURL).
 func (c *Container) BaseURL() string {

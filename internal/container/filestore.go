@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
 )
 
 // FileStore manages the file resources of a container: the parts of client
@@ -99,7 +100,9 @@ func (fs *FileStore) Open(id string) (io.ReadSeekCloser, int64, error) {
 	return f, size, nil
 }
 
-// ReadAll returns the whole file content.
+// ReadAll returns the whole file content.  It is retained for small
+// payloads and tests; hot paths stage files with StageTo instead, which
+// never materialises the content on the heap.
 func (fs *FileStore) ReadAll(id string) ([]byte, error) {
 	f, _, err := fs.Open(id)
 	if err != nil {
@@ -107,6 +110,84 @@ func (fs *FileStore) ReadAll(id string) ([]byte, error) {
 	}
 	defer f.Close()
 	return io.ReadAll(f)
+}
+
+// StageTo materialises the file content at dst without reading it onto the
+// heap: it hardlinks the stored file when the filesystem allows, and falls
+// back to a pooled-buffer streaming copy otherwise.  This is the local
+// short-cut of the file staging plane.
+func (fs *FileStore) StageTo(id, dst string) error {
+	if !fileIDPattern.MatchString(id) {
+		return core.ErrNotFound("file", id)
+	}
+	fs.mu.Lock()
+	_, ok := fs.sizes[id]
+	fs.mu.Unlock()
+	if !ok {
+		return core.ErrNotFound("file", id)
+	}
+	src := fs.path(id)
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return core.ErrNotFound("file", id)
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("container: file store: stage: %w", err)
+	}
+	_, err = rest.Copy(out, in)
+	if closeErr := out.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(dst)
+		return fmt.Errorf("container: file store: stage: %w", err)
+	}
+	return nil
+}
+
+// PutFile ingests an existing file (typically an adapter output in a job
+// work directory) as a new file resource.  Like StageTo it avoids the heap:
+// hardlink first, pooled-buffer copy as the fallback.
+func (fs *FileStore) PutFile(path, jobID string) (string, error) {
+	id := core.NewID()
+	dst := fs.path(id)
+	if err := os.Link(path, dst); err != nil {
+		in, err := os.Open(path)
+		if err != nil {
+			return "", fmt.Errorf("container: file store: ingest: %w", err)
+		}
+		f, err := os.OpenFile(dst, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+		if err != nil {
+			_ = in.Close()
+			return "", fmt.Errorf("container: file store: create: %w", err)
+		}
+		_, err = rest.Copy(f, in)
+		_ = in.Close()
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			_ = os.Remove(dst)
+			return "", fmt.Errorf("container: file store: ingest: %w", err)
+		}
+	}
+	info, err := os.Stat(dst)
+	if err != nil {
+		_ = os.Remove(dst)
+		return "", fmt.Errorf("container: file store: ingest: %w", err)
+	}
+	fs.mu.Lock()
+	fs.sizes[id] = info.Size()
+	if jobID != "" {
+		fs.owners[id] = jobID
+	}
+	fs.mu.Unlock()
+	return id, nil
 }
 
 // Size returns the stored size of the file.

@@ -14,6 +14,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
 )
 
 // jobRecord is the container's internal state for one job.
@@ -333,10 +334,11 @@ func (jm *JobManager) process(rec *jobRecord) {
 
 // stageInputs resolves file-reference input values into local files inside
 // the job work directory and returns the parameter→path map.  Local file
-// IDs are read from the container's file store; absolute URLs (produced by
-// other containers in a workflow) are fetched over HTTP, except when they
-// point back at this container, in which case the transfer is short-cut to
-// a local read.
+// IDs are hardlinked (or stream-copied) from the container's file store;
+// absolute URLs (produced by other containers in a workflow) are streamed
+// over HTTP straight into the work dir, except when they point back at this
+// container, in which case the transfer is short-cut to the local path.
+// No path buffers whole files on the heap.
 func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workDir string) (map[string]string, error) {
 	files := make(map[string]string)
 	for name, val := range inputs {
@@ -345,11 +347,7 @@ func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workD
 			continue
 		}
 		path := filepath.Join(workDir, "in_"+name)
-		data, err := jm.fetchFile(ctx, ref)
-		if err != nil {
-			return nil, fmt.Errorf("container: stage input %q: %w", name, err)
-		}
-		if err := os.WriteFile(path, data, 0o600); err != nil {
+		if err := jm.stageFile(ctx, ref, path); err != nil {
 			return nil, fmt.Errorf("container: stage input %q: %w", name, err)
 		}
 		files[name] = path
@@ -357,26 +355,44 @@ func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workD
 	return files, nil
 }
 
-func (jm *JobManager) fetchFile(ctx context.Context, ref string) ([]byte, error) {
+// stageFile materialises the file behind ref at path.
+func (jm *JobManager) stageFile(ctx context.Context, ref, path string) error {
 	if id, ok := jm.c.localFileID(ref); ok {
-		return jm.c.files.ReadAll(id)
+		return jm.c.files.StageTo(id, path)
 	}
 	if strings.HasPrefix(ref, "http://") || strings.HasPrefix(ref, "https://") {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ref, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resp, err := jm.c.httpClient.Do(req)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("GET %s: %s", ref, resp.Status)
+			return fmt.Errorf("GET %s: %s", ref, resp.Status)
 		}
-		return io.ReadAll(io.LimitReader(resp.Body, maxFileBytes))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+		if err != nil {
+			return err
+		}
+		// Read one byte past the limit so an oversized file is detected
+		// and fails the job instead of being silently truncated.
+		n, err := rest.Copy(f, io.LimitReader(resp.Body, maxFileBytes+1))
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err == nil && n > maxFileBytes {
+			err = fmt.Errorf("GET %s: file exceeds the %d-byte staging limit", ref, int64(maxFileBytes))
+		}
+		if err != nil {
+			_ = os.Remove(path)
+			return err
+		}
+		return nil
 	}
-	return jm.c.files.ReadAll(ref)
+	return jm.c.files.StageTo(ref, path)
 }
 
 // publishOutputs converts adapter result files into file resources and
@@ -387,12 +403,9 @@ func (jm *JobManager) publishOutputs(res *adapter.Result, jobID string) (core.Va
 		outputs[k] = v
 	}
 	for name, path := range res.Files {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("container: publish output %q: %w", name, err)
-		}
-		id, err := jm.c.files.Put(f, jobID)
-		_ = f.Close()
+		// Hardlink (or stream-copy) the work-dir file into the store; the
+		// adapter is done with it and the work dir is about to be removed.
+		id, err := jm.c.files.PutFile(path, jobID)
 		if err != nil {
 			return nil, fmt.Errorf("container: publish output %q: %w", name, err)
 		}
@@ -401,5 +414,7 @@ func (jm *JobManager) publishOutputs(res *adapter.Result, jobID string) (core.Va
 	return outputs, nil
 }
 
-// maxFileBytes bounds remote file staging.
-const maxFileBytes = 1 << 30
+// maxFileBytes bounds remote file staging and client uploads.  It is a
+// variable only so tests can exercise the overflow path without moving a
+// gibibyte.
+var maxFileBytes int64 = 1 << 30

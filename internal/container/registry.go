@@ -1,0 +1,63 @@
+package container
+
+import (
+	"strings"
+	"sync"
+)
+
+// localContainers maps externally visible base URLs to containers running in
+// this process.  It is the discovery substrate of the in-process invocation
+// fast path: when a workflow block (or any other caller holding a service
+// URI) targets a container that lives in the same process, the call can be
+// dispatched straight into the job manager, skipping HTTP, JSON re-marshal
+// and poll windows entirely.
+var (
+	localMu         sync.RWMutex
+	localContainers = make(map[string]*Container)
+)
+
+// registerLocal records c as serving base; an empty base is ignored.
+func registerLocal(base string, c *Container) {
+	if base == "" {
+		return
+	}
+	localMu.Lock()
+	localContainers[base] = c
+	localMu.Unlock()
+}
+
+// unregisterLocal drops the registration, keyed by base, but only if it
+// still points at c (a newer container may have taken over the URL).
+func unregisterLocal(base string, c *Container) {
+	if base == "" {
+		return
+	}
+	localMu.Lock()
+	if localContainers[base] == c {
+		delete(localContainers, base)
+	}
+	localMu.Unlock()
+}
+
+// LookupLocal resolves a service URI ("<base>/services/<name>") to a
+// container running in this process and the local service name.  It returns
+// ok=false for URIs served by other processes, malformed URIs, and URIs
+// with sub-resources (jobs, files) after the service name.
+func LookupLocal(serviceURI string) (*Container, string, bool) {
+	uri := strings.TrimRight(serviceURI, "/")
+	idx := strings.LastIndex(uri, "/services/")
+	if idx < 0 {
+		return nil, "", false
+	}
+	base, name := uri[:idx], uri[idx+len("/services/"):]
+	if name == "" || strings.Contains(name, "/") {
+		return nil, "", false
+	}
+	localMu.RLock()
+	c := localContainers[base]
+	localMu.RUnlock()
+	if c == nil {
+		return nil, "", false
+	}
+	return c, name, true
+}

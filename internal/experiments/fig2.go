@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"mathcloud/internal/cas"
@@ -77,6 +78,14 @@ func RunFig2(w io.Writer) error {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	// Fast blocks can finish between two polls; the job log keeps the
+	// full transition history, so RUNNING states are observable through
+	// the REST API even when sampling missed the live window.
+	for _, line := range final.Log {
+		if strings.HasSuffix(line, ": "+string(core.StateRunning)) {
+			sawRunning = true
+		}
 	}
 	if final.State != core.StateDone {
 		return fmt.Errorf("experiments: fig2: workflow job %s: %s", final.State, final.Error)

@@ -30,7 +30,7 @@ import (
 // the unified API.
 func ResolveMatrix(ctx context.Context, v any) (*ratmat.Matrix, error) {
 	if _, isRef := core.FileRefID(v); isRef {
-		data, err := client.New().FetchFile(ctx, v)
+		data, err := client.Default().FetchFile(ctx, v)
 		if err != nil {
 			return nil, fmt.Errorf("matrixinv: fetch matrix file: %w", err)
 		}

@@ -79,7 +79,11 @@ func StartLocal(opts Options) (*Deployment, error) {
 
 	var handler http.Handler = c.Handler()
 	if opts.WithWMS {
-		invoker := &workflow.HTTPInvoker{}
+		// The local invoker dispatches workflow blocks whose services live
+		// in this process straight into the job manager (registered via
+		// SetBaseURL below); everything else goes over HTTP through the
+		// shared tuned transport.
+		invoker := workflow.NewLocalInvoker(&workflow.HTTPInvoker{})
 		d.WMS = workflow.NewWMS(c, registry, invoker, invoker)
 		handler = d.WMS.Handler()
 	}

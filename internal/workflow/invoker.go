@@ -2,9 +2,11 @@ package workflow
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"mathcloud/internal/client"
+	"mathcloud/internal/container"
 	"mathcloud/internal/core"
 )
 
@@ -23,7 +25,7 @@ func (i *HTTPInvoker) platformClient() *client.Client {
 	if i.Client != nil {
 		return i.Client
 	}
-	return client.New()
+	return client.Default()
 }
 
 // Call implements Invoker.
@@ -39,7 +41,7 @@ func (i *HTTPInvoker) Call(ctx context.Context, serviceURI string, inputs core.V
 // the Act-For header.
 func (i *HTTPInvoker) ActingFor(user string) Invoker {
 	base := i.platformClient()
-	delegated := &client.Client{HTTP: base.HTTP, Token: base.Token, ActFor: user}
+	delegated := &client.Client{HTTP: base.HTTP, Token: base.Token, ActFor: user, WaitWindow: base.WaitWindow}
 	return &HTTPInvoker{Client: delegated, DescribeTimeout: i.DescribeTimeout}
 }
 
@@ -52,4 +54,87 @@ func (i *HTTPInvoker) Describe(serviceURI string) (core.ServiceDescription, erro
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	return i.platformClient().Service(serviceURI).Describe(ctx)
+}
+
+// LocalInvoker is the in-process invocation fast path.  When a service URI
+// is served by a container running in the same process (per the container
+// registry populated by SetBaseURL), the call is dispatched straight into
+// that container's job manager — no HTTP round trip, no JSON re-marshal,
+// and completion is observed on the job's done channel rather than a poll
+// window.  Every other URI falls back to the HTTP invoker, so a workflow
+// can freely mix local and remote blocks.
+//
+// Guarded containers are never short-cut: their authentication and
+// authorization checks live in the HTTP layer, so those calls take the
+// fallback path with the invoker's credentials.
+type LocalInvoker struct {
+	// Fallback handles URIs not served in-process; nil uses a default
+	// HTTPInvoker over the shared tuned transport.
+	Fallback Invoker
+	// actFor is the delegated identity recorded as the owner of locally
+	// dispatched jobs (see ActingFor).
+	actFor string
+}
+
+// NewLocalInvoker returns a LocalInvoker with the given fallback (nil for
+// the default HTTP invoker).
+func NewLocalInvoker(fallback Invoker) *LocalInvoker {
+	return &LocalInvoker{Fallback: fallback}
+}
+
+func (i *LocalInvoker) fallback() Invoker {
+	if i.Fallback != nil {
+		return i.Fallback
+	}
+	return &HTTPInvoker{}
+}
+
+// Call implements Invoker.
+func (i *LocalInvoker) Call(ctx context.Context, serviceURI string, inputs core.Values) (core.Values, error) {
+	c, name, ok := container.LookupLocal(serviceURI)
+	if !ok || c.HasGuard() {
+		return i.fallback().Call(ctx, serviceURI, inputs)
+	}
+	jobs := c.Jobs()
+	job, err := jobs.Submit(name, inputs, i.actFor)
+	if err != nil {
+		return nil, err
+	}
+	done, err := jobs.Wait(ctx, job.ID, 0)
+	if err != nil {
+		// The caller gave up; cancel the dispatched job so it does not
+		// keep burning a worker slot.
+		_, _ = jobs.Delete(job.ID)
+		return nil, err
+	}
+	switch done.State {
+	case core.StateDone:
+		return done.Outputs, nil
+	case core.StateCancelled:
+		return nil, fmt.Errorf("workflow: job %s on %s was cancelled", done.ID, serviceURI)
+	default:
+		return nil, fmt.Errorf("workflow: job %s on %s failed: %s", done.ID, serviceURI, done.Error)
+	}
+}
+
+// ActingFor implements ActForInvoker: locally dispatched jobs record the
+// delegated user as their owner, and fallback calls are delegated through
+// the fallback's own ActingFor (the Act-For header for HTTP).
+func (i *LocalInvoker) ActingFor(user string) Invoker {
+	fb := i.Fallback
+	if af, ok := i.fallback().(ActForInvoker); ok {
+		fb = af.ActingFor(user)
+	}
+	return &LocalInvoker{Fallback: fb, actFor: user}
+}
+
+// Describe implements Describer, resolving local services without HTTP.
+func (i *LocalInvoker) Describe(serviceURI string) (core.ServiceDescription, error) {
+	if c, name, ok := container.LookupLocal(serviceURI); ok && !c.HasGuard() {
+		return c.Describe(name)
+	}
+	if d, ok := i.fallback().(Describer); ok {
+		return d.Describe(serviceURI)
+	}
+	return (&HTTPInvoker{}).Describe(serviceURI)
 }

@@ -1,0 +1,203 @@
+package workflow_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/platform"
+	"mathcloud/internal/workflow"
+)
+
+func deployLocalAdd(t *testing.T, d *platform.Deployment) string {
+	t.Helper()
+	adapter.RegisterFunc("local.add", func(_ context.Context, in core.Values) (core.Values, error) {
+		a, _ := in["a"].(float64)
+		b, _ := in["b"].(float64)
+		return core.Values{"sum": a + b}, nil
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "add",
+			Inputs:  []core.Param{{Name: "a"}, {Name: "b"}},
+			Outputs: []core.Param{{Name: "sum"}}},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"local.add"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return d.Container.ServiceURI("add")
+}
+
+// TestLocalInvokerFastPath checks that an in-process service URI is
+// dispatched without HTTP and yields the same outputs and description as
+// the REST path.
+func TestLocalInvokerFastPath(t *testing.T) {
+	d, err := platform.StartLocal(platform.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	uri := deployLocalAdd(t, d)
+
+	inv := workflow.NewLocalInvoker(nil)
+	out, err := inv.Call(context.Background(), uri, core.Values{"a": 2.0, "b": 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["sum"] != 7.0 {
+		t.Errorf("sum = %v, want 7", out["sum"])
+	}
+
+	desc, err := inv.Describe(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Name != "add" || len(desc.Inputs) != 2 {
+		t.Errorf("local description = %+v", desc)
+	}
+
+	// The fast path must surface job failures as errors, like HTTP does.
+	if _, err := inv.Call(context.Background(), uri, core.Values{"a": 1.0, "b": 2.0, "zz": true}); err == nil {
+		t.Error("invalid input accepted by the local fast path")
+	}
+}
+
+// TestLocalInvokerFallback routes non-local URIs to the fallback invoker.
+func TestLocalInvokerFallback(t *testing.T) {
+	called := ""
+	inv := workflow.NewLocalInvoker(invokerFn(func(_ context.Context, uri string, _ core.Values) (core.Values, error) {
+		called = uri
+		return core.Values{"ok": true}, nil
+	}))
+	out, err := inv.Call(context.Background(), "http://elsewhere.invalid/services/remote", core.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != true || !strings.Contains(called, "elsewhere") {
+		t.Errorf("fallback not used: out=%v called=%q", out, called)
+	}
+}
+
+// TestLocalInvokerCancellation verifies that cancelling the caller's
+// context cancels the locally dispatched job rather than leaking it into a
+// worker slot.
+func TestLocalInvokerCancellation(t *testing.T) {
+	d, err := platform.StartLocal(platform.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	started := make(chan struct{}, 1)
+	adapter.RegisterFunc("local.hang", func(ctx context.Context, _ core.Values) (core.Values, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err := d.Container.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{Name: "hang"},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"local.hang"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	inv := workflow.NewLocalInvoker(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := inv.Call(ctx, d.Container.ServiceURI("hang"), core.Values{})
+		done <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("local call did not return after cancellation")
+	}
+	// The dispatched job must have been cancelled, freeing the worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jobs := d.Container.Jobs().List("hang")
+		if len(jobs) > 0 && jobs[0].State.Terminal() {
+			if jobs[0].State != core.StateCancelled {
+				t.Errorf("job state = %s, want %s", jobs[0].State, core.StateCancelled)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatched job never reached a terminal state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkflowEngineWithLocalInvoker runs a full DAG through the engine
+// with the local fast path and checks it matches the HTTP result.
+func TestWorkflowEngineWithLocalInvoker(t *testing.T) {
+	d, err := platform.StartLocal(platform.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	uri := deployLocalAdd(t, d)
+
+	wf := &workflow.Workflow{
+		Name: "sumtwice",
+		Blocks: []workflow.Block{
+			{ID: "in", Type: workflow.BlockInput, Name: "x"},
+			{ID: "first", Type: workflow.BlockService, Service: uri},
+			{ID: "second", Type: workflow.BlockService, Service: uri},
+			{ID: "out", Type: workflow.BlockOutput, Name: "total"},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "first", Port: "a"}},
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "first", Port: "b"}},
+			{From: workflow.PortRef{Block: "first", Port: "sum"}, To: workflow.PortRef{Block: "second", Port: "a"}},
+			{From: workflow.PortRef{Block: "in", Port: "value"}, To: workflow.PortRef{Block: "second", Port: "b"}},
+			{From: workflow.PortRef{Block: "second", Port: "sum"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	local := workflow.NewLocalInvoker(nil)
+	engine := &workflow.Engine{Invoker: local, Describer: local}
+	out, err := engine.Run(context.Background(), wf, core.Values{"x": 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["total"] != 9.0 {
+		t.Errorf("total = %v, want 9", out["total"])
+	}
+
+	httpInv := &workflow.HTTPInvoker{}
+	httpEngine := &workflow.Engine{Invoker: httpInv, Describer: httpInv}
+	httpOut, err := httpEngine.Run(context.Background(), wf, core.Values{"x": 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpOut["total"] != out["total"] {
+		t.Errorf("local path (%v) and HTTP path (%v) disagree", out["total"], httpOut["total"])
+	}
+}
+
+// invokerFn adapts a function to workflow.Invoker.
+type invokerFn func(context.Context, string, core.Values) (core.Values, error)
+
+func (f invokerFn) Call(ctx context.Context, uri string, in core.Values) (core.Values, error) {
+	return f(ctx, uri, in)
+}

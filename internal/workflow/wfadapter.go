@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
 )
 
 // AdapterConfig is the internal service configuration of the workflow
@@ -69,9 +70,21 @@ func (a *Adapter) Invoke(ctx context.Context, req *adapter.Request) (*adapter.Re
 		}
 	}
 	engine := &Engine{
-		Invoker:      invoker,
-		Describer:    a.describer,
-		OnBlockState: req.SetBlockState,
+		Invoker:   invoker,
+		Describer: a.describer,
+		// Forward block transitions into the job resource twice over:
+		// the Blocks map carries the *current* state (what the editor
+		// paints), and the job log keeps the full transition history, so
+		// clients can verify e.g. that a block ran even when it finished
+		// between two polls.
+		OnBlockState: func(block string, state core.JobState) {
+			if req.SetBlockState != nil {
+				req.SetBlockState(block, state)
+			}
+			if req.Progress != nil {
+				req.Progress(fmt.Sprintf("block %s: %s", block, state))
+			}
+		},
 	}
 	outs, err := engine.runResolved(ctx, a.resolved, req.Inputs)
 	if err != nil {
