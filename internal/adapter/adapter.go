@@ -86,12 +86,14 @@ type Registry struct {
 }
 
 // NewRegistry returns a registry pre-populated with the adapters that have
-// no external dependencies: command, native and script.
+// no external dependencies: command, native, script and chaos (the
+// fault-injection adapter used by robustness tests).
 func NewRegistry() *Registry {
 	r := &Registry{factories: make(map[string]Factory)}
 	r.Register("command", NewCommandAdapter)
 	r.Register("native", NewNativeAdapter)
 	r.Register("script", NewScriptAdapter)
+	r.Register("chaos", NewChaosAdapter)
 	return r
 }
 

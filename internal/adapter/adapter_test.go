@@ -27,7 +27,7 @@ func newRequest(t *testing.T, inputs core.Values) *Request {
 func TestRegistryKindsAndUnknown(t *testing.T) {
 	r := NewRegistry()
 	kinds := r.Kinds()
-	want := []string{"command", "native", "script"}
+	want := []string{"chaos", "command", "native", "script"}
 	if len(kinds) != len(want) {
 		t.Fatalf("kinds = %v", kinds)
 	}

@@ -59,6 +59,9 @@ func (d ClientDescriber) Describe(ctx context.Context, uri string) (core.Service
 		// The shared default client keeps one connection pool across all
 		// catalogue pings, so periodic availability probes reuse
 		// keep-alive connections instead of redialling every service.
+		// It also carries the default retry policy, so one dropped
+		// connection or transient 503 does not flip a healthy service to
+		// "unavailable" in the catalogue.
 		cl = client.Default()
 	}
 	return cl.Service(uri).Describe(ctx)

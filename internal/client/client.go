@@ -35,6 +35,16 @@ type Client struct {
 	// Call (0 = 10 s).  The server completes the window the instant the
 	// job finishes, so longer windows only reduce round trips.
 	WaitWindow time.Duration
+	// MinPoll is the minimum delay between successive Wait polls when the
+	// server answers before the long-poll window elapses — a server that
+	// ignores the wait parameter would otherwise be polled in a tight
+	// loop (0 = 250 ms).
+	MinPoll time.Duration
+	// Retry governs how transient failures — dropped connections, 503
+	// overload answers with Retry-After — are retried with exponential
+	// backoff.  Nil uses rest.DefaultRetry; rest.NoRetry disables
+	// retrying.
+	Retry *rest.RetryPolicy
 }
 
 // New returns a client with default transport settings.  All clients built
@@ -67,6 +77,20 @@ func (c *Client) waitWindow() time.Duration {
 	return 10 * time.Second
 }
 
+func (c *Client) minPoll() time.Duration {
+	if c.MinPoll > 0 {
+		return c.MinPoll
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *Client) retry() *rest.RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry
+	}
+	return rest.DefaultRetry
+}
+
 func (c *Client) do(req *http.Request) (*http.Response, error) {
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
@@ -75,7 +99,7 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 		req.Header.Set(core.ActForHeader, c.ActFor)
 	}
 	req.Header.Set("Accept", "application/json")
-	return c.httpClient().Do(req)
+	return c.retry().Do(c.httpClient(), req)
 }
 
 // apiError converts a non-2xx response into an error carrying the server's
@@ -212,9 +236,14 @@ func (s *Service) Job(ctx context.Context, jobURI string) (*core.Job, error) {
 // on the job's completion channel, so the response arrives the instant the
 // job finishes — the window length only bounds how often an idle wait
 // re-issues the request.
+// A server that ignores the wait parameter (or completes the window
+// early) is re-polled no more often than the client's MinPoll, so a
+// non-terminal answer never degenerates into a zero-delay busy loop.
 func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
 	window := s.client.waitWindow()
+	minPoll := s.client.minPoll()
 	for {
+		start := time.Now()
 		var job core.Job
 		uri := jobURI + "?wait=" + window.String()
 		if err := s.client.getJSON(ctx, uri, &job); err != nil {
@@ -225,6 +254,15 @@ func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if elapsed := time.Since(start); elapsed < minPoll {
+			t := time.NewTimer(minPoll - elapsed)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
 		}
 	}
 }

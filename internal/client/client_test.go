@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -154,6 +155,39 @@ func TestContextCancellation(t *testing.T) {
 func TestFetchFileRejectsNonRef(t *testing.T) {
 	if _, err := New().FetchFile(context.Background(), "not a ref"); err == nil {
 		t.Error("plain string accepted as file ref")
+	}
+}
+
+// A server that ignores the wait query parameter and answers instantly with
+// a non-terminal job must not be polled in a zero-delay busy loop: Wait
+// enforces the client's minimum poll interval between windows.
+func TestWaitEnforcesMinPollInterval(t *testing.T) {
+	var mu sync.Mutex
+	requests := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+		json.NewEncoder(w).Encode(core.Job{ID: "j1", Service: "s", State: core.StateRunning})
+	}))
+	defer srv.Close()
+
+	cl := New()
+	cl.MinPoll = 25 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Service(srv.URL+"/services/s").Wait(ctx, srv.URL+"/services/s/jobs/j1"); err == nil {
+		t.Fatal("Wait returned without a terminal state")
+	}
+	mu.Lock()
+	got := requests
+	mu.Unlock()
+	// 200 ms / 25 ms ≈ 8 polls; a busy loop would make thousands.
+	if got > 20 {
+		t.Errorf("server polled %d times in 200ms despite a 25ms minimum interval", got)
+	}
+	if got < 2 {
+		t.Errorf("server polled only %d times; Wait gave up too early", got)
 	}
 }
 

@@ -63,6 +63,11 @@ type Options struct {
 	Workers int
 	// QueueSize bounds the job queue (default 1024).
 	QueueSize int
+	// DefaultJobDeadline bounds the execution time of every job whose
+	// service description does not set its own Deadline.  A job that
+	// overruns terminates in the ERROR state with a timeout message.
+	// Zero means no default deadline.
+	DefaultJobDeadline time.Duration
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -144,7 +149,7 @@ func New(opts Options) (*Container, error) {
 		ownsData:   ownsData,
 		services:   make(map[string]*service),
 	}
-	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize)
+	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline)
 	return c, nil
 }
 

@@ -134,7 +134,10 @@ func TestDeletingJobPurgesItsFiles(t *testing.T) {
 	}
 }
 
-func TestQueueFullRejectsWith409(t *testing.T) {
+// A full queue is a transient overload condition: Submit answers with
+// core.UnavailableError (503 + Retry-After on the wire), not a conflict,
+// so client retry policies can absorb the spike.
+func TestQueueFullRejectsWith503(t *testing.T) {
 	adapter.RegisterFunc("test.block", func(ctx context.Context, in core.Values) (core.Values, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -152,26 +155,29 @@ func TestQueueFullRejectsWith409(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fill the single worker plus the single queue slot, then overflow.
-	sawConflict := false
+	sawUnavailable := false
 	for i := 0; i < 8; i++ {
 		_, err := c.Jobs().Submit("block", core.Values{}, "")
 		if err != nil {
-			var conflict *core.ConflictError
-			if !asConflict(err, &conflict) {
+			var unavail *core.UnavailableError
+			if !asUnavailable(err, &unavail) {
 				t.Fatalf("unexpected error: %v", err)
 			}
-			sawConflict = true
+			if unavail.RetryAfter <= 0 {
+				t.Errorf("queue-full error carries no Retry-After hint: %+v", unavail)
+			}
+			sawUnavailable = true
 			break
 		}
 	}
-	if !sawConflict {
+	if !sawUnavailable {
 		t.Error("queue never filled up")
 	}
 }
 
-func asConflict(err error, target **core.ConflictError) bool {
+func asUnavailable(err error, target **core.UnavailableError) bool {
 	for err != nil {
-		if e, ok := err.(*core.ConflictError); ok {
+		if e, ok := err.(*core.UnavailableError); ok {
 			*target = e
 			return true
 		}

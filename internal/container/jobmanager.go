@@ -2,11 +2,13 @@ package container
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -38,19 +40,23 @@ func (r *jobRecord) snapshot() *core.Job {
 type JobManager struct {
 	c     *Container
 	queue chan *jobRecord
+	// deadline is the container-wide default execution deadline; a
+	// service description's Deadline field overrides it per service.
+	deadline time.Duration
 
 	mu   sync.Mutex
 	jobs map[string]*jobRecord
 
-	wg      sync.WaitGroup
-	closing chan struct{}
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
 	// baseCtx parents every job context, so Close cancels jobs that a
 	// worker dequeues concurrently with shutdown.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
 
-func newJobManager(c *Container, workers, queueSize int) *JobManager {
+func newJobManager(c *Container, workers, queueSize int, deadline time.Duration) *JobManager {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -61,6 +67,7 @@ func newJobManager(c *Container, workers, queueSize int) *JobManager {
 	jm := &JobManager{
 		c:          c,
 		queue:      make(chan *jobRecord, queueSize),
+		deadline:   deadline,
 		jobs:       make(map[string]*jobRecord),
 		closing:    make(chan struct{}),
 		baseCtx:    baseCtx,
@@ -94,20 +101,40 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 		},
 		done: make(chan struct{}),
 	}
+	select {
+	case <-jm.closing:
+		return nil, core.ErrUnavailable(0, "container is shutting down")
+	default:
+	}
 	jm.mu.Lock()
 	jm.jobs[rec.job.ID] = rec
 	jm.mu.Unlock()
 
 	select {
 	case jm.queue <- rec:
+		// Re-check shutdown: Close may have swept the job map before the
+		// insert above, in which case no reader will ever drain this
+		// record — cancel it here so its waiters are released.
+		select {
+		case <-jm.closing:
+			jm.cancelPending(rec)
+		default:
+		}
 		return rec.snapshot(), nil
 	default:
 		jm.mu.Lock()
 		delete(jm.jobs, rec.job.ID)
 		jm.mu.Unlock()
-		return nil, core.ErrConflict("job queue is full")
+		// A full queue is a transient overload, not a request conflict:
+		// answer 503 with a retry hint so client retry policies absorb it.
+		return nil, core.ErrUnavailable(queueFullRetryAfter, "job queue is full")
 	}
 }
+
+// queueFullRetryAfter is the Retry-After hint advertised when the job queue
+// is full: long enough for the handler pool to make progress, short enough
+// that a retrying client observes free capacity promptly.
+const queueFullRetryAfter = time.Second
 
 // Get returns a snapshot of the job.
 func (jm *JobManager) Get(id string) (*core.Job, error) {
@@ -178,10 +205,16 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		}
 		return rec.snapshot(), nil
 	default:
-		// Terminal: destroy the job resource and its files.
+		// Terminal: destroy the job resource and its files.  The map
+		// removal decides the winner among racing deletes, so the purge
+		// runs exactly once and later deletes observe 404.
 		jm.mu.Lock()
+		_, present := jm.jobs[id]
 		delete(jm.jobs, id)
 		jm.mu.Unlock()
+		if !present {
+			return nil, core.ErrNotFound("job", id)
+		}
 		jm.c.files.DeleteOwnedBy(id)
 		return rec.snapshot(), nil
 	}
@@ -207,13 +240,52 @@ func (jm *JobManager) List(service string) []*core.Job {
 	return out
 }
 
-// Close stops the worker pool after cancelling running jobs.
+// Close stops the worker pool after cancelling running jobs and drains the
+// queue, so every accepted job reaches a terminal state and every
+// concurrent Wait call unblocks.  After Close returns, no job is left in
+// WAITING or RUNNING.
 func (jm *JobManager) Close() {
-	close(jm.closing)
+	jm.closeOnce.Do(func() { close(jm.closing) })
 	// Cancel the parent of every job context: this reaches running jobs
 	// and any job a worker dequeues concurrently with this shutdown.
 	jm.baseCancel()
+	// Drain jobs still sitting in the queue to CANCELLED.  Workers may be
+	// dequeuing concurrently, but each record goes to exactly one reader.
+	for {
+		select {
+		case rec := <-jm.queue:
+			jm.cancelPending(rec)
+			continue
+		default:
+		}
+		break
+	}
 	jm.wg.Wait()
+	// Final sweep: a Submit racing this shutdown can enqueue a record
+	// after both the workers and the drain loop have stopped reading.
+	jm.mu.Lock()
+	recs := make([]*jobRecord, 0, len(jm.jobs))
+	for _, rec := range jm.jobs {
+		recs = append(recs, rec)
+	}
+	jm.mu.Unlock()
+	for _, rec := range recs {
+		jm.cancelPending(rec)
+	}
+}
+
+// cancelPending moves a job that never reached a worker to CANCELLED and
+// releases its waiters.  Running and terminal jobs are left to their worker
+// (done is closed exactly once, when the terminal state is set).
+func (jm *JobManager) cancelPending(rec *jobRecord) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.job.State != core.StateWaiting {
+		return
+	}
+	rec.job.State = core.StateCancelled
+	rec.job.Finished = time.Now()
+	close(rec.done)
 }
 
 func (jm *JobManager) worker() {
@@ -228,14 +300,38 @@ func (jm *JobManager) worker() {
 	}
 }
 
-// process runs one job through its adapter.
+// process runs one job through its adapter.  It is panic-safe: a panicking
+// adapter (or staging/publishing step) marks the job ERROR with the captured
+// stack instead of killing the worker goroutine and wedging every waiter.
 func (jm *JobManager) process(rec *jobRecord) {
-	ctx, cancel := context.WithCancel(jm.baseCtx)
+	rec.mu.Lock()
+	if rec.job.State != core.StateWaiting {
+		// Cancelled while queued.
+		rec.mu.Unlock()
+		return
+	}
+	serviceName := rec.job.Service
+	rec.mu.Unlock()
+
+	// Resolve the service first: its description may override the
+	// container's default execution deadline.
+	svc, svcErr := jm.c.service(serviceName)
+	deadline := jm.deadline
+	if svc != nil && svc.desc.Deadline > 0 {
+		deadline = svc.desc.Deadline.Std()
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(jm.baseCtx, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(jm.baseCtx)
+	}
 	defer cancel()
 
 	rec.mu.Lock()
 	if rec.job.State != core.StateWaiting {
-		// Cancelled while queued.
+		// Cancelled between the first check and here.
 		rec.mu.Unlock()
 		return
 	}
@@ -243,7 +339,6 @@ func (jm *JobManager) process(rec *jobRecord) {
 	rec.job.Started = time.Now()
 	rec.cancel = cancel
 	jobID := rec.job.ID
-	serviceName := rec.job.Service
 	owner := rec.job.Owner
 	inputs := rec.job.Inputs.Clone()
 	rec.mu.Unlock()
@@ -259,6 +354,11 @@ func (jm *JobManager) process(rec *jobRecord) {
 		case err == nil:
 			rec.job.State = core.StateDone
 			rec.job.Outputs = outputs
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			// The job overran its execution deadline: a fault of the
+			// job, not a client cancellation.
+			rec.job.State = core.StateError
+			rec.job.Error = fmt.Sprintf("container: job exceeded its %s execution deadline", deadline)
 		case ctx.Err() != nil:
 			rec.job.State = core.StateCancelled
 		default:
@@ -268,9 +368,17 @@ func (jm *JobManager) process(rec *jobRecord) {
 		close(rec.done)
 	}
 
-	svc, err := jm.c.service(serviceName)
-	if err != nil {
-		finish(nil, err)
+	// Panic safety: finish is idempotent (guarded on Terminal), so a panic
+	// anywhere below — most likely inside the adapter — lands the job in
+	// ERROR with the stack, and the worker goroutine survives.
+	defer func() {
+		if r := recover(); r != nil {
+			finish(nil, fmt.Errorf("container: adapter panic: %v\n%s", r, panicStack()))
+		}
+	}()
+
+	if svcErr != nil {
+		finish(nil, svcErr)
 		return
 	}
 
@@ -412,6 +520,18 @@ func (jm *JobManager) publishOutputs(res *adapter.Result, jobID string) (core.Va
 		outputs[name] = core.FileRef(jm.c.fileURI(id))
 	}
 	return outputs, nil
+}
+
+// panicStack captures the panicking goroutine's stack, truncated so a deep
+// recursion does not bloat the job record (the head frames carry the
+// culprit).
+func panicStack() string {
+	const maxStack = 8 << 10
+	stack := debug.Stack()
+	if len(stack) > maxStack {
+		stack = append(stack[:maxStack], []byte("\n... stack truncated")...)
+	}
+	return string(stack)
 }
 
 // maxFileBytes bounds remote file staging and client uploads.  It is a

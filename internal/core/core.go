@@ -95,6 +95,39 @@ func (v Values) Names() []string {
 	return names
 }
 
+// Duration is a time.Duration that marshals to and from the Go duration
+// string syntax ("30s", "2m"), so service configurations and descriptions
+// stay human-editable JSON.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", time.Duration(d))), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a duration string or
+// a plain number of nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	s := strings.Trim(string(data), `"`)
+	if s == "" || s == "null" {
+		*d = 0
+		return nil
+	}
+	parsed, err := time.ParseDuration(s)
+	if err != nil {
+		var ns int64
+		if _, serr := fmt.Sscan(s, &ns); serr != nil {
+			return fmt.Errorf("core: invalid duration %q: %v", s, err)
+		}
+		parsed = time.Duration(ns)
+	}
+	*d = Duration(parsed)
+	return nil
+}
+
+// Std returns the value as a standard time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
 // Param describes one input or output parameter of a computational web
 // service: its name, human annotations and JSON Schema.
 type Param struct {
@@ -125,6 +158,10 @@ type ServiceDescription struct {
 	Outputs []Param `json:"outputs"`
 	// Tags are keywords used by the service catalogue.
 	Tags []string `json:"tags,omitempty"`
+	// Deadline bounds the execution (RUNNING) time of jobs of this
+	// service; a job that overruns it terminates in the ERROR state.  Zero
+	// means the container's default job deadline applies.
+	Deadline Duration `json:"deadline,omitempty"`
 	// URI is the absolute resource identifier of the service; filled by
 	// the container when the description is served.
 	URI string `json:"uri,omitempty"`
@@ -398,6 +435,25 @@ func (e *BadRequestError) Error() string { return "core: bad request: " + e.Mess
 // ErrBadRequest constructs a BadRequestError.
 func ErrBadRequest(format string, args ...any) error {
 	return &BadRequestError{Message: fmt.Sprintf(format, args...)}
+}
+
+// UnavailableError reports a transient server condition — a full job
+// queue, a shutting-down container — that the client may retry after a
+// delay.  It maps to HTTP 503 Service Unavailable.
+type UnavailableError struct {
+	Message string
+	// RetryAfter is the suggested delay before retrying (0 = none).  The
+	// REST layer publishes it through the Retry-After response header and
+	// the client retry policy honours it.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *UnavailableError) Error() string { return "core: unavailable: " + e.Message }
+
+// ErrUnavailable constructs an UnavailableError with a retry hint.
+func ErrUnavailable(retryAfter time.Duration, format string, args ...any) error {
+	return &UnavailableError{Message: fmt.Sprintf(format, args...), RetryAfter: retryAfter}
 }
 
 // ForbiddenError reports an authorization failure.

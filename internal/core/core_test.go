@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mathcloud/internal/jsonschema"
 )
@@ -235,5 +237,47 @@ func TestValuesHelpers(t *testing.T) {
 	var nilV Values
 	if nilV.Clone() != nil {
 		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		D Duration `json:"d,omitempty"`
+	}
+	data, err := json.Marshal(doc{D: Duration(90 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"d":"1m30s"}` {
+		t.Errorf("marshal = %s", data)
+	}
+	var out doc
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.D.Std() != 90*time.Second {
+		t.Errorf("round trip = %v", out.D.Std())
+	}
+	// Zero is omitted, so configurations without deadlines stay clean.
+	data, _ = json.Marshal(doc{})
+	if string(data) != `{}` {
+		t.Errorf("zero marshal = %s", data)
+	}
+	if err := json.Unmarshal([]byte(`{"d":"bogus"}`), &out); err == nil {
+		t.Error("invalid duration accepted")
+	}
+}
+
+func TestUnavailableError(t *testing.T) {
+	err := ErrUnavailable(2*time.Second, "queue is %s", "full")
+	var unavail *UnavailableError
+	if !asErr(err, &unavail) {
+		t.Fatalf("err = %T", err)
+	}
+	if unavail.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v", unavail.RetryAfter)
+	}
+	if !strings.Contains(err.Error(), "queue is full") {
+		t.Errorf("message = %q", err.Error())
 	}
 }

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"mathcloud/internal/core"
@@ -39,9 +41,16 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // WriteError maps a platform error onto an HTTP status and writes the JSON
-// error body.  Unknown errors become 500.
+// error body.  Unknown errors become 500.  Transient conditions
+// (core.UnavailableError) additionally advertise their retry hint through
+// the Retry-After header, which the client retry policy honours.
 func WriteError(w http.ResponseWriter, err error) {
 	status := StatusOf(err)
+	var unavail *core.UnavailableError
+	if asErrType(err, &unavail) && unavail.RetryAfter > 0 {
+		secs := int(math.Ceil(unavail.RetryAfter.Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	WriteJSON(w, status, ErrorBody{Error: err.Error(), Status: status})
 }
 
@@ -58,14 +67,23 @@ func StatusOf(err error) int {
 		return http.StatusConflict
 	case isType[*core.ForbiddenError](err):
 		return http.StatusForbidden
+	case isType[*core.UnavailableError](err):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
 func isType[T error](err error) bool {
+	var t T
+	return asErrType(err, &t)
+}
+
+// asErrType walks the Unwrap chain looking for an error of type T.
+func asErrType[T error](err error, target *T) bool {
 	for err != nil {
-		if _, ok := err.(T); ok {
+		if t, ok := err.(T); ok {
+			*target = t
 			return true
 		}
 		u, ok := err.(interface{ Unwrap() error })

@@ -1,0 +1,133 @@
+// Package resttest provides fault-injection helpers for exercising the
+// platform's fault-tolerance layer: a scripted flaky RoundTripper that
+// injects connection failures and transient server responses in front of a
+// real transport.  Tests across the repository use it to prove that jobs
+// and calls always reach a terminal outcome under dropped connections,
+// overload responses and slow servers.
+package resttest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Fault selects the behaviour of one attempt through a FlakyTripper.
+type Fault int
+
+const (
+	// Pass forwards the attempt to the underlying transport untouched.
+	Pass Fault = iota
+	// Drop fails the attempt with a connection-level error before any
+	// bytes reach the server, as if the peer reset the connection.
+	Drop
+	// Unavailable synthesizes a 503 Service Unavailable response (with a
+	// Retry-After header when the tripper's RetryAfter is set) without
+	// touching the network — the overload answer a full container gives.
+	Unavailable
+	// Hang blocks until the request context is cancelled, then fails with
+	// its error — a black-holed connection.
+	Hang
+)
+
+// droppedError is the connection-level error injected by Drop.
+type droppedError struct{ attempt int }
+
+func (e *droppedError) Error() string {
+	return fmt.Sprintf("resttest: injected connection failure (attempt %d)", e.attempt)
+}
+
+// Timeout marks the error as transient the way net errors do.
+func (e *droppedError) Timeout() bool   { return true }
+func (e *droppedError) Temporary() bool { return true }
+
+// FlakyTripper is an http.RoundTripper that executes a scripted sequence
+// of faults, one per attempt, then passes every further attempt through.
+// It is safe for concurrent use; concurrent attempts consume script slots
+// in arrival order.
+type FlakyTripper struct {
+	// Next handles attempts whose fault is Pass; nil uses
+	// http.DefaultTransport.
+	Next http.RoundTripper
+	// RetryAfter, when positive, is advertised on injected 503 responses.
+	RetryAfter time.Duration
+
+	mu       sync.Mutex
+	script   []Fault
+	attempts int
+}
+
+// Script builds a FlakyTripper over next that injects the given faults in
+// order, one per attempt.
+func Script(next http.RoundTripper, faults ...Fault) *FlakyTripper {
+	return &FlakyTripper{Next: next, script: faults}
+}
+
+// Attempts returns how many attempts the tripper has seen.
+func (t *FlakyTripper) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.attempts++
+	n := t.attempts
+	fault := Pass
+	if len(t.script) > 0 {
+		fault = t.script[0]
+		t.script = t.script[1:]
+	}
+	t.mu.Unlock()
+
+	switch fault {
+	case Drop:
+		// Consume the body first: a real connection reset can happen after
+		// the request was (partially) written.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return nil, &droppedError{attempt: n}
+	case Unavailable:
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		resp := &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}
+		if t.RetryAfter > 0 {
+			secs := int(t.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			resp.Header.Set("Retry-After", strconv.Itoa(secs))
+		}
+		return resp, nil
+	case Hang:
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	default:
+		next := t.Next
+		if next == nil {
+			next = http.DefaultTransport
+		}
+		return next.RoundTrip(req)
+	}
+}

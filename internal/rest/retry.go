@@ -1,0 +1,195 @@
+package rest
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy retries transient HTTP failures with exponential backoff and
+// jitter.  It is the client-side half of the platform's fault-tolerance
+// contract: servers signal transient conditions with 503 + Retry-After (a
+// full job queue, a shutting-down container), and every client component —
+// the client library, the workflow invoker, the catalogue pinger — routes
+// requests through a policy so those conditions are absorbed instead of
+// surfacing as errors.
+//
+// A request is retried when the failure is safe to replay:
+//
+//   - connection-level errors (dial refused, reset, broken keep-alive) on
+//     idempotent methods, or on any request whose body can be rewound
+//     (req.GetBody != nil, which http.NewRequest sets for in-memory bodies);
+//   - 503 Service Unavailable and 429 Too Many Requests responses, under
+//     the same replayability condition, honouring the Retry-After header
+//     when the server provides one.
+//
+// Other status codes are returned to the caller untouched: they are
+// deterministic answers, not faults.  Context cancellation always stops
+// retrying immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 100 ms); each further
+	// attempt doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff and any server Retry-After hint
+	// (default 5 s), bounding worst-case latency.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy used when a component's Retry field is nil.
+var DefaultRetry = &RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// NoRetry disables retrying: every request gets exactly one attempt.
+var NoRetry = &RetryPolicy{MaxAttempts: 1}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p == nil {
+		return DefaultRetry.MaxAttempts
+	}
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) baseDelay() time.Duration {
+	if p == nil || p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p *RetryPolicy) maxDelay() time.Duration {
+	if p == nil || p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// jitterRand adds the random half of each backoff delay.  math/rand's
+// global source is locked internally, but a private source keeps the policy
+// independent of global seeding.
+var jitterRand = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// backoff returns the delay before attempt n (0-based first retry):
+// BaseDelay·2ⁿ capped at MaxDelay, with equal-jitter so that concurrent
+// retriers spread out instead of stampeding in lockstep.
+func (p *RetryPolicy) backoff(n int) time.Duration {
+	d := p.baseDelay() << uint(n)
+	if max := p.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	jitterRand.Lock()
+	f := jitterRand.Float64()
+	jitterRand.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// idempotent reports whether the method may be replayed unconditionally.
+func idempotent(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// replayable reports whether a failed attempt of req may be retried at all.
+func replayable(req *http.Request) bool {
+	if req.Body == nil || req.Body == http.NoBody {
+		return true
+	}
+	return req.GetBody != nil
+}
+
+// RetryAfter parses the Retry-After header of a response (delay-seconds or
+// HTTP-date form), returning 0 when absent or malformed.
+func RetryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// retryStatus reports whether a status code signals a transient server
+// condition worth retrying.
+func retryStatus(code int) bool {
+	return code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
+}
+
+// Do performs req through client, retrying transient failures per the
+// policy.  The returned response, if any, is the last attempt's and its
+// body is open; earlier attempts' bodies are drained so their keep-alive
+// connections return to the pool.
+func (p *RetryPolicy) Do(client *http.Client, req *http.Request) (*http.Response, error) {
+	if client == nil {
+		client = SharedClient
+	}
+	attempts := p.maxAttempts()
+	canReplay := replayable(req)
+	for attempt := 0; ; attempt++ {
+		r := req
+		if attempt > 0 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			r = req.Clone(req.Context())
+			r.Body = body
+		}
+		resp, err := client.Do(r)
+		if err == nil && !retryStatus(resp.StatusCode) {
+			return resp, nil
+		}
+
+		last := attempt+1 >= attempts
+		if err != nil {
+			// A connection-level failure: replay only when it cannot
+			// duplicate a non-idempotent effect, and never race a dead
+			// context.
+			if last || req.Context().Err() != nil || !(idempotent(req.Method) || canReplay) {
+				return nil, err
+			}
+		} else {
+			// Transient status (503/429): the server refused to act, so
+			// replaying is safe whenever the body can be rewound.
+			if last || !canReplay {
+				return resp, nil
+			}
+			Drain(resp.Body)
+		}
+
+		delay := p.backoff(attempt)
+		if resp != nil && err == nil {
+			if ra := RetryAfter(resp); ra > 0 {
+				if max := p.maxDelay(); ra > max {
+					ra = max
+				}
+				delay = ra
+			}
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, context.Cause(req.Context())
+		case <-t.C:
+		}
+	}
+}

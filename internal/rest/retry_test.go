@@ -1,0 +1,157 @@
+package rest_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/rest"
+	"mathcloud/internal/rest/resttest"
+)
+
+// fastRetry keeps backoff delays negligible in tests.
+func fastRetry() *rest.RetryPolicy {
+	return &rest.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+}
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRetrySucceedsAfterDroppedConnections(t *testing.T) {
+	srv := okServer(t)
+	flaky := resttest.Script(srv.Client().Transport, resttest.Drop, resttest.Drop)
+	cl := &http.Client{Transport: flaky}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	resp, err := fastRetry().Do(cl, req)
+	if err != nil {
+		t.Fatalf("GET through flaky transport failed: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if got := flaky.Attempts(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (2 drops + success)", got)
+	}
+}
+
+func TestRetryHonoursRetryAfterOn503(t *testing.T) {
+	srv := okServer(t)
+	flaky := resttest.Script(srv.Client().Transport, resttest.Unavailable)
+	flaky.RetryAfter = time.Second
+	cl := &http.Client{Transport: flaky}
+	// MaxDelay caps the server's hint so the test stays fast while still
+	// proving the hinted delay is used instead of the tiny base backoff.
+	policy := &rest.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	resp, err := policy.Do(cl, req)
+	if err != nil {
+		t.Fatalf("GET failed: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if got := flaky.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < 75*time.Millisecond {
+		t.Errorf("retried after %v, want >= capped Retry-After of 80ms", elapsed)
+	}
+}
+
+// unreplayableBody is a streaming body http.NewRequest cannot snapshot, so
+// the request has no GetBody and must not be retried.
+type unreplayableBody struct{ r io.Reader }
+
+func (b *unreplayableBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func TestNoRetryForUnreplayablePost(t *testing.T) {
+	srv := okServer(t)
+	flaky := resttest.Script(srv.Client().Transport, resttest.Drop)
+	cl := &http.Client{Transport: flaky}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, &unreplayableBody{strings.NewReader("data")})
+	if req.GetBody != nil {
+		t.Fatal("test premise broken: body is replayable")
+	}
+	if _, err := fastRetry().Do(cl, req); err == nil {
+		t.Fatal("unreplayable POST through dropping transport succeeded")
+	}
+	if got := flaky.Attempts(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry of an unreplayable POST)", got)
+	}
+}
+
+func TestPostWithRewindableBodyRetriedOn503(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(data))
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	flaky := resttest.Script(srv.Client().Transport, resttest.Unavailable)
+	cl := &http.Client{Transport: flaky}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader("payload"))
+	resp, err := fastRetry().Do(cl, req)
+	if err != nil {
+		t.Fatalf("POST failed: %v", err)
+	}
+	defer resp.Body.Close()
+	if len(bodies) != 1 || bodies[0] != "payload" {
+		t.Errorf("server saw bodies %q, want exactly one full replay", bodies)
+	}
+	if got := flaky.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+func TestRetryStopsOnContextCancellation(t *testing.T) {
+	srv := okServer(t)
+	// Endless 503s: only the context stops the loop.
+	flaky := resttest.Script(srv.Client().Transport,
+		resttest.Unavailable, resttest.Unavailable, resttest.Unavailable,
+		resttest.Unavailable, resttest.Unavailable, resttest.Unavailable)
+	cl := &http.Client{Transport: flaky}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	policy := &rest.RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	start := time.Now()
+	_, err := policy.Do(cl, req)
+	if err == nil {
+		t.Fatal("Do against endless 503s succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Do kept retrying for %v after context expiry", elapsed)
+	}
+}
+
+func TestWriteErrorAdvertisesRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	rest.WriteError(rec, core.ErrUnavailable(2*time.Second, "job queue is full"))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+}
+
+func TestStatusOfUnavailable(t *testing.T) {
+	if got := rest.StatusOf(core.ErrUnavailable(0, "x")); got != http.StatusServiceUnavailable {
+		t.Errorf("StatusOf = %d, want 503", got)
+	}
+}

@@ -12,7 +12,10 @@ import (
 
 // HTTPInvoker calls services through the unified REST API using the
 // platform client.  It implements both Invoker and Describer, so a single
-// value configures an Engine for real distributed execution.
+// value configures an Engine for real distributed execution.  Calls inherit
+// the client's retry policy (rest.DefaultRetry unless overridden), so a
+// workflow block survives dropped connections and transient 503 overload
+// answers from a busy container instead of failing the whole workflow.
 type HTTPInvoker struct {
 	// Client is the underlying platform client; nil uses a default one.
 	Client *client.Client
@@ -41,7 +44,14 @@ func (i *HTTPInvoker) Call(ctx context.Context, serviceURI string, inputs core.V
 // the Act-For header.
 func (i *HTTPInvoker) ActingFor(user string) Invoker {
 	base := i.platformClient()
-	delegated := &client.Client{HTTP: base.HTTP, Token: base.Token, ActFor: user, WaitWindow: base.WaitWindow}
+	delegated := &client.Client{
+		HTTP:       base.HTTP,
+		Token:      base.Token,
+		ActFor:     user,
+		WaitWindow: base.WaitWindow,
+		MinPoll:    base.MinPoll,
+		Retry:      base.Retry,
+	}
 	return &HTTPInvoker{Client: delegated, DescribeTimeout: i.DescribeTimeout}
 }
 
