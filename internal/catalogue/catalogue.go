@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mathcloud/internal/client"
@@ -67,6 +68,13 @@ func (d ClientDescriber) Describe(ctx context.Context, uri string) (core.Service
 	return cl.Service(uri).Describe(ctx)
 }
 
+// Default sweep parameters: how many availability probes run concurrently
+// and how long one probe may take before it is written off as unavailable.
+const (
+	defaultSweepWorkers = 8
+	defaultProbeTimeout = 10 * time.Second
+)
+
 // Catalogue is the service registry with full-text search and monitoring.
 type Catalogue struct {
 	describer Describer
@@ -74,6 +82,11 @@ type Catalogue struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	ix      *index
+
+	// sweepWorkers bounds the Ping fan-out; probeTimeout is the per-probe
+	// deadline.  Both are guarded by mu (set once, read per sweep).
+	sweepWorkers int
+	probeTimeout time.Duration
 
 	pingStop chan struct{}
 	pingOnce sync.Once
@@ -87,6 +100,29 @@ func New(d Describer) *Catalogue {
 		entries:   make(map[string]*Entry),
 		ix:        newIndex(),
 	}
+}
+
+// SetSweepOptions tunes the availability sweep: workers bounds how many
+// probes run concurrently, probeTimeout caps each individual probe.  Zero
+// values keep the defaults (8 workers, 10 s per probe).
+func (c *Catalogue) SetSweepOptions(workers int, probeTimeout time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepWorkers = workers
+	c.probeTimeout = probeTimeout
+}
+
+func (c *Catalogue) sweepConfig() (workers int, probeTimeout time.Duration) {
+	c.mu.RLock()
+	workers, probeTimeout = c.sweepWorkers, c.probeTimeout
+	c.mu.RUnlock()
+	if workers <= 0 {
+		workers = defaultSweepWorkers
+	}
+	if probeTimeout <= 0 {
+		probeTimeout = defaultProbeTimeout
+	}
+	return workers, probeTimeout
 }
 
 // Register publishes a service: the catalogue retrieves its description
@@ -115,9 +151,10 @@ func (c *Catalogue) Register(ctx context.Context, uri string, tags []string) (*E
 		entry.Registered = old.Registered
 	}
 	c.entries[uri] = entry
-	c.mu.Unlock()
 	c.reindex(entry)
-	return cloneEntry(entry), nil
+	snapshot := cloneEntry(entry)
+	c.mu.Unlock()
+	return snapshot, nil
 }
 
 func normalizeTags(tags []string) []string {
@@ -157,6 +194,11 @@ func document(e *Entry) string {
 	return b.String()
 }
 
+// reindex re-renders an entry's searchable text and updates the inverted
+// index.  The caller must hold c.mu (read or write): entries stored in the
+// map are mutated under that lock, so rendering outside it would race with
+// concurrent probes and tag updates.  The index takes its own lock and
+// never calls back into the catalogue, so nesting it under c.mu is safe.
 func (c *Catalogue) reindex(e *Entry) {
 	c.ix.Add(e.URI, document(e))
 }
@@ -167,11 +209,13 @@ func (c *Catalogue) Unregister(uri string) error {
 	c.mu.Lock()
 	_, ok := c.entries[uri]
 	delete(c.entries, uri)
+	if ok {
+		c.ix.Remove(uri)
+	}
 	c.mu.Unlock()
 	if !ok {
 		return core.ErrNotFound("service", uri)
 	}
-	c.ix.Remove(uri)
 	return nil
 }
 
@@ -198,9 +242,9 @@ func (c *Catalogue) AddTags(uri string, tags []string) (*Entry, error) {
 		return nil, core.ErrNotFound("service", uri)
 	}
 	e.Tags = normalizeTags(append(append([]string{}, e.Tags...), tags...))
+	c.reindex(e)
 	snapshot := cloneEntry(e)
 	c.mu.Unlock()
-	c.reindex(e)
 	return snapshot, nil
 }
 
@@ -240,7 +284,14 @@ func (c *Catalogue) Search(query string, opts SearchOptions) []Result {
 	if limit <= 0 {
 		limit = 20
 	}
-	hits := c.ix.Search(query)
+	// Without post-filters the index only needs the top `limit` hits (a
+	// partial sort); filters can drop hits after ranking, so they require
+	// the full ordered list to fill the page.
+	topK := limit
+	if opts.Tag != "" || opts.OnlyAvailable {
+		topK = 0
+	}
+	hits := c.ix.SearchTop(query, topK)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var results []Result
@@ -291,8 +342,11 @@ func containsTag(e *Entry, tag string) bool {
 }
 
 // Ping probes every published service once by retrieving its description
-// and updates availability marks.  It returns the number of available
-// services.
+// and updates availability marks.  Probes fan out over a bounded worker
+// pool (SetSweepOptions, default 8), and each probe runs under its own
+// deadline, so one unresponsive service can neither starve the remaining
+// probes nor consume the whole sweep budget.  It returns the number of
+// available services.
 func (c *Catalogue) Ping(ctx context.Context) int {
 	c.mu.RLock()
 	uris := make([]string, 0, len(c.entries))
@@ -300,33 +354,78 @@ func (c *Catalogue) Ping(ctx context.Context) int {
 		uris = append(uris, uri)
 	}
 	c.mu.RUnlock()
-	available := 0
-	for _, uri := range uris {
-		desc, err := c.describer.Describe(ctx, uri)
-		c.mu.Lock()
-		e, ok := c.entries[uri]
-		if ok {
-			e.Available = err == nil
-			e.LastChecked = time.Now()
-			if err == nil {
-				e.Description = desc
+	workers, probeTimeout := c.sweepConfig()
+	if workers > len(uris) {
+		workers = len(uris)
+	}
+	if workers <= 1 {
+		available := 0
+		for _, uri := range uris {
+			if c.probe(ctx, uri, probeTimeout) {
 				available++
 			}
 		}
-		c.mu.Unlock()
-		if ok && err == nil {
+		return available
+	}
+	var available atomic.Int64
+	work := make(chan string)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for uri := range work {
+				if c.probe(ctx, uri, probeTimeout) {
+					available.Add(1)
+				}
+			}
+		}()
+	}
+	for _, uri := range uris {
+		work <- uri
+	}
+	close(work)
+	wg.Wait()
+	return int(available.Load())
+}
+
+// probe checks one service and records the outcome, returning whether the
+// service answered.
+func (c *Catalogue) probe(ctx context.Context, uri string, timeout time.Duration) bool {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	desc, err := c.describer.Describe(pctx, uri)
+	cancel()
+	c.mu.Lock()
+	e, ok := c.entries[uri]
+	if ok {
+		e.Available = err == nil
+		e.LastChecked = time.Now()
+		if err == nil {
+			e.Description = desc
 			c.reindex(e)
 		}
 	}
-	return available
+	c.mu.Unlock()
+	return ok && err == nil
 }
 
 // StartPinger launches the periodic availability monitor.  Call Close to
-// stop it.
+// stop it.  Each probe of a sweep gets its own deadline —
+// min(interval/4, 10 s) — so a single hung service cannot eat the whole
+// interval and starve the probes queued behind it.
 func (c *Catalogue) StartPinger(interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Minute
 	}
+	c.mu.Lock()
+	if c.probeTimeout <= 0 {
+		perProbe := interval / 4
+		if perProbe > defaultProbeTimeout {
+			perProbe = defaultProbeTimeout
+		}
+		c.probeTimeout = perProbe
+	}
+	c.mu.Unlock()
 	c.pingStop = make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(interval)

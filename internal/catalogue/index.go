@@ -113,18 +113,27 @@ type hit struct {
 	Score float64
 }
 
-// Search ranks documents matching the query terms by accumulated tf-idf,
-// normalized by document length.  All query terms are optional; documents
-// matching more terms score higher because they accumulate more weight.
+// Search ranks all documents matching the query terms by accumulated
+// tf-idf, normalized by document length.  All query terms are optional;
+// documents matching more terms score higher because they accumulate more
+// weight.
 func (ix *index) Search(query string) []hit {
+	return ix.SearchTop(query, 0)
+}
+
+// SearchTop is Search limited to the k best hits (k <= 0 returns all).  It
+// selects the top k with a bounded min-heap — O(n log k) instead of fully
+// sorting every matching document — so a limit-20 query over a large
+// catalogue does not pay for ranking thousands of tail results.
+func (ix *index) SearchTop(query string, k int) []hit {
 	terms := Tokenize(query)
 	if len(terms) == 0 {
 		return nil
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	n := len(ix.docTerms)
 	if n == 0 {
+		ix.mu.RUnlock()
 		return nil
 	}
 	scores := make(map[string]float64)
@@ -147,17 +156,75 @@ func (ix *index) Search(query string) []hit {
 			scores[docID] += (1 + math.Log(float64(tf))) * idf * norm
 		}
 	}
-	hits := make([]hit, 0, len(scores))
-	for docID, s := range scores {
-		hits = append(hits, hit{DocID: docID, Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	ix.mu.RUnlock()
+
+	if k <= 0 || k >= len(scores) {
+		hits := make([]hit, 0, len(scores))
+		for docID, s := range scores {
+			hits = append(hits, hit{DocID: docID, Score: s})
 		}
-		return hits[i].DocID < hits[j].DocID
-	})
-	return hits
+		sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
+		return hits
+	}
+
+	// Bounded min-heap of the k best hits: the root is the worst retained
+	// hit, evicted whenever a better one arrives.
+	heap := make([]hit, 0, k)
+	for docID, s := range scores {
+		h := hit{DocID: docID, Score: s}
+		if len(heap) < k {
+			heap = append(heap, h)
+			siftUp(heap, len(heap)-1)
+			continue
+		}
+		if betterHit(h, heap[0]) {
+			heap[0] = h
+			siftDown(heap, 0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return betterHit(heap[i], heap[j]) })
+	return heap
+}
+
+// betterHit reports whether a ranks above b: higher score first, ties
+// broken by document ID for determinism.
+func betterHit(a, b hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// siftUp restores the min-heap property (worst hit at the root) after an
+// append at index i.
+func siftUp(h []hit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if betterHit(h[parent], h[i]) {
+			h[parent], h[i] = h[i], h[parent]
+			i = parent
+			continue
+		}
+		break
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+func siftDown(h []hit, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && betterHit(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && betterHit(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // Snippet extracts a window of text around the first occurrence of any

@@ -1,0 +1,185 @@
+package catalogue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+)
+
+// slowFakeDescriber wraps fakeDescriber and blocks probes of selected URIs
+// until their context expires, simulating a hung service.
+type slowFakeDescriber struct {
+	*fakeDescriber
+	mu   sync.Mutex
+	hang map[string]bool
+}
+
+func newSlowFakeDescriber() *slowFakeDescriber {
+	return &slowFakeDescriber{fakeDescriber: newFakeDescriber(), hang: map[string]bool{}}
+}
+
+func (s *slowFakeDescriber) setHang(uri string, hang bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hang[uri] = hang
+}
+
+func (s *slowFakeDescriber) Describe(ctx context.Context, uri string) (core.ServiceDescription, error) {
+	s.mu.Lock()
+	hang := s.hang[uri]
+	s.mu.Unlock()
+	if hang {
+		<-ctx.Done()
+		return core.ServiceDescription{}, ctx.Err()
+	}
+	return s.fakeDescriber.Describe(ctx, uri)
+}
+
+// TestPingConcurrentSweep checks that a fanned-out sweep probes every
+// service exactly once and counts availability correctly.
+func TestPingConcurrentSweep(t *testing.T) {
+	f := newFakeDescriber()
+	c := New(f)
+	ctx := context.Background()
+	const n = 40
+	for i := 0; i < n; i++ {
+		uri := fmt.Sprintf("http://host%d/services/svc", i)
+		f.add(uri, core.ServiceDescription{Name: fmt.Sprintf("svc%d", i)})
+		if _, err := c.Register(ctx, uri, nil); err != nil {
+			t.Fatalf("register %s: %v", uri, err)
+		}
+	}
+	// Take a third of the services down; the sweep must notice all of them.
+	down := 0
+	for i := 0; i < n; i += 3 {
+		f.setDown(fmt.Sprintf("http://host%d/services/svc", i), true)
+		down++
+	}
+	c.SetSweepOptions(8, time.Second)
+	if got, want := c.Ping(ctx), n-down; got != want {
+		t.Fatalf("Ping = %d available, want %d", got, want)
+	}
+	for i := 0; i < n; i++ {
+		uri := fmt.Sprintf("http://host%d/services/svc", i)
+		e, err := c.Get(uri)
+		if err != nil {
+			t.Fatalf("get %s: %v", uri, err)
+		}
+		if wantUp := i%3 != 0; e.Available != wantUp {
+			t.Errorf("%s: Available = %v, want %v", uri, e.Available, wantUp)
+		}
+		if e.LastChecked.IsZero() {
+			t.Errorf("%s: LastChecked not updated", uri)
+		}
+	}
+}
+
+// TestProbeTimeout checks the per-probe deadline: one hung service must be
+// marked unavailable without stalling the sweep or the healthy probes.
+func TestProbeTimeout(t *testing.T) {
+	f := newSlowFakeDescriber()
+	c := New(f)
+	ctx := context.Background()
+	uris := []string{"http://a/services/fast", "http://a/services/hung", "http://b/services/fast2"}
+	for _, uri := range uris {
+		f.add(uri, core.ServiceDescription{Name: uri})
+		if _, err := c.Register(ctx, uri, nil); err != nil {
+			t.Fatalf("register %s: %v", uri, err)
+		}
+	}
+	f.setHang("http://a/services/hung", true)
+	c.SetSweepOptions(2, 50*time.Millisecond)
+	start := time.Now()
+	if got := c.Ping(ctx); got != 2 {
+		t.Fatalf("Ping = %d available, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sweep took %v; per-probe timeout not enforced", elapsed)
+	}
+	e, err := c.Get("http://a/services/hung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Available {
+		t.Error("hung service still marked available after timed-out probe")
+	}
+	for _, uri := range []string{"http://a/services/fast", "http://b/services/fast2"} {
+		e, err := c.Get(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Available {
+			t.Errorf("%s marked unavailable; hung probe starved it", uri)
+		}
+	}
+}
+
+// TestCatalogueConcurrentOps hammers the catalogue with parallel Register,
+// Search, Ping, AddTags and Unregister calls.  It is primarily a -race
+// regression test for the sweep fan-out and the index/catalogue locking.
+func TestCatalogueConcurrentOps(t *testing.T) {
+	f := newFakeDescriber()
+	c := New(f)
+	ctx := context.Background()
+	const n = 24
+	uri := func(i int) string { return fmt.Sprintf("http://host%d/services/svc", i) }
+	for i := 0; i < n; i++ {
+		f.add(uri(i), core.ServiceDescription{
+			Name:        fmt.Sprintf("svc%d", i),
+			Title:       "matrix solver",
+			Description: "Solves matrix equations.",
+		})
+		if _, err := c.Register(ctx, uri(i), []string{"math"}); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+	}
+	c.SetSweepOptions(4, time.Second)
+
+	var wg sync.WaitGroup
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fn(i)
+			}
+		}()
+	}
+	// Re-register and unregister a rotating subset.
+	run(func(i int) {
+		u := uri(i % 8)
+		if i%2 == 0 {
+			_, _ = c.Register(ctx, u, []string{"math", "rotating"})
+		} else {
+			_ = c.Unregister(u)
+		}
+	})
+	// Full sweeps.
+	run(func(i int) { c.Ping(ctx) })
+	// Searches with and without filters.
+	run(func(i int) {
+		c.Search("matrix solver", SearchOptions{Limit: 5})
+		c.Search("matrix", SearchOptions{Tag: "math", OnlyAvailable: true})
+	})
+	// Tagging and reads.
+	run(func(i int) {
+		_, _ = c.AddTags(uri(8+i%8), []string{fmt.Sprintf("tag%d", i%5)})
+		_, _ = c.Get(uri(8 + i%8))
+		c.List()
+	})
+	// Flap availability to exercise probe writes.
+	run(func(i int) {
+		f.setDown(uri(16+i%8), i%2 == 0)
+	})
+	wg.Wait()
+
+	// Stable services must still be searchable afterwards.
+	res := c.Search("matrix solver", SearchOptions{Limit: n})
+	if len(res) == 0 {
+		t.Fatal("no results after concurrent churn")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"mathcloud/internal/core"
@@ -45,7 +46,24 @@ type Client struct {
 	// backoff.  Nil uses rest.DefaultRetry; rest.NoRetry disables
 	// retrying.
 	Retry *rest.RetryPolicy
+
+	// descMu guards descCache, the per-client description cache keyed by
+	// service URI.  Describe sends If-None-Match with the cached entity
+	// tag; a 304 answer reuses the cached decoded description, so repeated
+	// description fetches (workflow validation, catalogue pings) cost one
+	// header round trip instead of a body transfer plus a JSON decode.
+	descMu    sync.Mutex
+	descCache map[string]cachedDescription
 }
+
+// cachedDescription is one validated entry of the description cache.
+type cachedDescription struct {
+	etag string
+	desc core.ServiceDescription
+}
+
+// maxCachedDescriptions bounds the per-client description cache.
+const maxCachedDescriptions = 256
 
 // New returns a client with default transport settings.  All clients built
 // this way share one tuned http.Transport (rest.SharedTransport), so
@@ -181,11 +199,66 @@ func (c *Client) Service(uri string) *Service {
 func (s *Service) URI() string { return s.uri }
 
 // Describe performs GET on the service resource and returns its
-// description.
+// description.  Repeated calls revalidate a cached copy with a conditional
+// GET (If-None-Match): a 304 answer reuses the cached decoded description
+// instead of transferring and re-decoding the body.  Returned descriptions
+// share immutable parameter slices with the cache and must not be mutated.
 func (s *Service) Describe(ctx context.Context) (core.ServiceDescription, error) {
+	return s.client.describeService(ctx, s.uri)
+}
+
+// cachedDescription returns the cache entry for uri, if any.
+func (c *Client) cachedDescription(uri string) (cachedDescription, bool) {
+	c.descMu.Lock()
+	defer c.descMu.Unlock()
+	entry, ok := c.descCache[uri]
+	return entry, ok
+}
+
+// storeDescription records a validated description under its entity tag,
+// evicting an arbitrary entry when the cache is full.
+func (c *Client) storeDescription(uri, etag string, desc core.ServiceDescription) {
+	c.descMu.Lock()
+	defer c.descMu.Unlock()
+	if c.descCache == nil {
+		c.descCache = make(map[string]cachedDescription)
+	}
+	if _, ok := c.descCache[uri]; !ok && len(c.descCache) >= maxCachedDescriptions {
+		for k := range c.descCache {
+			delete(c.descCache, k)
+			break
+		}
+	}
+	c.descCache[uri] = cachedDescription{etag: etag, desc: desc}
+}
+
+func (c *Client) describeService(ctx context.Context, uri string) (core.ServiceDescription, error) {
 	var desc core.ServiceDescription
-	if err := s.client.getJSON(ctx, s.uri, &desc); err != nil {
-		return desc, err
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, uri, nil)
+	if err != nil {
+		return desc, fmt.Errorf("client: %w", err)
+	}
+	cached, haveCached := c.cachedDescription(uri)
+	if haveCached {
+		req.Header.Set("If-None-Match", cached.etag)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return desc, fmt.Errorf("client: GET %s: %w", uri, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotModified && haveCached:
+		rest.Drain(resp.Body)
+		return cached.desc, nil
+	case resp.StatusCode != http.StatusOK:
+		return desc, apiError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&desc); err != nil {
+		return desc, fmt.Errorf("client: decode %s: %w", uri, err)
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.storeDescription(uri, etag, desc)
 	}
 	return desc, nil
 }

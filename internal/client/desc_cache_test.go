@@ -1,0 +1,123 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mathcloud/internal/core"
+)
+
+// descServer is a stub service resource that serves a description with an
+// entity tag and answers conditional GETs with 304, counting full bodies
+// served so tests can assert the client cache actually avoided transfers.
+func descServer(t *testing.T, etag *atomic.Value, full *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tag := etag.Load().(string)
+		if r.Header.Get("If-None-Match") == tag {
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		full.Add(1)
+		w.Header().Set("ETag", tag)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(core.ServiceDescription{
+			Name:  "cachedsvc",
+			Title: "revision " + tag,
+			Inputs: []core.Param{
+				{Name: "x", Title: "Input"},
+			},
+		})
+	}))
+}
+
+// TestDescribeRevalidatesWithConditionalGET checks the client description
+// cache end to end: the first Describe transfers the body, later calls
+// revalidate with If-None-Match, get 304, and return the cached decoded
+// description unchanged; a changed entity tag forces one new full fetch.
+func TestDescribeRevalidatesWithConditionalGET(t *testing.T) {
+	var etag atomic.Value
+	etag.Store(`"v1"`)
+	var full atomic.Int64
+	srv := descServer(t, &etag, &full)
+	defer srv.Close()
+
+	c := New()
+	svc := c.Service(srv.URL + "/services/cachedsvc")
+	ctx := context.Background()
+
+	first, err := svc.Describe(ctx)
+	if err != nil {
+		t.Fatalf("first describe: %v", err)
+	}
+	if full.Load() != 1 {
+		t.Fatalf("first describe served %d full bodies, want 1", full.Load())
+	}
+	for i := 0; i < 3; i++ {
+		again, err := svc.Describe(ctx)
+		if err != nil {
+			t.Fatalf("revalidated describe %d: %v", i, err)
+		}
+		if again.Name != first.Name || again.Title != first.Title || len(again.Inputs) != len(first.Inputs) {
+			t.Fatalf("revalidated describe %d returned %+v, want cached %+v", i, again, first)
+		}
+	}
+	if full.Load() != 1 {
+		t.Fatalf("revalidations transferred bodies: %d full responses, want 1", full.Load())
+	}
+
+	// Description changed server-side: the stale tag no longer matches, so
+	// exactly one more full transfer happens and the cache is refreshed.
+	etag.Store(`"v2"`)
+	updated, err := svc.Describe(ctx)
+	if err != nil {
+		t.Fatalf("describe after change: %v", err)
+	}
+	if updated.Title != `revision "v2"` {
+		t.Fatalf("stale description after server change: %+v", updated)
+	}
+	if full.Load() != 2 {
+		t.Fatalf("change served %d full bodies, want 2", full.Load())
+	}
+	if _, err := svc.Describe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if full.Load() != 2 {
+		t.Fatalf("new tag not cached: %d full responses, want 2", full.Load())
+	}
+}
+
+// TestDescribeWithoutETagStaysUncached checks that a server not emitting
+// entity tags keeps working: every Describe is a plain full fetch.
+func TestDescribeWithoutETagStaysUncached(t *testing.T) {
+	var full atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") != "" {
+			t.Error("client sent If-None-Match without a cached entity tag")
+		}
+		full.Add(1)
+		json.NewEncoder(w).Encode(core.ServiceDescription{Name: "plain"})
+	}))
+	defer srv.Close()
+
+	c := New()
+	svc := c.Service(srv.URL + "/services/plain")
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		d, err := svc.Describe(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != "plain" {
+			t.Fatalf("got %+v", d)
+		}
+	}
+	if full.Load() != 2 {
+		t.Fatalf("served %d full bodies, want 2", full.Load())
+	}
+}

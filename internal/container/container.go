@@ -13,6 +13,9 @@
 package container
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -85,6 +88,35 @@ type Options struct {
 type service struct {
 	desc    core.ServiceDescription
 	adapter adapter.Interface
+	// descJSON and descETag are the precomputed JSON representation of the
+	// description (URI filled in at the current base URL) and its
+	// content-hash entity tag.  Descriptions are immutable between Deploy
+	// and SetBaseURL, so GET /services/{name} serves these bytes verbatim
+	// and answers If-None-Match revalidations with 304.
+	descJSON []byte
+	descETag string
+}
+
+// renderDescCache serializes a description (with the given absolute URI)
+// exactly as rest.WriteJSON would and derives its entity tag from a content
+// hash.  A marshalling failure leaves the cache empty; the handler then
+// falls back to dynamic encoding.
+func renderDescCache(d core.ServiceDescription, uri string) ([]byte, string) {
+	d.URI = uri
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return nil, ""
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return buf.Bytes(), `"` + hex.EncodeToString(sum[:8]) + `"`
+}
+
+// refreshDescCacheLocked recomputes the cached representation of one
+// service.  Callers must hold c.mu.
+func (c *Container) refreshDescCacheLocked(svc *service) {
+	svc.descJSON, svc.descETag = renderDescCache(svc.desc, c.serviceURILocked(svc.desc.Name))
 }
 
 // Container is a running Everest instance.
@@ -179,7 +211,9 @@ func (c *Container) Deploy(cfg ServiceConfig) error {
 	if _, exists := c.services[cfg.Description.Name]; exists {
 		return core.ErrConflict("service %q is already deployed", cfg.Description.Name)
 	}
-	c.services[cfg.Description.Name] = &service{desc: cfg.Description, adapter: a}
+	svc := &service{desc: cfg.Description, adapter: a}
+	c.refreshDescCacheLocked(svc)
+	c.services[cfg.Description.Name] = svc
 	c.logger.Printf("container: deployed service %q (adapter %s)",
 		cfg.Description.Name, cfg.Adapter.Kind)
 	return nil
@@ -242,6 +276,21 @@ func (c *Container) Describe(name string) (core.ServiceDescription, error) {
 	return d, nil
 }
 
+// DescribeCached returns the precomputed JSON representation of a service
+// description together with its entity tag.  The bytes are immutable; they
+// are rebuilt only by Deploy and SetBaseURL.  A nil body (marshalling
+// failed at deploy time) tells the caller to fall back to Describe plus
+// dynamic encoding.
+func (c *Container) DescribeCached(name string) (body []byte, etag string, err error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	svc, ok := c.services[name]
+	if !ok {
+		return nil, "", core.ErrNotFound("service", name)
+	}
+	return svc.descJSON, svc.descETag, nil
+}
+
 // Jobs exposes the job manager.
 func (c *Container) Jobs() *JobManager { return c.jobs }
 
@@ -256,6 +305,11 @@ func (c *Container) SetBaseURL(u string) {
 	old := c.baseURL
 	c.baseURL = strings.TrimRight(u, "/")
 	base := c.baseURL
+	// The absolute URI embedded in each cached description changed with
+	// the base URL; rebuild the caches (and thereby the entity tags).
+	for _, svc := range c.services {
+		c.refreshDescCacheLocked(svc)
+	}
 	c.mu.Unlock()
 	// Publish the container in the in-process registry so callers holding
 	// its URIs can take the local invocation fast path.

@@ -1,0 +1,114 @@
+package container_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"mathcloud/internal/core"
+)
+
+// TestDescriptionETagAndConditionalGET exercises the cached description
+// bytes end to end over HTTP: a GET carries a strong entity tag, a
+// conditional GET with that tag answers 304 with no body, and a mismatched
+// tag transfers the full description again.
+func TestDescriptionETagAndConditionalGET(t *testing.T) {
+	_, srv := startContainer(t)
+	uri := srv.URL + "/services/add"
+
+	resp, err := http.Get(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("description GET carries no ETag")
+	}
+	var desc core.ServiceDescription
+	if err := json.Unmarshal(body, &desc); err != nil {
+		t.Fatalf("decode description: %v", err)
+	}
+	if desc.Name != "add" || desc.URI != uri {
+		t.Fatalf("cached description wrong: name=%q uri=%q (want add, %s)", desc.Name, desc.URI, uri)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, uri, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET = %d, want 304", resp2.StatusCode)
+	}
+	if len(body2) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(body2))
+	}
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, uri, nil)
+	req.Header.Set("If-None-Match", `"different"`)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("mismatched conditional GET = %d, want 200", resp3.StatusCode)
+	}
+	if string(body3) != string(body) {
+		t.Fatal("full re-fetch body differs from original description")
+	}
+}
+
+// TestDescriptionETagChangesWithBaseURL checks that rebasing the container
+// (which rewrites the self-URI inside descriptions) rotates the entity tag,
+// so stale cached descriptions cannot survive a 304.
+func TestDescriptionETagChangesWithBaseURL(t *testing.T) {
+	c, srv := startContainer(t)
+	uri := srv.URL + "/services/add"
+
+	resp, err := http.Get(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+
+	c.SetBaseURL("http://rebased.example:9999")
+	defer c.SetBaseURL(srv.URL)
+
+	req, _ := http.NewRequest(http.MethodGet, uri, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("conditional GET after rebase = %d, want 200 (tag must rotate)", resp2.StatusCode)
+	}
+	newTag := resp2.Header.Get("ETag")
+	if newTag == "" || newTag == etag {
+		t.Fatalf("rebase did not rotate ETag: old=%q new=%q", etag, newTag)
+	}
+	var desc core.ServiceDescription
+	if err := json.NewDecoder(resp2.Body).Decode(&desc); err != nil {
+		t.Fatal(err)
+	}
+	if desc.URI != "http://rebased.example:9999/services/add" {
+		t.Fatalf("rebased description URI = %q", desc.URI)
+	}
+}

@@ -99,16 +99,32 @@ func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path 
 func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name string, principal core.Principal) {
 	switch r.Method {
 	case http.MethodGet:
-		desc, err := c.Describe(name)
+		if rest.WantsHTML(r) {
+			desc, err := c.Describe(name)
+			if err != nil {
+				rest.WriteError(w, err)
+				return
+			}
+			c.renderService(w, desc)
+			return
+		}
+		// Serve the precomputed immutable representation: no per-request
+		// encoding, and If-None-Match revalidations collapse to a 304.
+		body, etag, err := c.DescribeCached(name)
 		if err != nil {
 			rest.WriteError(w, err)
 			return
 		}
-		if rest.WantsHTML(r) {
-			c.renderService(w, desc)
+		if body == nil {
+			desc, err := c.Describe(name)
+			if err != nil {
+				rest.WriteError(w, err)
+				return
+			}
+			rest.WriteJSON(w, http.StatusOK, desc)
 			return
 		}
-		rest.WriteJSON(w, http.StatusOK, desc)
+		rest.ServeJSONBytes(w, r, etag, body)
 	case http.MethodPost:
 		var inputs core.Values
 		if err := rest.ReadJSON(r, &inputs); err != nil {

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mathcloud/internal/adapter"
@@ -25,18 +26,50 @@ type jobRecord struct {
 	job    *core.Job
 	cancel context.CancelFunc
 	done   chan struct{}
+	// snap caches the last published snapshot of the job.  Mutators clear
+	// it (under mu); readers rebuild it lazily, so the status-polling hot
+	// path costs one atomic load and a shallow copy instead of a mutex
+	// acquisition and a deep clone per poll.
+	snap atomic.Pointer[core.Job]
 }
 
+// snapshot returns a copy of the job safe for decoration and serialization.
+// The cached clone is immutable once published; each caller receives its own
+// shallow copy so per-request fields (URI) can be filled in without sharing.
 func (r *jobRecord) snapshot() *core.Job {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.job.Clone()
+	snap := r.snap.Load()
+	if snap == nil {
+		r.mu.Lock()
+		snap = r.job.Clone()
+		r.snap.Store(snap)
+		r.mu.Unlock()
+	}
+	out := *snap
+	return &out
+}
+
+// invalidate drops the cached snapshot.  Callers must hold r.mu and call it
+// after every mutation of r.job, so readers never observe a stale clone
+// beyond the natural raciness of concurrent polling.
+func (r *jobRecord) invalidate() { r.snap.Store(nil) }
+
+// jobShardCount is the number of lock stripes in the job registry.  A
+// power of two well above typical core counts keeps the collision
+// probability of concurrent Submit/Status/Delete calls negligible.
+const jobShardCount = 32
+
+// jobShard is one lock stripe of the job registry.
+type jobShard struct {
+	mu   sync.RWMutex
+	jobs map[string]*jobRecord
 }
 
 // JobManager manages the processing of incoming requests: requests are
 // converted into asynchronous jobs and placed in a queue served by a
 // configurable pool of handler goroutines, exactly as in the paper's
-// container architecture.
+// container architecture.  The job registry is lock-striped across
+// jobShardCount shards keyed by job-ID hash, so status polls from many
+// concurrent clients do not serialize on one global mutex.
 type JobManager struct {
 	c     *Container
 	queue chan *jobRecord
@@ -44,8 +77,7 @@ type JobManager struct {
 	// service description's Deadline field overrides it per service.
 	deadline time.Duration
 
-	mu   sync.Mutex
-	jobs map[string]*jobRecord
+	shards [jobShardCount]jobShard
 
 	wg        sync.WaitGroup
 	closing   chan struct{}
@@ -68,16 +100,41 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration)
 		c:          c,
 		queue:      make(chan *jobRecord, queueSize),
 		deadline:   deadline,
-		jobs:       make(map[string]*jobRecord),
 		closing:    make(chan struct{}),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
+	}
+	for i := range jm.shards {
+		jm.shards[i].jobs = make(map[string]*jobRecord)
 	}
 	jm.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go jm.worker()
 	}
 	return jm
+}
+
+// shard returns the lock stripe owning the given job ID (FNV-1a hash).
+func (jm *JobManager) shard(id string) *jobShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &jm.shards[h%jobShardCount]
+}
+
+// allRecords snapshots the record pointers of every shard.
+func (jm *JobManager) allRecords() []*jobRecord {
+	var recs []*jobRecord
+	for i := range jm.shards {
+		sh := &jm.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.jobs {
+			recs = append(recs, rec)
+		}
+		sh.mu.RUnlock()
+	}
+	return recs
 }
 
 // Submit creates a job for the given service request and enqueues it.
@@ -106,9 +163,10 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 		return nil, core.ErrUnavailable(0, "container is shutting down")
 	default:
 	}
-	jm.mu.Lock()
-	jm.jobs[rec.job.ID] = rec
-	jm.mu.Unlock()
+	sh := jm.shard(rec.job.ID)
+	sh.mu.Lock()
+	sh.jobs[rec.job.ID] = rec
+	sh.mu.Unlock()
 
 	select {
 	case jm.queue <- rec:
@@ -122,9 +180,9 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 		}
 		return rec.snapshot(), nil
 	default:
-		jm.mu.Lock()
-		delete(jm.jobs, rec.job.ID)
-		jm.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.jobs, rec.job.ID)
+		sh.mu.Unlock()
 		// A full queue is a transient overload, not a request conflict:
 		// answer 503 with a retry hint so client retry policies absorb it.
 		return nil, core.ErrUnavailable(queueFullRetryAfter, "job queue is full")
@@ -146,9 +204,10 @@ func (jm *JobManager) Get(id string) (*core.Job, error) {
 }
 
 func (jm *JobManager) record(id string) (*jobRecord, error) {
-	jm.mu.Lock()
-	defer jm.mu.Unlock()
-	rec, ok := jm.jobs[id]
+	sh := jm.shard(id)
+	sh.mu.RLock()
+	rec, ok := sh.jobs[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, core.ErrNotFound("job", id)
 	}
@@ -192,6 +251,7 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		// Cancel before a worker picks the job up.
 		rec.job.State = core.StateCancelled
 		rec.job.Finished = time.Now()
+		rec.invalidate()
 		close(rec.done)
 	}
 	rec.mu.Unlock()
@@ -208,10 +268,11 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		// Terminal: destroy the job resource and its files.  The map
 		// removal decides the winner among racing deletes, so the purge
 		// runs exactly once and later deletes observe 404.
-		jm.mu.Lock()
-		_, present := jm.jobs[id]
-		delete(jm.jobs, id)
-		jm.mu.Unlock()
+		sh := jm.shard(id)
+		sh.mu.Lock()
+		_, present := sh.jobs[id]
+		delete(sh.jobs, id)
+		sh.mu.Unlock()
 		if !present {
 			return nil, core.ErrNotFound("job", id)
 		}
@@ -223,18 +284,14 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 // List returns snapshots of jobs for one service (or all, if service is
 // empty), newest first.
 func (jm *JobManager) List(service string) []*core.Job {
-	jm.mu.Lock()
-	recs := make([]*jobRecord, 0, len(jm.jobs))
-	for _, rec := range jm.jobs {
-		recs = append(recs, rec)
-	}
-	jm.mu.Unlock()
 	var out []*core.Job
-	for _, rec := range recs {
-		j := rec.snapshot()
-		if service == "" || j.Service == service {
-			out = append(out, j)
+	for _, rec := range jm.allRecords() {
+		// Service is immutable after Submit publishes the record, so the
+		// filter avoids cloning jobs of other services.
+		if service != "" && rec.job.Service != service {
+			continue
 		}
+		out = append(out, rec.snapshot())
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
 	return out
@@ -263,13 +320,7 @@ func (jm *JobManager) Close() {
 	jm.wg.Wait()
 	// Final sweep: a Submit racing this shutdown can enqueue a record
 	// after both the workers and the drain loop have stopped reading.
-	jm.mu.Lock()
-	recs := make([]*jobRecord, 0, len(jm.jobs))
-	for _, rec := range jm.jobs {
-		recs = append(recs, rec)
-	}
-	jm.mu.Unlock()
-	for _, rec := range recs {
+	for _, rec := range jm.allRecords() {
 		jm.cancelPending(rec)
 	}
 }
@@ -285,6 +336,7 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	}
 	rec.job.State = core.StateCancelled
 	rec.job.Finished = time.Now()
+	rec.invalidate()
 	close(rec.done)
 }
 
@@ -338,6 +390,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 	rec.job.State = core.StateRunning
 	rec.job.Started = time.Now()
 	rec.cancel = cancel
+	rec.invalidate()
 	jobID := rec.job.ID
 	owner := rec.job.Owner
 	inputs := rec.job.Inputs.Clone()
@@ -365,6 +418,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 			rec.job.State = core.StateError
 			rec.job.Error = err.Error()
 		}
+		rec.invalidate()
 		close(rec.done)
 	}
 
@@ -400,6 +454,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 		defer rec.mu.Unlock()
 		if len(rec.job.Log) < 1000 {
 			rec.job.Log = append(rec.job.Log, msg)
+			rec.invalidate()
 		}
 	}
 
@@ -410,6 +465,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 			rec.job.Blocks = make(map[string]core.JobState)
 		}
 		rec.job.Blocks[block] = state
+		rec.invalidate()
 	}
 
 	req := &adapter.Request{

@@ -1,0 +1,45 @@
+package jsonschema
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestValidatePatternConcurrent is the -race regression test for the lazy
+// pattern compilation: a schema built programmatically (pattern field not
+// compiled by Parse) used to write the compiled regexp into the shared
+// schema from inside Validate, racing concurrent validations.  Validation
+// must be read-only on the schema.
+func TestValidatePatternConcurrent(t *testing.T) {
+	s := &Schema{Type: TypeString, Pattern: "^a+[0-9]*z$", AdditionalProperties: true}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := s.Validate("aaa42z"); err != nil {
+					t.Errorf("valid value rejected: %v", err)
+					return
+				}
+				if err := s.Validate("nope"); err == nil {
+					t.Error("invalid value accepted")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestValidatePatternInvalid checks that an uncompilable pattern on a
+// programmatically built schema fails validation with a clear error (and
+// keeps failing — the compile error is cached, not retried).
+func TestValidatePatternInvalid(t *testing.T) {
+	s := &Schema{Type: TypeString, Pattern: "([unclosed", AdditionalProperties: true}
+	for i := 0; i < 2; i++ {
+		if err := s.Validate("anything"); err == nil {
+			t.Fatal("invalid pattern did not fail validation")
+		}
+	}
+}

@@ -19,7 +19,32 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// patternCache memoizes compiled pattern regexps process-wide, keyed by the
+// pattern source.  Validate consults it for schemas built programmatically
+// (whose unexported pattern field is nil), so validation never writes to
+// the schema and concurrent Validate calls on a shared schema do not race.
+var patternCache sync.Map // pattern string -> compiledPatternEntry
+
+type compiledPatternEntry struct {
+	re  *regexp.Regexp
+	err error
+}
+
+// compiledPattern returns the compiled form of pattern, compiling it at
+// most once per process (compile errors are cached too).
+func compiledPattern(pattern string) (*regexp.Regexp, error) {
+	if e, ok := patternCache.Load(pattern); ok {
+		entry := e.(compiledPatternEntry)
+		return entry.re, entry.err
+	}
+	re, err := regexp.Compile(pattern)
+	entry, _ := patternCache.LoadOrStore(pattern, compiledPatternEntry{re: re, err: err})
+	cached := entry.(compiledPatternEntry)
+	return cached.re, cached.err
+}
 
 // Type enumerates the primitive JSON Schema types understood by the
 // platform.  TypeAny accepts every value and is the implicit type of a
@@ -419,15 +444,19 @@ func (s *Schema) validate(value any, path string) error {
 		if s.MaxLength != nil && n > *s.MaxLength {
 			return errAt(path, "string length %d > maxLength %d", n, *s.MaxLength)
 		}
-		if s.pattern == nil && s.Pattern != "" {
-			// Schema built programmatically; compile lazily.
-			re, err := regexp.Compile(s.Pattern)
+		re := s.pattern
+		if re == nil && s.Pattern != "" {
+			// Schema built programmatically (Parse compiles eagerly): fetch
+			// the compiled form from the process-wide cache.  The schema
+			// itself is never written, so concurrent Validate calls on a
+			// shared schema are race-free.
+			var err error
+			re, err = compiledPattern(s.Pattern)
 			if err != nil {
 				return errAt(path, "invalid pattern %q", s.Pattern)
 			}
-			s.pattern = re
 		}
-		if s.pattern != nil && !s.pattern.MatchString(str) {
+		if re != nil && !re.MatchString(str) {
 			return errAt(path, "string %q does not match pattern %q", str, s.Pattern)
 		}
 		return nil

@@ -40,6 +40,48 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// ETagMatch reports whether an If-None-Match header value matches the given
+// entity tag.  Weak comparison is used (the W/ prefix is ignored), and the
+// wildcard "*" matches any representation, per RFC 9110 §13.1.2.
+func ETagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ServeJSONBytes writes a precomputed JSON representation with its entity
+// tag, answering conditional requests (If-None-Match) with 304 Not Modified.
+// Serving immutable bytes skips the per-request encoding of WriteJSON, and
+// the 304 path skips the body transfer entirely — the HTTP-native caching
+// the REST style prescribes for stable resources such as service
+// descriptions.
+func ServeJSONBytes(w http.ResponseWriter, r *http.Request, etag string, body []byte) {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
+	if ETagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		_, _ = w.Write(body)
+	}
+}
+
 // WriteError maps a platform error onto an HTTP status and writes the JSON
 // error body.  Unknown errors become 500.  Transient conditions
 // (core.UnavailableError) additionally advertise their retry hint through

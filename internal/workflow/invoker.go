@@ -16,6 +16,10 @@ import (
 // the client's retry policy (rest.DefaultRetry unless overridden), so a
 // workflow block survives dropped connections and transient 503 overload
 // answers from a busy container instead of failing the whole workflow.
+// Description fetches go through the client's conditional-GET description
+// cache: repeated workflow validations revalidate with If-None-Match and
+// reuse the cached decoded description on a 304 instead of re-transferring
+// and re-decoding it per run.
 type HTTPInvoker struct {
 	// Client is the underlying platform client; nil uses a default one.
 	Client *client.Client
@@ -138,7 +142,11 @@ func (i *LocalInvoker) ActingFor(user string) Invoker {
 	return &LocalInvoker{Fallback: fb, actFor: user}
 }
 
-// Describe implements Describer, resolving local services without HTTP.
+// Describe implements Describer, resolving local services without HTTP —
+// the in-process analogue of the client's description cache: a local hit
+// reads the deployed description straight from the container, and misses
+// fall back to the HTTP describer whose client revalidates its cached copy
+// via conditional GET.
 func (i *LocalInvoker) Describe(serviceURI string) (core.ServiceDescription, error) {
 	if c, name, ok := container.LookupLocal(serviceURI); ok && !c.HasGuard() {
 		return c.Describe(name)
