@@ -99,6 +99,55 @@ func BenchmarkJobStatusContention(b *testing.B) {
 	})
 }
 
+// TestJobGetOneAlloc pins the allocation budget of the status-polling hot
+// path: JobManager.Get on a terminal job must stay at one allocation (the
+// returned snapshot copy) even though snapshots now carry the lifecycle
+// timeline fields (queue wait, run time, trace ID) — they are value fields,
+// so the observability plane adds no per-poll allocations.
+func TestJobGetOneAlloc(t *testing.T) {
+	adapter.RegisterFunc("bench.noop", func(_ context.Context, in core.Values) (core.Values, error) {
+		return core.Values{"y": 1.0}, nil
+	})
+	c, err := container.New(container.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "noop",
+			Inputs:  []core.Param{{Name: "x", Optional: true}},
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"bench.noop"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jm := c.Jobs()
+	job, err := jm.Submit("noop", core.Values{"x": 1.0}, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := jm.Wait(context.Background(), job.ID, 10*time.Second)
+	if err != nil || done.State != core.StateDone {
+		t.Fatalf("job not done: %+v (err=%v)", done, err)
+	}
+	// Warm up once so lazily built state does not count against the budget.
+	if _, err := jm.Get(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		j, err := jm.Get(job.ID)
+		if err != nil || j.State != core.StateDone {
+			t.Fatalf("get: %v", err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("JobManager.Get allocates %.1f objects per call, want <= 1", allocs)
+	}
+}
+
 // BenchmarkDescriptionGET measures serving the service-description resource
 // through the container handler: an unconditional GET (full representation)
 // and a conditional GET carrying If-None-Match.  Pre-PR both re-encode the

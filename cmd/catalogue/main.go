@@ -11,12 +11,14 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
 
 	"mathcloud/internal/catalogue"
-	"mathcloud/internal/rest"
+	"mathcloud/internal/container"
+	"mathcloud/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	ping := flag.Duration("ping", time.Minute, "availability ping interval (0 disables)")
 	store := flag.String("store", "", "snapshot file: loaded at startup, saved periodically")
 	flag.Parse()
+
+	obs.SetLogLevel(slog.LevelInfo)
 
 	cat := catalogue.New(catalogue.ClientDescriber{})
 	if *store != "" {
@@ -52,9 +56,11 @@ func main() {
 	defer cat.Close()
 
 	log.Printf("catalogue: listening on %s (ping interval %s)", *addr, *ping)
+	// The ingress instrumentation supplies request IDs, per-route metrics
+	// and structured request logs, replacing the plain logging wrapper.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rest.Logging(nil, cat.Handler()),
+		Handler:           container.Instrument(cat.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

@@ -6,8 +6,10 @@
 package cmd_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -16,6 +18,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mathcloud/internal/obs"
 )
 
 // buildBinaries compiles the four commands once per test run.
@@ -206,5 +210,33 @@ func TestBinariesEndToEnd(t *testing.T) {
 	out = runCLI(t, bins["mcctl"], "fetch", ref)
 	if out != "file payload" {
 		t.Errorf("fetch = %q", out)
+	}
+
+	// Observability: every started binary serves /metrics; the exposition
+	// must be well-formed Prometheus text format and, on the container that
+	// executed jobs, reflect the job lifecycle families.
+	for _, base := range []string{everest, catalogueURL, wms} {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET %s/metrics: %v", base, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s/metrics = %d (%v)", base, resp.StatusCode, err)
+		}
+		if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+			t.Errorf("%s/metrics is malformed: %v\n%s", base, err, body)
+		}
+		if base == everest {
+			for _, family := range []string{
+				"mc_http_requests_total", "mc_jobs_submitted_total",
+				"mc_job_queue_wait_seconds_bucket", "mc_job_run_seconds_bucket",
+			} {
+				if !strings.Contains(string(body), family) {
+					t.Errorf("everest /metrics lacks %s", family)
+				}
+			}
+		}
 	}
 }

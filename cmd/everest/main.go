@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -37,7 +38,7 @@ import (
 	"mathcloud/internal/cas"
 	"mathcloud/internal/container"
 	"mathcloud/internal/grid"
-	"mathcloud/internal/rest"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/scatter"
 	"mathcloud/internal/torque"
 )
@@ -71,7 +72,12 @@ func main() {
 	dataDir := flag.String("data", "", "data directory (default: temporary)")
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://<addr>)")
 	builtin := flag.Bool("builtin", false, "deploy the built-in application services")
+	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6060)")
 	flag.Parse()
+
+	// Structured request/job logs are informational in a server process
+	// (they default to warn-level quiet for library use and tests).
+	obs.SetLogLevel(slog.LevelInfo)
 
 	// Make every built-in computational function available to configs.
 	cas.Register()
@@ -80,9 +86,10 @@ func main() {
 
 	registry := adapter.NewRegistry()
 	c, err := container.New(container.Options{
-		Workers:  *workers,
-		DataDir:  *dataDir,
-		Adapters: registry,
+		Workers:   *workers,
+		DataDir:   *dataDir,
+		Adapters:  registry,
+		DebugAddr: *debugAddr,
 	})
 	if err != nil {
 		log.Fatalf("everest: %v", err)
@@ -165,9 +172,11 @@ func main() {
 		names = append(names, d.Name)
 	}
 	log.Printf("everest: serving %d service(s) %v on %s", len(names), names, *addr)
+	// The container handler carries its own ingress instrumentation
+	// (request IDs, metrics, structured logs), so no extra logging wrapper.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rest.Logging(nil, c.Handler()),
+		Handler:           c.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

@@ -10,12 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/container"
-	"mathcloud/internal/rest"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/workflow"
 )
 
@@ -23,10 +24,13 @@ func main() {
 	addr := flag.String("addr", ":8082", "listen address")
 	workers := flag.Int("workers", 8, "job handler pool size")
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://localhost<addr>)")
+	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6061)")
 	flag.Parse()
 
+	obs.SetLogLevel(slog.LevelInfo)
+
 	registry := adapter.NewRegistry()
-	c, err := container.New(container.Options{Workers: *workers, Adapters: registry})
+	c, err := container.New(container.Options{Workers: *workers, Adapters: registry, DebugAddr: *debugAddr})
 	if err != nil {
 		log.Fatalf("wms: %v", err)
 	}
@@ -43,9 +47,11 @@ func main() {
 		c.SetBaseURL(fmt.Sprintf("http://localhost%s", *addr))
 	}
 	log.Printf("wms: listening on %s", *addr)
+	// The WMS handler carries its own ingress instrumentation (request
+	// IDs, metrics, structured logs), so no extra logging wrapper.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rest.Logging(nil, wms.Handler()),
+		Handler:           wms.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

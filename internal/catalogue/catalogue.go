@@ -3,6 +3,7 @@ package catalogue
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +12,19 @@ import (
 
 	"mathcloud/internal/client"
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
+)
+
+// Sweep metric families (DESIGN.md §5d): how often availability sweeps run,
+// how long individual probes take, and how many fail.
+var (
+	metSweeps = obs.NewCounter("mc_sweeps_total",
+		"Availability sweeps executed over the published services.")
+	metSweepProbes = obs.NewHistogram("mc_sweep_probe_seconds",
+		"Latency of individual availability probes (description fetch).",
+		obs.LatencyBuckets)
+	metSweepProbeFailures = obs.NewCounter("mc_sweep_probe_failures_total",
+		"Availability probes that failed (service marked unavailable).")
 )
 
 // Entry is one published service in the catalogue.
@@ -348,6 +362,12 @@ func containsTag(e *Entry, tag string) bool {
 // probes nor consume the whole sweep budget.  It returns the number of
 // available services.
 func (c *Catalogue) Ping(ctx context.Context) int {
+	// Every probe of one sweep carries the same request ID, so a sweep's
+	// fan-out across N services shows up in each container's log as one
+	// correlated group.
+	ctx, sweepID := obs.EnsureRequestID(ctx)
+	start := time.Now()
+	metSweeps.Inc()
 	c.mu.RLock()
 	uris := make([]string, 0, len(c.entries))
 	for uri := range c.entries {
@@ -358,6 +378,13 @@ func (c *Catalogue) Ping(ctx context.Context) int {
 	if workers > len(uris) {
 		workers = len(uris)
 	}
+	defer func() {
+		obs.Logger().LogAttrs(ctx, slog.LevelInfo, "availability sweep",
+			slog.String("request_id", sweepID),
+			slog.Int("services", len(uris)),
+			slog.Duration("elapsed", time.Since(start)),
+		)
+	}()
 	if workers <= 1 {
 		available := 0
 		for _, uri := range uris {
@@ -393,7 +420,12 @@ func (c *Catalogue) Ping(ctx context.Context) int {
 // service answered.
 func (c *Catalogue) probe(ctx context.Context, uri string, timeout time.Duration) bool {
 	pctx, cancel := context.WithTimeout(ctx, timeout)
+	probeStart := time.Now()
 	desc, err := c.describer.Describe(pctx, uri)
+	metSweepProbes.Observe(time.Since(probeStart).Seconds())
+	if err != nil {
+		metSweepProbeFailures.Inc()
+	}
 	cancel()
 	c.mu.Lock()
 	e, ok := c.entries[uri]

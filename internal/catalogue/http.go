@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
 
@@ -19,6 +20,8 @@ import (
 //	DELETE /services?uri=...         unregister
 //	POST   /tags?uri=...             add user tags {tags}
 //	POST   /ping                     probe availability now
+//	GET    /metrics                  Prometheus text-format metrics
+//	GET    /status                   JSON metrics with percentiles
 func (c *Catalogue) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		head, _ := rest.ShiftPath(r.URL.Path)
@@ -33,6 +36,10 @@ func (c *Catalogue) Handler() http.Handler {
 			c.handleTags(w, r)
 		case "ping":
 			c.handlePing(w, r)
+		case "metrics":
+			obs.MetricsHandler().ServeHTTP(w, r)
+		case "status":
+			obs.StatusHandler().ServeHTTP(w, r)
 		default:
 			rest.WriteError(w, core.ErrNotFound("resource", head))
 		}

@@ -17,7 +17,21 @@ import (
 	"time"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
+)
+
+// Description-cache metric families (DESIGN.md §5d).  A hit is a 304 answer
+// that reused the cached decoded description; a miss is a fetch with no
+// cached entry; a stale is a conditional fetch the server answered with a
+// full 200 because the description changed.
+var (
+	metDescCacheHits = obs.NewCounter("mc_desc_cache_hits_total",
+		"Description fetches answered 304 Not Modified and served from the client cache.")
+	metDescCacheMisses = obs.NewCounter("mc_desc_cache_misses_total",
+		"Description fetches with no cached entry (full body transfer).")
+	metDescCacheStale = obs.NewCounter("mc_desc_cache_stale_total",
+		"Conditional description fetches answered 200 because the cached entity tag was stale.")
 )
 
 // Client holds the transport configuration shared by service handles.
@@ -249,10 +263,16 @@ func (c *Client) describeService(ctx context.Context, uri string) (core.ServiceD
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusNotModified && haveCached:
+		metDescCacheHits.Inc()
 		rest.Drain(resp.Body)
 		return cached.desc, nil
 	case resp.StatusCode != http.StatusOK:
 		return desc, apiError(resp)
+	}
+	if haveCached {
+		metDescCacheStale.Inc()
+	} else {
+		metDescCacheMisses.Inc()
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&desc); err != nil {
 		return desc, fmt.Errorf("client: decode %s: %w", uri, err)

@@ -29,6 +29,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
 
@@ -83,6 +84,12 @@ type Options struct {
 	// shared tuned transport (rest.SharedTransport) so staging reuses
 	// keep-alive connections across jobs and containers.
 	HTTPClient *http.Client
+	// DebugAddr, when non-empty, starts an auxiliary HTTP listener on that
+	// address serving net/http/pprof profiles plus /metrics and /status.
+	// It is opt-in: profiling endpoints never appear on the public API
+	// listener.  Use "127.0.0.1:0" to pick a free port; DebugAddr() on the
+	// container reports the bound address.
+	DebugAddr string
 }
 
 type service struct {
@@ -130,6 +137,7 @@ type Container struct {
 	workRoot   string
 	dataDir    string
 	ownsData   bool
+	debugSrv   *http.Server
 
 	mu       sync.RWMutex
 	services map[string]*service
@@ -182,12 +190,34 @@ func New(opts Options) (*Container, error) {
 		services:   make(map[string]*service),
 	}
 	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline)
+	if opts.DebugAddr != "" {
+		srv, err := obs.ServeDebug(opts.DebugAddr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("container: debug listener: %w", err)
+		}
+		c.debugSrv = srv
+		logger.Printf("container: debug/pprof listener on http://%s/debug/pprof/", srv.Addr)
+	}
 	return c, nil
+}
+
+// DebugAddr returns the bound address of the debug/pprof listener, or ""
+// when Options.DebugAddr was not set.
+func (c *Container) DebugAddr() string {
+	if c.debugSrv == nil {
+		return ""
+	}
+	return c.debugSrv.Addr
 }
 
 // Close shuts down the worker pool and removes container-owned data.
 func (c *Container) Close() {
 	unregisterLocal(c.BaseURL(), c)
+	if c.debugSrv != nil {
+		_ = c.debugSrv.Close()
+		c.debugSrv = nil
+	}
 	c.jobs.Close()
 	if c.ownsData {
 		_ = os.RemoveAll(c.dataDir)

@@ -5,22 +5,55 @@ import (
 	"time"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
 
 // Handler returns the HTTP handler exposing the unified REST API of
-// Table 1 plus the auto-generated web interface:
+// Table 1 plus the auto-generated web interface and the observability
+// endpoints:
 //
 //	GET    /                              container index
 //	GET    /services/{name}               service description (or web UI)
 //	POST   /services/{name}               submit request, create job
-//	GET    /services/{name}/jobs/{id}     job status and results
+//	GET    /services/{name}/jobs/{id}     job status and results (or web UI)
 //	DELETE /services/{name}/jobs/{id}     cancel job / delete job data
 //	POST   /files                         upload a file resource
 //	GET    /files/{id}                    file data (supports ranges)
 //	DELETE /files/{id}                    delete a file resource
+//	GET    /metrics                       Prometheus text-format metrics
+//	GET    /status                        JSON metrics with percentiles
+//
+// Every request passes the ingress instrumentation first: an X-Request-ID
+// is established (propagated or generated), per-route metrics are recorded,
+// and a structured request log is emitted.  The observability endpoints are
+// infrastructure-level and answer before the security guard, so operators
+// can scrape a secured container without service credentials; they expose
+// only aggregate counters, never job data.
 func (c *Container) Handler() http.Handler {
+	return Instrument(c.APIHandler())
+}
+
+// Instrument wraps next with the ingress instrumentation middleware
+// (request-ID establishment, per-route metrics, request log).  It is
+// exported for front-ends like the WMS that mount extra routes ahead of the
+// container API and must instrument the combined handler exactly once.
+func Instrument(next http.Handler) http.Handler { return instrument(next) }
+
+// APIHandler returns the unified REST API handler without the ingress
+// instrumentation.  Use Handler unless the handler is being embedded under
+// an outer Instrument wrapper.
+func (c *Container) APIHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		head, tail := rest.ShiftPath(r.URL.Path)
+		switch head {
+		case "metrics":
+			obs.MetricsHandler().ServeHTTP(w, r)
+			return
+		case "status":
+			obs.StatusHandler().ServeHTTP(w, r)
+			return
+		}
 		var principal core.Principal
 		if c.guard != nil {
 			p, err := c.guard.Authenticate(r)
@@ -34,7 +67,6 @@ func (c *Container) Handler() http.Handler {
 			}
 			principal = p
 		}
-		head, tail := rest.ShiftPath(r.URL.Path)
 		switch head {
 		case "":
 			c.handleIndex(w, r)
@@ -131,7 +163,7 @@ func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name s
 			rest.WriteError(w, err)
 			return
 		}
-		job, err := c.jobs.Submit(name, inputs, principal.Effective())
+		job, err := c.jobs.SubmitCtx(r.Context(), name, inputs, principal.Effective())
 		if err != nil {
 			rest.WriteError(w, err)
 			return
@@ -189,6 +221,10 @@ func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, j
 					job = j
 				}
 			}
+		}
+		if rest.WantsHTML(r) {
+			c.renderJob(w, c.decorate(job))
+			return
 		}
 		rest.WriteJSON(w, http.StatusOK, c.decorate(job))
 	case http.MethodDelete:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
 
@@ -139,6 +141,15 @@ func (jm *JobManager) allRecords() []*jobRecord {
 
 // Submit creates a job for the given service request and enqueues it.
 func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner string) (*core.Job, error) {
+	return jm.SubmitCtx(context.Background(), serviceName, inputs, owner)
+}
+
+// SubmitCtx is Submit with a caller context: the request ID established at
+// HTTP ingress (or by an in-process invoker) is recorded as the job's
+// TraceID and re-enters the context of every outbound call the job makes,
+// so a workflow's fan-out across services shares one correlation ID.  A
+// context without an ID gets a fresh one.
+func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs core.Values, owner string) (*core.Job, error) {
 	svc, err := jm.c.service(serviceName)
 	if err != nil {
 		return nil, err
@@ -147,14 +158,18 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 	if err := svc.desc.ValidateInputs(inputs); err != nil {
 		return nil, core.ErrBadRequest("%v", err)
 	}
+	_, trace := obs.EnsureRequestID(ctx)
+	now := time.Now()
 	rec := &jobRecord{
 		job: &core.Job{
-			ID:      core.NewID(),
-			Service: serviceName,
-			State:   core.StateWaiting,
-			Inputs:  inputs,
-			Owner:   owner,
-			Created: time.Now(),
+			ID:        core.NewID(),
+			Service:   serviceName,
+			State:     core.StateWaiting,
+			Inputs:    inputs,
+			Owner:     owner,
+			Created:   now,
+			Submitted: now,
+			TraceID:   trace,
 		},
 		done: make(chan struct{}),
 	}
@@ -170,6 +185,14 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 
 	select {
 	case jm.queue <- rec:
+		metJobsSubmitted.Inc()
+		metJobsWaiting.Add(1)
+		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
+			logger.LogAttrs(ctx, slog.LevelInfo, "job submitted",
+				slog.String("request_id", trace),
+				slog.String("job_id", rec.job.ID),
+				slog.String("service", serviceName))
+		}
 		// Re-check shutdown: Close may have swept the job map before the
 		// insert above, in which case no reader will ever drain this
 		// record — cancel it here so its waiters are released.
@@ -183,6 +206,7 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 		sh.mu.Lock()
 		delete(sh.jobs, rec.job.ID)
 		sh.mu.Unlock()
+		metQueueRejections.Inc()
 		// A full queue is a transient overload, not a request conflict:
 		// answer 503 with a retry hint so client retry policies absorb it.
 		return nil, core.ErrUnavailable(queueFullRetryAfter, "job queue is full")
@@ -253,6 +277,8 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		rec.job.Finished = time.Now()
 		rec.invalidate()
 		close(rec.done)
+		metJobsWaiting.Add(-1)
+		metJobsCompleted.With("cancelled").Inc()
 	}
 	rec.mu.Unlock()
 
@@ -338,6 +364,8 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	rec.job.Finished = time.Now()
 	rec.invalidate()
 	close(rec.done)
+	metJobsWaiting.Add(-1)
+	metJobsCompleted.With("cancelled").Inc()
 }
 
 func (jm *JobManager) worker() {
@@ -389,12 +417,25 @@ func (jm *JobManager) process(rec *jobRecord) {
 	}
 	rec.job.State = core.StateRunning
 	rec.job.Started = time.Now()
+	rec.job.QueueWait = core.Duration(rec.job.Started.Sub(rec.job.Created))
 	rec.cancel = cancel
 	rec.invalidate()
 	jobID := rec.job.ID
 	owner := rec.job.Owner
+	trace := rec.job.TraceID
+	queueWait := rec.job.QueueWait.Std()
 	inputs := rec.job.Inputs.Clone()
 	rec.mu.Unlock()
+
+	metJobsWaiting.Add(-1)
+	metJobsRunning.Add(1)
+	metQueueWait.Observe(queueWait.Seconds())
+	// Re-enter the job's trace into the execution context: every outbound
+	// call the adapter makes (workflow block invocations, file staging)
+	// then carries the ingress X-Request-ID.
+	if trace != "" {
+		ctx = obs.WithRequestID(ctx, trace)
+	}
 
 	finish := func(outputs core.Values, err error) {
 		rec.mu.Lock()
@@ -403,6 +444,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 			return
 		}
 		rec.job.Finished = time.Now()
+		rec.job.RunTime = core.Duration(rec.job.Finished.Sub(rec.job.Started))
 		switch {
 		case err == nil:
 			rec.job.State = core.StateDone
@@ -412,6 +454,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 			// job, not a client cancellation.
 			rec.job.State = core.StateError
 			rec.job.Error = fmt.Sprintf("container: job exceeded its %s execution deadline", deadline)
+			metDeadlineOverruns.Inc()
 		case ctx.Err() != nil:
 			rec.job.State = core.StateCancelled
 		default:
@@ -420,6 +463,18 @@ func (jm *JobManager) process(rec *jobRecord) {
 		}
 		rec.invalidate()
 		close(rec.done)
+		metJobsRunning.Add(-1)
+		metRunTime.Observe(rec.job.RunTime.Std().Seconds())
+		metJobsCompleted.With(strings.ToLower(string(rec.job.State))).Inc()
+		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
+			logger.LogAttrs(ctx, slog.LevelInfo, "job finished",
+				slog.String("request_id", trace),
+				slog.String("job_id", jobID),
+				slog.String("service", serviceName),
+				slog.String("state", string(rec.job.State)),
+				slog.Duration("queue_wait", queueWait),
+				slog.Duration("run_time", rec.job.RunTime.Std()))
+		}
 	}
 
 	// Panic safety: finish is idempotent (guarded on Terminal), so a panic
@@ -427,6 +482,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 	// ERROR with the stack, and the worker goroutine survives.
 	defer func() {
 		if r := recover(); r != nil {
+			metWorkerPanics.Inc()
 			finish(nil, fmt.Errorf("container: adapter panic: %v\n%s", r, panicStack()))
 		}
 	}()

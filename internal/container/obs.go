@@ -1,0 +1,192 @@
+package container
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"mathcloud/internal/obs"
+)
+
+// Container metric families (DESIGN.md §5d).  They live in the process-wide
+// default registry, so several containers in one process — the WMS plus an
+// application container, or a test harness — aggregate into one /metrics
+// view instead of clashing.
+var (
+	metHTTPRequests = obs.NewCounterVec("mc_http_requests_total",
+		"HTTP requests served by the unified REST API, by route, method and status class.",
+		"route", "method", "code")
+	metHTTPLatency = obs.NewHistogramVec("mc_http_request_seconds",
+		"HTTP request handling latency by route.",
+		obs.LatencyBuckets, "route")
+
+	metJobsSubmitted = obs.NewCounter("mc_jobs_submitted_total",
+		"Jobs accepted into the queue.")
+	metJobsCompleted = obs.NewCounterVec("mc_jobs_completed_total",
+		"Jobs that reached a terminal state, by state.", "state")
+	metJobsWaiting = obs.NewGauge("mc_job_queue_depth",
+		"Jobs currently waiting in the queue.")
+	metJobsRunning = obs.NewGauge("mc_jobs_running",
+		"Jobs currently executing in handler workers.")
+	metQueueWait = obs.NewHistogram("mc_job_queue_wait_seconds",
+		"Time jobs spent queued before a handler picked them up.",
+		obs.DurationBuckets)
+	metRunTime = obs.NewHistogram("mc_job_run_seconds",
+		"Job execution time from handler pickup to terminal state.",
+		obs.DurationBuckets)
+	metWorkerPanics = obs.NewCounter("mc_worker_panics_total",
+		"Adapter panics recovered by the handler pool.")
+	metDeadlineOverruns = obs.NewCounter("mc_job_deadline_overruns_total",
+		"Jobs terminated for exceeding their execution deadline.")
+	metQueueRejections = obs.NewCounter("mc_job_queue_rejections_total",
+		"Submissions rejected because the job queue was full.")
+)
+
+// knownRoutes is the closed set of route labels routeOf can return.
+var knownRoutes = []string{
+	"index", "metrics", "status", "workflows", "editor", "search", "tags",
+	"ping", "file", "service", "job_list", "job", "other",
+}
+
+// knownMethods and knownClasses close the remaining label dimensions of the
+// request counter so its children can be pre-resolved alongside the latency
+// histograms.
+var knownMethods = []string{
+	http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
+	http.MethodHead, http.MethodOptions, http.MethodPatch,
+}
+
+var knownClasses = []string{"1xx", "2xx", "3xx", "4xx", "5xx", "other"}
+
+// latencyByRoute and requestsByRoute pre-resolve the metric children of
+// every (route, method, class) combination, so the per-request hot path is
+// read-only map lookups with no label rendering or variadic allocation.
+// Pre-resolved series stay hidden from /metrics until first use, so the
+// cross product does not flood the exposition with zero series.
+var (
+	latencyByRoute  map[string]obs.Histogram
+	requestsByRoute map[string]map[string][6]obs.Counter
+)
+
+func init() {
+	latencyByRoute = make(map[string]obs.Histogram, len(knownRoutes))
+	requestsByRoute = make(map[string]map[string][6]obs.Counter, len(knownRoutes))
+	for _, r := range knownRoutes {
+		latencyByRoute[r] = metHTTPLatency.With(r)
+		byMethod := make(map[string][6]obs.Counter, len(knownMethods))
+		for _, m := range knownMethods {
+			var byClass [6]obs.Counter
+			for i, c := range knownClasses {
+				byClass[i] = metHTTPRequests.With(r, m, c)
+			}
+			byMethod[m] = byClass
+		}
+		requestsByRoute[r] = byMethod
+	}
+}
+
+// routeOf classifies a request path into a bounded route label.  Labels
+// must have low cardinality, so resource names and IDs collapse into their
+// route pattern.
+func routeOf(path string) string {
+	head, tail := shiftClean(path)
+	switch head {
+	case "":
+		return "index"
+	case "metrics", "status", "workflows", "editor", "search", "tags", "ping":
+		return head
+	case "files":
+		return "file"
+	case "services":
+		_, tail = shiftClean(tail)
+		sub, rest := shiftClean(tail)
+		switch sub {
+		case "":
+			return "service"
+		case "jobs":
+			if id, _ := shiftClean(rest); id == "" {
+				return "job_list"
+			}
+			return "job"
+		}
+	}
+	return "other"
+}
+
+// shiftClean is rest.ShiftPath without the package dependency, returning ""
+// tails for exhausted paths.
+func shiftClean(p string) (head, tail string) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i:]
+	}
+	return p, ""
+}
+
+// classIndex folds a status code into its knownClasses index ("2xx" → 1).
+func classIndex(code int) int {
+	if c := code / 100; c >= 1 && c <= 5 {
+		return c - 1
+	}
+	return 5
+}
+
+// codeClass folds a status code into its class label ("2xx", "4xx", …).
+func codeClass(code int) string {
+	return knownClasses[classIndex(code)]
+}
+
+// statusWriter records the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument is the container's ingress middleware: it establishes the
+// request ID (reusing a propagated X-Request-ID or generating one), echoes
+// it on the response, and records per-route request metrics and the
+// structured request log.
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set(obs.RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if !obs.Enabled() {
+			return
+		}
+		elapsed := time.Since(start)
+		route := routeOf(r.URL.Path)
+		cls := classIndex(sw.status)
+		if byClass, ok := requestsByRoute[route][r.Method]; ok {
+			byClass[cls].Inc()
+		} else {
+			metHTTPRequests.With(route, r.Method, knownClasses[cls]).Inc()
+		}
+		latencyByRoute[route].Observe(elapsed.Seconds())
+		// Build the attrs only when the record will be emitted: at the
+		// default warn level this keeps the hot path allocation-free.
+		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
+			logger.LogAttrs(ctx, slog.LevelInfo, "http request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package container_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
+	"mathcloud/internal/rest"
+	"mathcloud/internal/rest/resttest"
+)
+
+// startObsContainer brings up a container behind a real listener with one
+// trivially fast echo service.
+func startObsContainer(t *testing.T) (*container.Container, *httptest.Server) {
+	t.Helper()
+	adapter.RegisterFunc("obstest.echo", func(_ context.Context, in core.Values) (core.Values, error) {
+		return core.Values{"y": in["x"]}, nil
+	})
+	c, err := container.New(container.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:    "echo",
+			Inputs:  []core.Param{{Name: "x", Optional: true}},
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"obstest.echo"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+	return c, srv
+}
+
+// scrapeMetrics fetches /metrics, validates the exposition format, and
+// returns the sample values keyed by full series name (labels included).
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples
+}
+
+// TestMetricsReflectJobLifecycle is the end-to-end observability check: a
+// job submitted over HTTP and polled to DONE must show up in the job
+// lifecycle metric families, with non-empty queue-wait and run-time
+// histograms, and the job representation must carry the full timeline.
+func TestMetricsReflectJobLifecycle(t *testing.T) {
+	_, srv := startObsContainer(t)
+
+	before := scrapeMetrics(t, srv.URL)
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/services/echo?wait=10s",
+		strings.NewReader(`{"x": 42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "obs-e2e-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "obs-e2e-trace-1" {
+		t.Errorf("response echoed request ID %q", got)
+	}
+	if job.State != core.StateDone {
+		t.Fatalf("job state = %s", job.State)
+	}
+
+	// The timeline must be complete and ordered on the DONE representation.
+	if job.Submitted.IsZero() || job.Started.IsZero() || job.Finished.IsZero() {
+		t.Fatalf("incomplete timeline: submitted=%v started=%v finished=%v",
+			job.Submitted, job.Started, job.Finished)
+	}
+	if !job.Submitted.Equal(job.Created) {
+		t.Errorf("submitted %v != created %v", job.Submitted, job.Created)
+	}
+	if job.Started.Before(job.Created) || job.Finished.Before(job.Started) {
+		t.Fatalf("timeline out of order: %v / %v / %v", job.Created, job.Started, job.Finished)
+	}
+	if job.TraceID != "obs-e2e-trace-1" {
+		t.Errorf("job.TraceID = %q, want the ingress request ID", job.TraceID)
+	}
+	if time.Duration(job.RunTime) < 0 || time.Duration(job.QueueWait) < 0 {
+		t.Errorf("negative durations: wait=%v run=%v", job.QueueWait, job.RunTime)
+	}
+
+	after := scrapeMetrics(t, srv.URL)
+	// The registry is process-wide and shared with other tests, so assert
+	// deltas, not absolutes.
+	deltas := map[string]float64{
+		"mc_jobs_submitted_total":                                          1,
+		`mc_jobs_completed_total{state="done"}`:                            1,
+		"mc_job_queue_wait_seconds_count":                                  1,
+		"mc_job_run_seconds_count":                                         1,
+		`mc_http_requests_total{route="service",method="POST",code="2xx"}`: 1,
+	}
+	for series, want := range deltas {
+		if got := after[series] - before[series]; got < want {
+			t.Errorf("%s grew by %v, want >= %v", series, got, want)
+		}
+	}
+	// Histogram buckets must be populated: the +Inf bucket carries the
+	// cumulative count.
+	for _, h := range []string{"mc_job_queue_wait_seconds", "mc_job_run_seconds"} {
+		if after[h+`_bucket{le="+Inf"}`] < 1 {
+			t.Errorf("%s has empty buckets", h)
+		}
+	}
+	// Gauges must have returned to a consistent state (no leaked depth).
+	if d := after["mc_job_queue_depth"] - before["mc_job_queue_depth"]; d != 0 {
+		t.Errorf("queue depth leaked by %v", d)
+	}
+
+	// /status serves the same families as JSON with percentiles.
+	sresp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var status struct {
+		UptimeSeconds float64                        `json:"uptimeSeconds"`
+		Histograms    map[string]obs.HistogramStatus `json:"histograms"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := status.Histograms["mc_job_run_seconds"]
+	if !ok || hs.Count < 1 {
+		t.Errorf("/status missing run-time percentiles: %+v", status.Histograms)
+	}
+}
+
+// TestConcurrentMetricsUnderFaultInjection hammers a container through a
+// flaky transport from many goroutines while scraping /metrics — the -race
+// proof that metric recording, retry accounting and exposition are safe
+// under concurrent faults.
+func TestConcurrentMetricsUnderFaultInjection(t *testing.T) {
+	_, srv := startObsContainer(t)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each client gets its own scripted fault sequence: drops and
+			// 503s ahead of real requests, all absorbed by the retry layer.
+			tripper := resttest.Script(http.DefaultTransport,
+				resttest.Drop, resttest.Unavailable, resttest.Pass)
+			policy := &rest.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+			cl := &http.Client{Transport: tripper}
+			for j := 0; j < 10; j++ {
+				body := strings.NewReader(fmt.Sprintf(`{"x": %d}`, i*100+j))
+				req, err := http.NewRequest(http.MethodPost, srv.URL+"/services/echo?wait=10s", body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := policy.Do(cl, req)
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Scrape concurrently with the fault-injected load.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			// One final consistent scrape after the load.
+			samples := scrapeMetrics(t, srv.URL)
+			if samples["mc_retry_attempts_total"] < 1 {
+				t.Error("retry attempts not recorded under fault injection")
+			}
+			return
+		default:
+			scrapeMetrics(t, srv.URL)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package container
 
 import (
+	"encoding/json"
 	"html/template"
 	"log"
 	"net/http"
+	"time"
 
 	"mathcloud/internal/core"
 )
@@ -75,6 +77,49 @@ async function submitJob() {
 </body></html>
 `))
 
+var jobTemplate = template.Must(template.New("job").Funcs(template.FuncMap{
+	"stamp": func(t time.Time) string {
+		if t.IsZero() {
+			return "—"
+		}
+		return t.Format("2006-01-02 15:04:05.000 MST")
+	},
+	"json": func(v any) string {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err.Error()
+		}
+		return string(b)
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><title>Job {{.ID}} — MathCloud</title><style>
+body{font-family:sans-serif;margin:2em;max-width:60em}
+table{border-collapse:collapse}td,th{border:1px solid #999;padding:.3em .6em;text-align:left}
+code{background:#eee;padding:0 .2em}
+pre{background:#f4f4f4;padding:1em;overflow:auto}
+.state-DONE{color:#060}.state-ERROR{color:#a00}.state-RUNNING{color:#06c}
+</style></head><body>
+<h1>Job <code>{{.ID}}</code></h1>
+<p>Service <a href="/services/{{.Service}}"><code>{{.Service}}</code></a>
+&middot; state <strong class="state-{{.State}}">{{.State}}</strong>
+{{if .TraceID}}&middot; trace <code>{{.TraceID}}</code>{{end}}
+{{if .Owner}}&middot; owner <code>{{.Owner}}</code>{{end}}</p>
+<h2>Timeline</h2>
+<table>
+<tr><th>Submitted</th><td>{{stamp .Created}}</td><td></td></tr>
+<tr><th>Started</th><td>{{stamp .Started}}</td>
+<td>{{if .QueueWait}}queued {{.QueueWait}}{{end}}</td></tr>
+<tr><th>Finished</th><td>{{stamp .Finished}}</td>
+<td>{{if .RunTime}}ran {{.RunTime}}{{end}}</td></tr>
+</table>
+{{if .Error}}<h2>Error</h2><pre>{{.Error}}</pre>{{end}}
+{{if .Inputs}}<h2>Inputs</h2><pre>{{json .Inputs}}</pre>{{end}}
+{{if .Outputs}}<h2>Outputs</h2><pre>{{json .Outputs}}</pre>{{end}}
+{{if .Log}}<h2>Log</h2><pre>{{range .Log}}{{.}}
+{{end}}</pre>{{end}}
+</body></html>
+`))
+
 func (c *Container) renderIndex(w http.ResponseWriter, services []core.ServiceDescription) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTemplate.Execute(w, services); err != nil {
@@ -86,5 +131,15 @@ func (c *Container) renderService(w http.ResponseWriter, desc core.ServiceDescri
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := serviceTemplate.Execute(w, desc); err != nil {
 		log.Printf("container: render service: %v", err)
+	}
+}
+
+// renderJob paints the job lifecycle timeline page: submitted/started/
+// finished stamps with the derived queue-wait and run durations, plus the
+// trace ID so a browser user can correlate the job with server logs.
+func (c *Container) renderJob(w http.ResponseWriter, job *core.Job) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := jobTemplate.Execute(w, job); err != nil {
+		log.Printf("container: render job: %v", err)
 	}
 }

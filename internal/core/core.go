@@ -300,10 +300,26 @@ type Job struct {
 	Outputs Values `json:"outputs,omitempty"`
 	// Error describes the failure when State is ERROR.
 	Error string `json:"error,omitempty"`
-	// Created, Started and Finished are lifecycle timestamps.
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitempty"`
-	Finished time.Time `json:"finished,omitempty"`
+	// Created, Started and Finished are the lifecycle timeline of the job:
+	// when the request was submitted (accepted into the queue), when a
+	// handler began executing it, and when it reached a terminal state.
+	// Submitted mirrors Created under the timeline's natural wire name;
+	// "created" is kept for compatibility with pre-timeline clients.
+	Created   time.Time `json:"created"`
+	Submitted time.Time `json:"submitted,omitempty"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	// QueueWait and RunTime are the derived timeline durations: how long
+	// the job sat in the queue before a handler picked it up, and how long
+	// it executed.  They are value fields, so job snapshots carry them at
+	// no extra allocation cost.
+	QueueWait Duration `json:"queueWait,omitempty"`
+	RunTime   Duration `json:"runTime,omitempty"`
+	// TraceID is the request identifier propagated from the ingress HTTP
+	// request that created the job (X-Request-ID); outbound calls the job
+	// makes — workflow block invocations, file staging — carry the same ID,
+	// so a workflow's fan-out can be correlated across services.
+	TraceID string `json:"traceId,omitempty"`
 	// Blocks carries per-block states for composite (workflow) services,
 	// so the editor can paint block status during execution.
 	Blocks map[string]JobState `json:"blocks,omitempty"`

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// logLevel gates the default structured logger.  It starts at Warn so the
+// per-request and per-job Info records stay silent in tests and libraries;
+// the server binaries raise it to Info (SetLogLevel) to stream structured
+// request/job logs.
+var logLevel slog.LevelVar
+
+// logger is the process-wide structured logger for request and job
+// lifecycle records.  Every record carries the request ID when one is in
+// scope, which is what makes a workflow's fan-out greppable across
+// services.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logLevel.Set(slog.LevelWarn)
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &logLevel})))
+}
+
+// Logger returns the current structured logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the structured logger (nil restores the default).
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &logLevel}))
+	}
+	logger.Store(l)
+}
+
+// SetLogLevel adjusts the level of the default logger.  Server binaries
+// call it with slog.LevelInfo to enable request/job logging.
+func SetLogLevel(l slog.Level) { logLevel.Set(l) }

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (version 0.0.4)
+// document for well-formedness: comment grammar, metric-name and label
+// syntax, parseable sample values, TYPE declarations preceding their
+// samples, no duplicate series, and complete histogram expansions (a
+// `+Inf` bucket whose cumulative count equals the `_count` sample).  It is
+// the CI gate that keeps GET /metrics scrapeable — a malformed line would
+// otherwise fail only when a real Prometheus server scrapes it.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	types := make(map[string]string)   // family → declared type
+	seen := make(map[string]bool)      // name{labels} → sample present
+	infBucket := make(map[string]bool) // family+labels(without le) → +Inf seen
+	bucketCum := make(map[string]float64)
+	countVal := make(map[string]float64)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := validateComment(text, types); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		family := name
+		typ := types[name]
+		if typ == "" {
+			// Histogram samples use suffixed names; resolve the family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && types[base] == "histogram" {
+					family, typ = base, "histogram"
+					break
+				}
+			}
+		}
+		if typ == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", line, name)
+		}
+		if typ == "histogram" && family == name {
+			return fmt.Errorf("line %d: histogram %q exposed without _bucket/_sum/_count suffix", line, name)
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", line, series)
+		}
+		seen[series] = true
+		if typ == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, rest, err := splitLE(labels)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", line, err)
+				}
+				key := family + "{" + rest + "}"
+				if value < bucketCum[key] {
+					return fmt.Errorf("line %d: non-cumulative bucket in %s", line, key)
+				}
+				bucketCum[key] = value
+				if le == "+Inf" {
+					infBucket[key] = true
+				}
+			case strings.HasSuffix(name, "_count"):
+				countVal[family+"{"+labels+"}"] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key := range bucketCum {
+		if !infBucket[key] {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key)
+		}
+		if c, ok := countVal[key]; !ok {
+			return fmt.Errorf("histogram %s has buckets but no _count sample", key)
+		} else if c != bucketCum[key] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, c, bucketCum[key])
+		}
+	}
+	return nil
+}
+
+// validateComment checks a # HELP / # TYPE line and records declared types.
+func validateComment(text string, types map[string]string) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment, permitted
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", text)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", text)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE comment", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE declaration for %q", name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [timestamp]`.
+func parseSample(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	} else {
+		return "", "", 0, fmt.Errorf("sample %q has no value", text)
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", text)
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", text)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// validateLabels checks a `k="v",…` label block.
+func validateLabels(labels string) error {
+	for _, pair := range splitLabelPairs(labels) {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !validLabelName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range labels {
+		switch {
+		case escaped:
+			escaped = false
+			b.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			b.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			b.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, strings.TrimSpace(b.String()))
+			b.Reset()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, strings.TrimSpace(b.String()))
+	}
+	return out
+}
+
+// splitLE extracts the le label from a bucket label block, returning the
+// remaining labels rendered canonically.
+func splitLE(labels string) (le, rest string, err error) {
+	var others []string
+	for _, pair := range splitLabelPairs(labels) {
+		if strings.HasPrefix(pair, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(pair, `le="`), `"`)
+			continue
+		}
+		others = append(others, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample without le label: {%s}", labels)
+	}
+	return le, strings.Join(others, ","), nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,17 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"mathcloud/internal/obs"
+)
+
+// Retry metric families (DESIGN.md §5d): how often transient faults force a
+// replay, and how much wall-clock time clients spend backed off.
+var (
+	metRetryAttempts = obs.NewCounter("mc_retry_attempts_total",
+		"Request attempts replayed after a transient failure (503/429 or connection error).")
+	metRetryBackoff = obs.NewCounter("mc_retry_backoff_seconds_total",
+		"Total wall-clock time spent sleeping between retry attempts.")
 )
 
 // RetryPolicy retries transient HTTP failures with exponential backoff and
@@ -137,9 +148,21 @@ func retryStatus(code int) bool {
 // policy.  The returned response, if any, is the last attempt's and its
 // body is open; earlier attempts' bodies are drained so their keep-alive
 // connections return to the pool.
+//
+// Every attempt carries the same X-Request-ID: an ID already stamped on the
+// request or carried by its context is reused, otherwise one is generated
+// before the first attempt.  Retries are therefore correlatable — the server
+// log shows N requests with one ID, not N unrelated requests.
 func (p *RetryPolicy) Do(client *http.Client, req *http.Request) (*http.Response, error) {
 	if client == nil {
 		client = SharedClient
+	}
+	if req.Header.Get(obs.RequestIDHeader) == "" {
+		id, ok := obs.RequestIDFrom(req.Context())
+		if !ok {
+			id = obs.NewRequestID()
+		}
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	attempts := p.maxAttempts()
 	canReplay := replayable(req)
@@ -184,6 +207,8 @@ func (p *RetryPolicy) Do(client *http.Client, req *http.Request) (*http.Response
 				delay = ra
 			}
 		}
+		metRetryAttempts.Inc()
+		metRetryBackoff.Add(delay.Seconds())
 		t := time.NewTimer(delay)
 		select {
 		case <-req.Context().Done():

@@ -1,0 +1,128 @@
+package rest_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/obs"
+	"mathcloud/internal/rest"
+)
+
+// recordingServer captures the X-Request-ID header of every attempt it
+// sees, answering 503 for the first `fail` attempts and 200 afterwards.
+type recordingServer struct {
+	mu   sync.Mutex
+	ids  []string
+	fail int
+}
+
+func (s *recordingServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.ids = append(s.ids, r.Header.Get(obs.RequestIDHeader))
+		n := len(s.ids)
+		s.mu.Unlock()
+		if n <= s.fail {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (s *recordingServer) seen() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.ids...)
+}
+
+// TestRetryReusesRequestID proves the trace contract of the retry layer:
+// every attempt of one logical request carries the same X-Request-ID, so a
+// server log shows N correlated attempts rather than N unrelated requests.
+func TestRetryReusesRequestID(t *testing.T) {
+	rec := &recordingServer{fail: 2}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+
+	policy := &rest.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := policy.Do(srv.Client(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	ids := rec.seen()
+	if len(ids) != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 failures + success)", len(ids))
+	}
+	if ids[0] == "" {
+		t.Fatal("first attempt carried no X-Request-ID")
+	}
+	for i, id := range ids {
+		if id != ids[0] {
+			t.Errorf("attempt %d carried ID %q, want %q (retries must reuse the ID)", i, id, ids[0])
+		}
+	}
+}
+
+// TestRetryPropagatesContextRequestID proves that an ID established
+// upstream (an ingress middleware, a catalogue sweep) and carried by the
+// request context is the one stamped on the wire.
+func TestRetryPropagatesContextRequestID(t *testing.T) {
+	rec := &recordingServer{fail: 1}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "trace-from-ingress-01")
+	policy := &rest.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := policy.Do(srv.Client(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	for i, id := range rec.seen() {
+		if id != "trace-from-ingress-01" {
+			t.Errorf("attempt %d carried ID %q, want the context-propagated ID", i, id)
+		}
+	}
+}
+
+// TestRetryKeepsExplicitHeader proves that an ID already stamped on the
+// request by the caller wins over both the context and generation.
+func TestRetryKeepsExplicitHeader(t *testing.T) {
+	rec := &recordingServer{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "from-context")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "explicit-id")
+	resp, err := rest.NoRetry.Do(srv.Client(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ids := rec.seen(); len(ids) != 1 || ids[0] != "explicit-id" {
+		t.Fatalf("seen = %v, want the explicit header preserved", ids)
+	}
+}

@@ -110,7 +110,10 @@ func (i *LocalInvoker) Call(ctx context.Context, serviceURI string, inputs core.
 		return i.fallback().Call(ctx, serviceURI, inputs)
 	}
 	jobs := c.Jobs()
-	job, err := jobs.Submit(name, inputs, i.actFor)
+	// SubmitCtx carries the caller's request ID into the dispatched job, so
+	// the in-process fast path preserves the trace exactly like an HTTP hop
+	// would via the X-Request-ID header.
+	job, err := jobs.SubmitCtx(ctx, name, inputs, i.actFor)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,135 @@
+package workflow_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/jsonschema"
+	"mathcloud/internal/obs"
+	"mathcloud/internal/workflow"
+)
+
+// fakeRemoteService implements just enough of the unified REST API for one
+// service ("inc": y = x+1) and records the X-Request-ID of every request.
+type fakeRemoteService struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+func (f *fakeRemoteService) record(r *http.Request) {
+	f.mu.Lock()
+	f.ids = append(f.ids, r.Header.Get(obs.RequestIDHeader))
+	f.mu.Unlock()
+}
+
+func (f *fakeRemoteService) seen() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ids...)
+}
+
+func (f *fakeRemoteService) handler() http.Handler {
+	num := jsonschema.New(jsonschema.TypeNumber)
+	desc := core.ServiceDescription{
+		Name:    "inc",
+		Inputs:  []core.Param{{Name: "x", Schema: num}},
+		Outputs: []core.Param{{Name: "y", Schema: num}},
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.record(r)
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(desc)
+		case http.MethodPost:
+			var in core.Values
+			json.NewDecoder(r.Body).Decode(&in)
+			x, _ := in["x"].(float64)
+			job := core.Job{
+				ID:      "remote-1",
+				Service: "inc",
+				State:   core.StateDone,
+				Outputs: core.Values{"y": x + 1},
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(job)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// TestWorkflowPropagatesIngressTraceID is the end-to-end tracing check: an
+// X-Request-ID presented at the WMS ingress must reappear verbatim on the
+// outbound HTTP calls a composite job makes to remote blocks, so one trace
+// ID correlates the whole workflow fan-out across containers.
+func TestWorkflowPropagatesIngressTraceID(t *testing.T) {
+	remote := &fakeRemoteService{}
+	remoteSrv := httptest.NewServer(remote.handler())
+	defer remoteSrv.Close()
+
+	d := startWMS(t)
+	num := jsonschema.New(jsonschema.TypeNumber)
+	wf := &workflow.Workflow{
+		Name: "addtwo",
+		Blocks: []workflow.Block{
+			{ID: "x", Type: workflow.BlockInput, Name: "x", Schema: num},
+			{ID: "i1", Type: workflow.BlockService, Service: remoteSrv.URL + "/services/inc"},
+			{ID: "i2", Type: workflow.BlockService, Service: remoteSrv.URL + "/services/inc"},
+			{ID: "out", Type: workflow.BlockOutput, Name: "y", Schema: num},
+		},
+		Edges: []workflow.Edge{
+			{From: workflow.PortRef{Block: "x", Port: "value"}, To: workflow.PortRef{Block: "i1", Port: "x"}},
+			{From: workflow.PortRef{Block: "i1", Port: "y"}, To: workflow.PortRef{Block: "i2", Port: "x"}},
+			{From: workflow.PortRef{Block: "i2", Port: "y"}, To: workflow.PortRef{Block: "out", Port: "value"}},
+		},
+	}
+	if err := d.WMS.Save(wf); err != nil {
+		t.Fatal(err)
+	}
+
+	const trace = "wf-trace-0123456789abcdef"
+	req, err := http.NewRequest(http.MethodPost, d.BaseURL+"/services/addtwo?wait=10s",
+		bytes.NewReader([]byte(`{"x": 5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != core.StateDone || job.Outputs["y"] != 7.0 {
+		t.Fatalf("job = %+v", job)
+	}
+	if job.TraceID != trace {
+		t.Errorf("job.TraceID = %q, want the ingress ID", job.TraceID)
+	}
+
+	// The remote service saw validation-time description fetches (no trace
+	// yet — Save happens outside any request) and the two execution-time
+	// invocations, which must carry the ingress ID.
+	ids := remote.seen()
+	invocations := 0
+	for _, id := range ids {
+		if id == trace {
+			invocations++
+		}
+	}
+	if invocations < 2 {
+		t.Errorf("outbound calls carrying the ingress trace ID = %d, want >= 2 (saw %v)",
+			invocations, ids)
+	}
+}

@@ -122,8 +122,11 @@ func (w *WMS) Container() *container.Container { return w.container }
 //	DELETE /workflows/{name}     delete the workflow
 //	(everything else)            the container's unified REST API
 func (w *WMS) Handler() http.Handler {
-	containerHandler := w.container.Handler()
-	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+	// Instrument the combined handler once at the outermost layer, so the
+	// WMS-specific routes get request IDs and metrics too and pass-through
+	// container requests are not counted twice.
+	containerHandler := w.container.APIHandler()
+	return container.Instrument(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		head, tail := rest.ShiftPath(r.URL.Path)
 		switch head {
 		case "workflows":
@@ -133,7 +136,7 @@ func (w *WMS) Handler() http.Handler {
 		default:
 			containerHandler.ServeHTTP(rw, r)
 		}
-	})
+	}))
 }
 
 func (w *WMS) handleWorkflows(rw http.ResponseWriter, r *http.Request, path string) {
