@@ -73,6 +73,8 @@ func main() {
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://<addr>)")
 	builtin := flag.Bool("builtin", false, "deploy the built-in application services")
 	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6060)")
+	memoEntries := flag.Int("memo-entries", 0, "computation cache entry bound (0 = default 4096, negative disables)")
+	memoBytes := flag.Int64("memo-bytes", 0, "computation cache byte bound (0 = default 256 MiB, negative disables)")
 	flag.Parse()
 
 	// Structured request/job logs are informational in a server process
@@ -86,10 +88,12 @@ func main() {
 
 	registry := adapter.NewRegistry()
 	c, err := container.New(container.Options{
-		Workers:   *workers,
-		DataDir:   *dataDir,
-		Adapters:  registry,
-		DebugAddr: *debugAddr,
+		Workers:        *workers,
+		DataDir:        *dataDir,
+		Adapters:       registry,
+		DebugAddr:      *debugAddr,
+		MemoMaxEntries: *memoEntries,
+		MemoMaxBytes:   *memoBytes,
 	})
 	if err != nil {
 		log.Fatalf("everest: %v", err)

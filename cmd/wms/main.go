@@ -25,12 +25,20 @@ func main() {
 	workers := flag.Int("workers", 8, "job handler pool size")
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://localhost<addr>)")
 	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6061)")
+	memoEntries := flag.Int("memo-entries", 0, "computation cache entry bound (0 = default 4096, negative disables)")
+	memoBytes := flag.Int64("memo-bytes", 0, "computation cache byte bound (0 = default 256 MiB, negative disables)")
 	flag.Parse()
 
 	obs.SetLogLevel(slog.LevelInfo)
 
 	registry := adapter.NewRegistry()
-	c, err := container.New(container.Options{Workers: *workers, Adapters: registry, DebugAddr: *debugAddr})
+	c, err := container.New(container.Options{
+		Workers:        *workers,
+		Adapters:       registry,
+		DebugAddr:      *debugAddr,
+		MemoMaxEntries: *memoEntries,
+		MemoMaxBytes:   *memoBytes,
+	})
 	if err != nil {
 		log.Fatalf("wms: %v", err)
 	}

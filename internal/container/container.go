@@ -72,6 +72,14 @@ type Options struct {
 	// overruns terminates in the ERROR state with a timeout message.
 	// Zero means no default deadline.
 	DefaultJobDeadline time.Duration
+	// MemoMaxEntries and MemoMaxBytes bound the computation cache serving
+	// services that declare "deterministic": true — repeat submissions of
+	// identical requests return DONE instantly with cached outputs, and
+	// concurrent identical submissions share one adapter execution.
+	// Zero selects the defaults (4096 entries, 256 MiB); a negative value
+	// disables the cache.
+	MemoMaxEntries int
+	MemoMaxBytes   int64
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -189,7 +197,15 @@ func New(opts Options) (*Container, error) {
 		ownsData:   ownsData,
 		services:   make(map[string]*service),
 	}
-	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline)
+	memoEntries := opts.MemoMaxEntries
+	if memoEntries == 0 {
+		memoEntries = defaultMemoEntries
+	}
+	memoBytes := opts.MemoMaxBytes
+	if memoBytes == 0 {
+		memoBytes = defaultMemoBytes
+	}
+	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline, memoEntries, memoBytes)
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr)
 		if err != nil {
@@ -244,6 +260,11 @@ func (c *Container) Deploy(cfg ServiceConfig) error {
 	svc := &service{desc: cfg.Description, adapter: a}
 	c.refreshDescCacheLocked(svc)
 	c.services[cfg.Description.Name] = svc
+	// A (re)deployed adapter may compute differently for the same inputs:
+	// cached results of this service are no longer trustworthy.
+	if c.jobs != nil && c.jobs.memo != nil {
+		c.jobs.memo.dropService(cfg.Description.Name)
+	}
 	c.logger.Printf("container: deployed service %q (adapter %s)",
 		cfg.Description.Name, cfg.Adapter.Kind)
 	return nil
@@ -257,6 +278,9 @@ func (c *Container) Undeploy(name string) error {
 		return core.ErrNotFound("service", name)
 	}
 	delete(c.services, name)
+	if c.jobs != nil && c.jobs.memo != nil {
+		c.jobs.memo.dropService(name)
+	}
 	return nil
 }
 
@@ -341,6 +365,11 @@ func (c *Container) SetBaseURL(u string) {
 		c.refreshDescCacheLocked(svc)
 	}
 	c.mu.Unlock()
+	// Cached computation outputs embed absolute file URIs minted under the
+	// old base URL; drop them rather than serve unreachable references.
+	if old != c.BaseURL() && c.jobs != nil && c.jobs.memo != nil {
+		c.jobs.memo.reset()
+	}
 	// Publish the container in the in-process registry so callers holding
 	// its URIs can take the local invocation fast path.
 	unregisterLocal(old, c)

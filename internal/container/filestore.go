@@ -1,6 +1,8 @@
 package container
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -14,8 +16,15 @@ import (
 
 // FileStore manages the file resources of a container: the parts of client
 // requests and job results that are passed as remote files rather than
-// inline JSON values.  Content lives in a directory on disk; identifiers
-// are opaque hex strings.
+// inline JSON values.  Identifiers stay opaque random hex strings, but the
+// storage underneath is content-addressed: every payload is hashed while it
+// streams in (one pass, no write-then-hash), and identical payloads share a
+// single blob on disk with refcounted deletion.  The diffractometry sweep —
+// thousands of jobs exchanging near-identical curve files — and the memo
+// plane's repeated jobs therefore stop multiplying identical bytes on disk,
+// and the content digest of any stored file is available for free, which is
+// what lets the computation cache key file inputs by content rather than by
+// file ID.
 type FileStore struct {
 	dir string
 
@@ -25,6 +34,14 @@ type FileStore struct {
 	// deleting a job destroys its subordinate file resources, as the
 	// unified API requires.
 	owners map[string]string
+	// digests maps a file ID to the sha256 hex of its content; refs counts
+	// the IDs sharing each blob.  A blob is unlinked when its last ID goes.
+	digests map[string]string
+	refs    map[string]int
+	// logicalBytes and physicalBytes track the dedup ratio: bytes as the
+	// API sees them vs bytes actually on disk.
+	logicalBytes  int64
+	physicalBytes int64
 }
 
 var fileIDPattern = regexp.MustCompile(`^[0-9a-f]{32}$`)
@@ -35,65 +52,201 @@ func NewFileStore(dir string) (*FileStore, error) {
 		return nil, fmt.Errorf("container: file store: %w", err)
 	}
 	return &FileStore{
-		dir:    dir,
-		sizes:  make(map[string]int64),
-		owners: make(map[string]string),
+		dir:     dir,
+		sizes:   make(map[string]int64),
+		owners:  make(map[string]string),
+		digests: make(map[string]string),
+		refs:    make(map[string]int),
 	}, nil
 }
 
-// Put stores the content of r as a new file resource owned by the given
-// job ("" for client uploads) and returns its identifier.
-func (fs *FileStore) Put(r io.Reader, jobID string) (string, error) {
-	id := core.NewID()
-	path := fs.path(id)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
-	if err != nil {
-		return "", fmt.Errorf("container: file store: create: %w", err)
+// forJob decorates a file-store error with the owning job, so a failure
+// surfacing through a job record names the job it broke.
+func forJob(jobID string) string {
+	if jobID == "" {
+		return ""
 	}
-	n, err := io.Copy(f, r)
-	if closeErr := f.Close(); err == nil {
+	return " (job " + jobID + ")"
+}
+
+// Put stores the content of r as a new file resource owned by the given
+// job ("" for client uploads) and returns its identifier.  The sha256 of
+// the content is computed while streaming to the temporary file — a single
+// pass over the bytes — and an identical payload already in the store is
+// deduplicated to the existing blob.
+func (fs *FileStore) Put(r io.Reader, jobID string) (string, error) {
+	tmp, err := os.CreateTemp(fs.dir, "tmp-")
+	if err != nil {
+		return "", fmt.Errorf("container: file store: create%s: %w", forJob(jobID), err)
+	}
+	tmpPath := tmp.Name()
+	h := sha256.New()
+	n, err := rest.Copy(io.MultiWriter(tmp, h), r)
+	if closeErr := tmp.Close(); err == nil {
 		err = closeErr
 	}
 	if err != nil {
-		_ = os.Remove(path)
-		return "", fmt.Errorf("container: file store: write: %w", err)
+		_ = os.Remove(tmpPath)
+		return "", fmt.Errorf("container: file store: write%s: %w", forJob(jobID), err)
 	}
-	fs.mu.Lock()
-	fs.sizes[id] = n
-	if jobID != "" {
-		fs.owners[id] = jobID
-	}
-	fs.mu.Unlock()
-	return id, nil
+	return fs.commit(tmpPath, hex.EncodeToString(h.Sum(nil)), n, jobID)
 }
 
 // PutBytes stores a byte slice as a new file resource.
 func (fs *FileStore) PutBytes(data []byte, jobID string) (string, error) {
-	id := core.NewID()
-	if err := os.WriteFile(fs.path(id), data, 0o600); err != nil {
-		return "", fmt.Errorf("container: file store: write: %w", err)
-	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
 	fs.mu.Lock()
-	fs.sizes[id] = int64(len(data))
-	if jobID != "" {
-		fs.owners[id] = jobID
+	if fs.refs[digest] > 0 {
+		id := fs.adoptLocked(digest, int64(len(data)), jobID)
+		fs.mu.Unlock()
+		return id, nil
 	}
+	fs.mu.Unlock()
+	tmp, err := os.CreateTemp(fs.dir, "tmp-")
+	if err != nil {
+		return "", fmt.Errorf("container: file store: create%s: %w", forJob(jobID), err)
+	}
+	tmpPath := tmp.Name()
+	_, err = tmp.Write(data)
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(tmpPath)
+		return "", fmt.Errorf("container: file store: write%s: %w", forJob(jobID), err)
+	}
+	return fs.commit(tmpPath, digest, int64(len(data)), jobID)
+}
+
+// PutFile ingests an existing file (typically an adapter output in a job
+// work directory) as a new file resource.  The content is hashed in one
+// read pass; a new blob is hardlinked from the source when the filesystem
+// allows it, falling back to a pooled-buffer copy, so ingestion never
+// buffers the file on the heap.
+func (fs *FileStore) PutFile(path, jobID string) (string, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("container: file store: ingest%s: %w", forJob(jobID), err)
+	}
+	h := sha256.New()
+	n, err := rest.Copy(h, in)
+	_ = in.Close()
+	if err != nil {
+		return "", fmt.Errorf("container: file store: ingest%s: %w", forJob(jobID), err)
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+
+	fs.mu.Lock()
+	if fs.refs[digest] > 0 {
+		id := fs.adoptLocked(digest, n, jobID)
+		fs.mu.Unlock()
+		return id, nil
+	}
+	fs.mu.Unlock()
+
+	// New content: materialise the blob outside the lock, preferring a
+	// hardlink from the source over copying the bytes.
+	tmp, err := os.CreateTemp(fs.dir, "tmp-")
+	if err != nil {
+		return "", fmt.Errorf("container: file store: create%s: %w", forJob(jobID), err)
+	}
+	tmpPath := tmp.Name()
+	_ = tmp.Close()
+	_ = os.Remove(tmpPath)
+	if err := os.Link(path, tmpPath); err != nil {
+		in, err := os.Open(path)
+		if err != nil {
+			return "", fmt.Errorf("container: file store: ingest%s: %w", forJob(jobID), err)
+		}
+		out, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+		if err != nil {
+			_ = in.Close()
+			return "", fmt.Errorf("container: file store: create%s: %w", forJob(jobID), err)
+		}
+		_, err = rest.Copy(out, in)
+		_ = in.Close()
+		if closeErr := out.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			_ = os.Remove(tmpPath)
+			return "", fmt.Errorf("container: file store: ingest%s: %w", forJob(jobID), err)
+		}
+	}
+	return fs.commit(tmpPath, digest, n, jobID)
+}
+
+// commit registers a fully written temporary file under its content digest:
+// either the digest is new and the temp file becomes the blob, or another
+// writer got there first and the temp file is discarded in favour of the
+// existing blob.  Either way a fresh file ID pointing at the blob is
+// returned.
+func (fs *FileStore) commit(tmpPath, digest string, size int64, jobID string) (string, error) {
+	fs.mu.Lock()
+	if fs.refs[digest] > 0 {
+		id := fs.adoptLocked(digest, size, jobID)
+		fs.mu.Unlock()
+		_ = os.Remove(tmpPath)
+		return id, nil
+	}
+	// Rename under the lock: it is a metadata operation (fast) and keeps
+	// the refs map authoritative about which blobs exist on disk.
+	if err := os.Rename(tmpPath, fs.blobPath(digest)); err != nil {
+		fs.mu.Unlock()
+		_ = os.Remove(tmpPath)
+		return "", fmt.Errorf("container: file store: store blob%s: %w", forJob(jobID), err)
+	}
+	fs.refs[digest] = 1
+	fs.physicalBytes += size
+	id := fs.registerLocked(digest, size, jobID)
 	fs.mu.Unlock()
 	return id, nil
 }
 
-// Open returns a reader over the file content.  The caller must close it.
-func (fs *FileStore) Open(id string) (io.ReadSeekCloser, int64, error) {
+// adoptLocked attaches a fresh ID to an existing blob (dedup hit).
+// Callers must hold fs.mu.
+func (fs *FileStore) adoptLocked(digest string, size int64, jobID string) string {
+	fs.refs[digest]++
+	metDedupFiles.Inc()
+	metDedupBytes.Add(float64(size))
+	return fs.registerLocked(digest, size, jobID)
+}
+
+// registerLocked mints an ID for a blob already accounted in refs.
+// Callers must hold fs.mu.
+func (fs *FileStore) registerLocked(digest string, size int64, jobID string) string {
+	id := core.NewID()
+	fs.digests[id] = digest
+	fs.sizes[id] = size
+	fs.logicalBytes += size
+	if jobID != "" {
+		fs.owners[id] = jobID
+	}
+	return id
+}
+
+// blobFor resolves an ID to its blob path.
+func (fs *FileStore) blobFor(id string) (string, int64, bool) {
 	if !fileIDPattern.MatchString(id) {
-		return nil, 0, core.ErrNotFound("file", id)
+		return "", 0, false
 	}
 	fs.mu.Lock()
-	size, ok := fs.sizes[id]
-	fs.mu.Unlock()
+	defer fs.mu.Unlock()
+	digest, ok := fs.digests[id]
+	if !ok {
+		return "", 0, false
+	}
+	return fs.blobPath(digest), fs.sizes[id], true
+}
+
+// Open returns a reader over the file content.  The caller must close it.
+func (fs *FileStore) Open(id string) (io.ReadSeekCloser, int64, error) {
+	path, size, ok := fs.blobFor(id)
 	if !ok {
 		return nil, 0, core.ErrNotFound("file", id)
 	}
-	f, err := os.Open(fs.path(id))
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, core.ErrNotFound("file", id)
 	}
@@ -112,21 +265,31 @@ func (fs *FileStore) ReadAll(id string) ([]byte, error) {
 	return io.ReadAll(f)
 }
 
+// Digest returns the sha256 hex of the file content.  It is free — the
+// hash was computed while the file streamed in — which is what makes
+// content-keyed computation caching affordable on the submit path.
+func (fs *FileStore) Digest(id string) (string, error) {
+	if !fileIDPattern.MatchString(id) {
+		return "", core.ErrNotFound("file", id)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	digest, ok := fs.digests[id]
+	if !ok {
+		return "", core.ErrNotFound("file", id)
+	}
+	return digest, nil
+}
+
 // StageTo materialises the file content at dst without reading it onto the
-// heap: it hardlinks the stored file when the filesystem allows, and falls
+// heap: it hardlinks the stored blob when the filesystem allows, and falls
 // back to a pooled-buffer streaming copy otherwise.  This is the local
 // short-cut of the file staging plane.
 func (fs *FileStore) StageTo(id, dst string) error {
-	if !fileIDPattern.MatchString(id) {
-		return core.ErrNotFound("file", id)
-	}
-	fs.mu.Lock()
-	_, ok := fs.sizes[id]
-	fs.mu.Unlock()
+	src, _, ok := fs.blobFor(id)
 	if !ok {
 		return core.ErrNotFound("file", id)
 	}
-	src := fs.path(id)
 	if err := os.Link(src, dst); err == nil {
 		return nil
 	}
@@ -150,46 +313,6 @@ func (fs *FileStore) StageTo(id, dst string) error {
 	return nil
 }
 
-// PutFile ingests an existing file (typically an adapter output in a job
-// work directory) as a new file resource.  Like StageTo it avoids the heap:
-// hardlink first, pooled-buffer copy as the fallback.
-func (fs *FileStore) PutFile(path, jobID string) (string, error) {
-	id := core.NewID()
-	dst := fs.path(id)
-	if err := os.Link(path, dst); err != nil {
-		in, err := os.Open(path)
-		if err != nil {
-			return "", fmt.Errorf("container: file store: ingest: %w", err)
-		}
-		f, err := os.OpenFile(dst, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
-		if err != nil {
-			_ = in.Close()
-			return "", fmt.Errorf("container: file store: create: %w", err)
-		}
-		_, err = rest.Copy(f, in)
-		_ = in.Close()
-		if closeErr := f.Close(); err == nil {
-			err = closeErr
-		}
-		if err != nil {
-			_ = os.Remove(dst)
-			return "", fmt.Errorf("container: file store: ingest: %w", err)
-		}
-	}
-	info, err := os.Stat(dst)
-	if err != nil {
-		_ = os.Remove(dst)
-		return "", fmt.Errorf("container: file store: ingest: %w", err)
-	}
-	fs.mu.Lock()
-	fs.sizes[id] = info.Size()
-	if jobID != "" {
-		fs.owners[id] = jobID
-	}
-	fs.mu.Unlock()
-	return id, nil
-}
-
 // Size returns the stored size of the file.
 func (fs *FileStore) Size(id string) (int64, error) {
 	fs.mu.Lock()
@@ -201,18 +324,32 @@ func (fs *FileStore) Size(id string) (int64, error) {
 	return size, nil
 }
 
-// Delete removes a file resource.
+// Delete removes a file resource.  The backing blob is unlinked only when
+// its last referencing ID is deleted.
 func (fs *FileStore) Delete(id string) error {
 	fs.mu.Lock()
-	_, ok := fs.sizes[id]
+	digest, ok := fs.digests[id]
+	size := fs.sizes[id]
 	delete(fs.sizes, id)
 	delete(fs.owners, id)
+	delete(fs.digests, id)
+	var unlink string
+	if ok {
+		fs.logicalBytes -= size
+		if fs.refs[digest]--; fs.refs[digest] <= 0 {
+			delete(fs.refs, digest)
+			fs.physicalBytes -= size
+			unlink = fs.blobPath(digest)
+		}
+	}
 	fs.mu.Unlock()
 	if !ok {
 		return core.ErrNotFound("file", id)
 	}
-	if err := os.Remove(fs.path(id)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("container: file store: delete: %w", err)
+	if unlink != "" {
+		if err := os.Remove(unlink); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("container: file store: delete: %w", err)
+		}
 	}
 	return nil
 }
@@ -234,13 +371,21 @@ func (fs *FileStore) DeleteOwnedBy(jobID string) int {
 	return len(ids)
 }
 
-// Count returns the number of stored files.
+// Count returns the number of stored files (IDs, not blobs).
 func (fs *FileStore) Count() int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return len(fs.sizes)
 }
 
-func (fs *FileStore) path(id string) string {
-	return filepath.Join(fs.dir, filepath.Base(id))
+// Stats reports the dedup state of the store: how many file IDs exist, how
+// many distinct blobs back them, and the logical vs physical byte totals.
+func (fs *FileStore) Stats() (files, blobs int, logicalBytes, physicalBytes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.sizes), len(fs.refs), fs.logicalBytes, fs.physicalBytes
+}
+
+func (fs *FileStore) blobPath(digest string) string {
+	return filepath.Join(fs.dir, "sha256-"+filepath.Base(digest))
 }

@@ -28,6 +28,14 @@ type jobRecord struct {
 	job    *core.Job
 	cancel context.CancelFunc
 	done   chan struct{}
+	// memoKey marks the leader of a singleflight execution: when this job
+	// reaches a terminal state it settles the flight — completes coalesced
+	// followers and, on success, populates the computation cache.
+	memoKey string
+	// coalesced marks a follower: a job that never entered the queue and is
+	// completed by its flight's leader.  Followers stay out of the queue
+	// gauges.
+	coalesced bool
 	// snap caches the last published snapshot of the job.  Mutators clear
 	// it (under mu); readers rebuild it lazily, so the status-polling hot
 	// path costs one atomic load and a shallow copy instead of a mutex
@@ -78,6 +86,11 @@ type JobManager struct {
 	// deadline is the container-wide default execution deadline; a
 	// service description's Deadline field overrides it per service.
 	deadline time.Duration
+	// memo is the computation cache for deterministic services (nil when
+	// disabled): repeat submissions return DONE instantly from cached
+	// outputs, and concurrent identical submissions coalesce onto one
+	// adapter execution.
+	memo *memoTable
 
 	shards [jobShardCount]jobShard
 
@@ -90,7 +103,7 @@ type JobManager struct {
 	baseCancel context.CancelFunc
 }
 
-func newJobManager(c *Container, workers, queueSize int, deadline time.Duration) *JobManager {
+func newJobManager(c *Container, workers, queueSize int, deadline time.Duration, memoEntries int, memoBytes int64) *JobManager {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -105,6 +118,9 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration)
 		closing:    make(chan struct{}),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
+	}
+	if memoEntries > 0 && memoBytes > 0 {
+		jm.memo = newMemoTable(memoEntries, memoBytes)
 	}
 	for i := range jm.shards {
 		jm.shards[i].jobs = make(map[string]*jobRecord)
@@ -159,6 +175,18 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		return nil, core.ErrBadRequest("%v", err)
 	}
 	_, trace := obs.EnsureRequestID(ctx)
+
+	// Result-reuse gate.  Only services that declared themselves
+	// deterministic pay for key derivation; everything else goes straight
+	// to the queue, byte-for-byte as before.
+	memoKey, memoable := jm.memoKey(svc, inputs)
+	if memoable {
+		if outputs, ok := jm.memo.lookup(memoKey); ok {
+			metMemoHits.Inc()
+			return jm.publishCachedJob(ctx, serviceName, inputs, owner, trace, outputs)
+		}
+	}
+
 	now := time.Now()
 	rec := &jobRecord{
 		job: &core.Job{
@@ -178,10 +206,41 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		return nil, core.ErrUnavailable(0, "container is shutting down")
 	default:
 	}
+	// Join or lead the singleflight before the record becomes visible, so
+	// the coalescing flags are immutable once any other goroutine can see
+	// the record.
+	follower := false
+	if memoable {
+		if leader := jm.memo.joinOrLead(memoKey, rec); leader {
+			rec.memoKey = memoKey
+			metMemoMisses.Inc()
+		} else {
+			rec.coalesced = true
+			follower = true
+		}
+	}
 	sh := jm.shard(rec.job.ID)
 	sh.mu.Lock()
 	sh.jobs[rec.job.ID] = rec
 	sh.mu.Unlock()
+
+	if follower {
+		// Coalesced: an identical execution is already in flight.  The job
+		// is registered and will be completed by the flight's leader; it
+		// never occupies a queue slot or a worker.
+		metMemoCoalesced.Inc()
+		metJobsSubmitted.Inc()
+		// Close may have swept the registry before the insert above; the
+		// final sweep of Close cancels WAITING followers, and a leader
+		// settling concurrently skips terminal records, so no waiter is
+		// left hanging either way.
+		select {
+		case <-jm.closing:
+			jm.cancelPending(rec)
+		default:
+		}
+		return rec.snapshot(), nil
+	}
 
 	select {
 	case jm.queue <- rec:
@@ -207,6 +266,12 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		delete(sh.jobs, rec.job.ID)
 		sh.mu.Unlock()
 		metQueueRejections.Inc()
+		// A leader that never entered the queue must still resolve its
+		// flight: followers that joined in the meantime fail with the same
+		// overload error instead of waiting forever.
+		if rec.memoKey != "" {
+			jm.failFlight(rec.memoKey, "container: coalesced execution was rejected: job queue is full")
+		}
 		// A full queue is a transient overload, not a request conflict:
 		// answer 503 with a retry hint so client retry policies absorb it.
 		return nil, core.ErrUnavailable(queueFullRetryAfter, "job queue is full")
@@ -277,13 +342,19 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		rec.job.Finished = time.Now()
 		rec.invalidate()
 		close(rec.done)
-		metJobsWaiting.Add(-1)
+		if !rec.coalesced {
+			metJobsWaiting.Add(-1)
+		}
 		metJobsCompleted.With("cancelled").Inc()
 	}
 	rec.mu.Unlock()
 
 	switch state {
 	case core.StateWaiting:
+		// A cancelled leader settles its flight here: followers fail with
+		// a cancellation error rather than waiting on a job that will
+		// never run.
+		jm.settleFlight(rec)
 		return rec.snapshot(), nil
 	case core.StateRunning:
 		if cancel != nil {
@@ -301,6 +372,11 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		sh.mu.Unlock()
 		if !present {
 			return nil, core.ErrNotFound("job", id)
+		}
+		// The cached entry backed by this job references its files; purge
+		// it with them so hits never return dangling URIs.
+		if jm.memo != nil {
+			jm.memo.dropJob(id)
 		}
 		jm.c.files.DeleteOwnedBy(id)
 		return rec.snapshot(), nil
@@ -353,19 +429,25 @@ func (jm *JobManager) Close() {
 
 // cancelPending moves a job that never reached a worker to CANCELLED and
 // releases its waiters.  Running and terminal jobs are left to their worker
-// (done is closed exactly once, when the terminal state is set).
+// (done is closed exactly once, when the terminal state is set).  A
+// cancelled singleflight leader settles its flight so coalesced followers
+// are released too.
 func (jm *JobManager) cancelPending(rec *jobRecord) {
 	rec.mu.Lock()
-	defer rec.mu.Unlock()
 	if rec.job.State != core.StateWaiting {
+		rec.mu.Unlock()
 		return
 	}
 	rec.job.State = core.StateCancelled
 	rec.job.Finished = time.Now()
 	rec.invalidate()
 	close(rec.done)
-	metJobsWaiting.Add(-1)
+	if !rec.coalesced {
+		metJobsWaiting.Add(-1)
+	}
 	metJobsCompleted.With("cancelled").Inc()
+	rec.mu.Unlock()
+	jm.settleFlight(rec)
 }
 
 func (jm *JobManager) worker() {
@@ -437,7 +519,7 @@ func (jm *JobManager) process(rec *jobRecord) {
 		ctx = obs.WithRequestID(ctx, trace)
 	}
 
-	finish := func(outputs core.Values, err error) {
+	finishLocked := func(outputs core.Values, err error) {
 		rec.mu.Lock()
 		defer rec.mu.Unlock()
 		if rec.job.State.Terminal() {
@@ -475,6 +557,14 @@ func (jm *JobManager) process(rec *jobRecord) {
 				slog.Duration("queue_wait", queueWait),
 				slog.Duration("run_time", rec.job.RunTime.Std()))
 		}
+	}
+
+	// finish records the terminal state and then settles the job's
+	// singleflight (outside the record lock): on DONE the outputs populate
+	// the computation cache and complete every coalesced follower.
+	finish := func(outputs core.Values, err error) {
+		finishLocked(outputs, err)
+		jm.settleFlight(rec)
 	}
 
 	// Panic safety: finish is idempotent (guarded on Terminal), so a panic
@@ -632,6 +722,164 @@ func (jm *JobManager) publishOutputs(res *adapter.Result, jobID string) (core.Va
 		outputs[name] = core.FileRef(jm.c.fileURI(id))
 	}
 	return outputs, nil
+}
+
+// MemoStats reports the computation cache occupancy: cached entries and
+// their approximate byte size.  Zeroes when the cache is disabled.
+func (jm *JobManager) MemoStats() (entries int, bytes int64) {
+	if jm.memo == nil {
+		return 0, 0
+	}
+	return jm.memo.stats()
+}
+
+// errNonLocalFileRef marks a request input referencing a file this
+// container does not store; such requests cannot be content-hashed cheaply
+// and bypass the computation cache.
+var errNonLocalFileRef = errors.New("container: non-local file reference")
+
+// memoKey derives the content-addressed computation key of a request, or
+// reports false when the request is not memoizable: the service did not
+// declare itself deterministic, the cache is disabled, or an input
+// references a file whose content this container cannot digest.  The
+// non-deterministic path is a single branch with no allocation.
+func (jm *JobManager) memoKey(svc *service, inputs core.Values) (string, bool) {
+	if jm.memo == nil || !svc.desc.Deterministic {
+		return "", false
+	}
+	key, err := core.CanonicalHash(svc.desc.Name, svc.desc.Version, inputs, jm.digestRef)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// digestRef resolves a file-reference input to the content digest the file
+// store computed while the file streamed in.
+func (jm *JobManager) digestRef(ref string) (string, error) {
+	if id, ok := jm.c.localFileID(ref); ok {
+		return jm.c.files.Digest(id)
+	}
+	return "", errNonLocalFileRef
+}
+
+// publishCachedJob registers a job that is born DONE: a cache hit.  The
+// cached outputs are cloned onto a fresh job record, so the caller observes
+// exactly the shape a real execution would have produced, minus the queue
+// and the adapter.
+func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, inputs core.Values, owner, trace string, outputs core.Values) (*core.Job, error) {
+	now := time.Now()
+	rec := &jobRecord{
+		job: &core.Job{
+			ID:        core.NewID(),
+			Service:   serviceName,
+			State:     core.StateDone,
+			Inputs:    inputs,
+			Outputs:   outputs.Clone(),
+			Owner:     owner,
+			Created:   now,
+			Submitted: now,
+			Started:   now,
+			Finished:  now,
+			TraceID:   trace,
+		},
+		done: make(chan struct{}),
+	}
+	close(rec.done)
+	sh := jm.shard(rec.job.ID)
+	sh.mu.Lock()
+	sh.jobs[rec.job.ID] = rec
+	sh.mu.Unlock()
+	metJobsSubmitted.Inc()
+	metJobsCompleted.With("done").Inc()
+	if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
+		logger.LogAttrs(ctx, slog.LevelInfo, "job served from computation cache",
+			slog.String("request_id", trace),
+			slog.String("job_id", rec.job.ID),
+			slog.String("service", serviceName))
+	}
+	return rec.snapshot(), nil
+}
+
+// settleFlight resolves the singleflight led by rec after it reached a
+// terminal state: a DONE leader populates the computation cache and hands
+// its outputs to every coalesced follower; any other terminal state fails
+// the followers.  Settlement is idempotent — the first caller takes the
+// flight, later callers no-op.
+func (jm *JobManager) settleFlight(rec *jobRecord) {
+	if rec.memoKey == "" || jm.memo == nil {
+		return
+	}
+	rec.mu.Lock()
+	state := rec.job.State
+	outputs := rec.job.Outputs
+	errMsg := rec.job.Error
+	jobID := rec.job.ID
+	service := rec.job.Service
+	rec.mu.Unlock()
+	if !state.Terminal() {
+		return
+	}
+	followers, noStore, ok := jm.memo.takeFlight(rec.memoKey)
+	if !ok {
+		return
+	}
+	if state == core.StateDone && !noStore {
+		jm.memo.store(rec.memoKey, service, jobID, outputs)
+	}
+	switch state {
+	case core.StateDone:
+		for _, f := range followers {
+			jm.completeFollower(f, core.StateDone, outputs, "")
+		}
+	case core.StateCancelled:
+		for _, f := range followers {
+			jm.completeFollower(f, core.StateError, nil,
+				"container: coalesced execution was cancelled")
+		}
+	default:
+		for _, f := range followers {
+			jm.completeFollower(f, core.StateError, nil, errMsg)
+		}
+	}
+}
+
+// failFlight resolves a flight whose leader never ran (queue overflow),
+// failing any followers that joined it.
+func (jm *JobManager) failFlight(key, errMsg string) {
+	followers, _, ok := jm.memo.takeFlight(key)
+	if !ok {
+		return
+	}
+	for _, f := range followers {
+		jm.completeFollower(f, core.StateError, nil, errMsg)
+	}
+}
+
+// completeFollower moves a coalesced follower to its terminal state with
+// the leader's result.  Followers their own clients already cancelled are
+// left untouched (done is closed exactly once).
+func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outputs core.Values, errMsg string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.job.State.Terminal() {
+		return
+	}
+	now := time.Now()
+	rec.job.Started = now
+	rec.job.Finished = now
+	rec.job.QueueWait = core.Duration(now.Sub(rec.job.Created))
+	switch state {
+	case core.StateDone:
+		rec.job.State = core.StateDone
+		rec.job.Outputs = outputs.Clone()
+	default:
+		rec.job.State = core.StateError
+		rec.job.Error = errMsg
+	}
+	rec.invalidate()
+	close(rec.done)
+	metJobsCompleted.With(strings.ToLower(string(rec.job.State))).Inc()
 }
 
 // panicStack captures the panicking goroutine's stack, truncated so a deep

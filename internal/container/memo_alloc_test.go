@@ -1,0 +1,55 @@
+package container
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"testing"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
+)
+
+// TestMemoKeyNonDeterministicHotPath pins the acceptance criterion that
+// services which do not declare themselves deterministic are byte-for-byte
+// unaffected by the computation cache: the gate is a single branch that
+// performs no allocation and no hashing.
+func TestMemoKeyNonDeterministicHotPath(t *testing.T) {
+	adapter.RegisterFunc("memoalloc.id", func(ctx context.Context, in core.Values) (core.Values, error) {
+		return in, nil
+	})
+	cfgJSON, err := json.Marshal(adapter.NativeConfig{Function: "memoalloc.id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{Workers: 1, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Deploy(ServiceConfig{
+		Description: core.ServiceDescription{
+			Name: "alloc-plain", Version: "1",
+			Inputs: []core.Param{{Name: "x"}},
+		},
+		Adapter: AdapterSpec{Kind: "native", Config: cfgJSON},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := c.service("alloc-plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := core.Values{"x": 1.0}
+
+	if key, ok := c.jobs.memoKey(svc, inputs); ok || key != "" {
+		t.Fatalf("memoKey = (%q, %v) for non-deterministic service, want disabled", key, ok)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.jobs.memoKey(svc, inputs)
+	})
+	if allocs != 0 {
+		t.Fatalf("memoKey allocates %.1f objects/op on the non-deterministic path, want 0", allocs)
+	}
+}

@@ -41,6 +41,23 @@ var (
 		"Jobs terminated for exceeding their execution deadline.")
 	metQueueRejections = obs.NewCounter("mc_job_queue_rejections_total",
 		"Submissions rejected because the job queue was full.")
+
+	// Result-reuse plane (DESIGN.md §5e): the computation cache over
+	// deterministic services and the content-addressed file store.
+	metMemoHits = obs.NewCounter("mc_memo_hits_total",
+		"Deterministic submissions answered from the computation cache.")
+	metMemoMisses = obs.NewCounter("mc_memo_misses_total",
+		"Deterministic submissions that had to execute the adapter.")
+	metMemoCoalesced = obs.NewCounter("mc_memo_coalesced_total",
+		"Deterministic submissions coalesced onto an identical in-flight execution.")
+	metMemoEvictions = obs.NewCounter("mc_memo_evictions_total",
+		"Computation cache entries evicted by the LRU bounds.")
+	metMemoBytes = obs.NewGauge("mc_memo_bytes",
+		"Approximate bytes of cached computation outputs.")
+	metDedupFiles = obs.NewCounter("mc_filestore_dedup_files_total",
+		"File resources deduplicated to an existing content-addressed blob.")
+	metDedupBytes = obs.NewCounter("mc_filestore_dedup_bytes_total",
+		"Bytes not written to disk because an identical blob already existed.")
 )
 
 // knownRoutes is the closed set of route labels routeOf can return.

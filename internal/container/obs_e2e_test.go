@@ -242,3 +242,91 @@ func TestConcurrentMetricsUnderFaultInjection(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsDedupRatio is the e2e scrape gate for result reuse: identical
+// uploads must surface in the file-dedup families and repeated submissions
+// of a deterministic service in the memo families, with the dedup ratio
+// computable straight from /metrics.
+func TestMetricsDedupRatio(t *testing.T) {
+	adapter.RegisterFunc("obstest.detsum", func(_ context.Context, in core.Values) (core.Values, error) {
+		a, _ := in["x"].(float64)
+		return core.Values{"y": a + 1}, nil
+	})
+	c, err := container.New(container.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:          "detsum",
+			Deterministic: true,
+			Inputs:        []core.Param{{Name: "x"}},
+			Outputs:       []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function":"obstest.detsum"}`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+
+	before := scrapeMetrics(t, srv.URL)
+
+	// Upload one payload four times: 1 blob, 3 dedup'd files.
+	payload := bytes.Repeat([]byte("dedup me "), 4096)
+	const uploads = 4
+	for i := 0; i < uploads; i++ {
+		resp, err := http.Post(srv.URL+"/files", "application/octet-stream",
+			bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Submit the identical deterministic request twice: 1 miss, 1 hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/services/detsum?wait=10s", "application/json",
+			strings.NewReader(`{"x": 41}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job core.Job
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if job.State != core.StateDone || job.Outputs["y"] != 42.0 {
+			t.Fatalf("submit %d: state=%s outputs=%v", i, job.State, job.Outputs)
+		}
+	}
+
+	after := scrapeMetrics(t, srv.URL)
+	delta := func(name string) float64 { return after[name] - before[name] }
+
+	if got := delta("mc_filestore_dedup_files_total"); got != uploads-1 {
+		t.Errorf("mc_filestore_dedup_files_total delta = %v, want %d", got, uploads-1)
+	}
+	wantBytes := float64((uploads - 1) * len(payload))
+	if got := delta("mc_filestore_dedup_bytes_total"); got != wantBytes {
+		t.Errorf("mc_filestore_dedup_bytes_total delta = %v, want %v", got, wantBytes)
+	}
+	// The dedup ratio derived from the scrape: 3 of 4 uploads shared a blob.
+	ratio := delta("mc_filestore_dedup_files_total") / uploads
+	if ratio < 0.74 || ratio > 0.76 {
+		t.Errorf("dedup ratio from /metrics = %v, want 0.75", ratio)
+	}
+	if got := delta("mc_memo_misses_total"); got != 1 {
+		t.Errorf("mc_memo_misses_total delta = %v, want 1", got)
+	}
+	if got := delta("mc_memo_hits_total"); got != 1 {
+		t.Errorf("mc_memo_hits_total delta = %v, want 1", got)
+	}
+}

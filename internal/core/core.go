@@ -162,6 +162,13 @@ type ServiceDescription struct {
 	// service; a job that overruns it terminates in the ERROR state.  Zero
 	// means the container's default job deadline applies.
 	Deadline Duration `json:"deadline,omitempty"`
+	// Deterministic declares that the service is a pure function of its
+	// inputs: identical inputs always produce equivalent outputs.  The
+	// container may then serve repeated requests from its computation
+	// cache and coalesce concurrent identical submissions into a single
+	// adapter execution.  Services with side effects, randomness or
+	// time-dependent results must leave this unset.
+	Deterministic bool `json:"deterministic,omitempty"`
 	// URI is the absolute resource identifier of the service; filled by
 	// the container when the description is served.
 	URI string `json:"uri,omitempty"`

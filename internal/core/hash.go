@@ -1,0 +1,132 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"sort"
+	"strconv"
+)
+
+// FileDigester resolves a file-reference input (the payload after the
+// "file:" prefix) to a stable digest of the file *content*.  The result
+// reuse plane keys computations by what the inputs are, not how they are
+// named: two uploads of the same bytes receive distinct file IDs, but both
+// must hash to the same computation key.  A digester that cannot resolve a
+// reference (a remote URI, a deleted file) returns an error, which makes
+// CanonicalHash fail and the caller fall back to uncached execution — a
+// conservative miss, never a wrong hit.
+type FileDigester func(ref string) (string, error)
+
+// CanonicalHash derives the content-addressed computation key of one
+// request: sha256 over a canonical encoding of (service, version, inputs).
+// The encoding is insensitive to JSON map ordering — object keys are sorted
+// recursively — and file-reference values are replaced by the content
+// digest produced by files, so renamed or re-uploaded identical files hash
+// identically.  A nil digester hashes file references by their literal ref
+// string (identity, not content), which is still deterministic for reused
+// references but misses across re-uploads.
+//
+// Values must be JSON-marshalable (they arrived through the REST API or an
+// in-process submit of the same shape); anything else is an error.
+func CanonicalHash(service, version string, inputs Values, files FileDigester) (string, error) {
+	h := sha256.New()
+	// Domain-separate the identity fields so ("a", "bc") and ("ab", "c")
+	// cannot collide.
+	writeString(h, service)
+	h.Write([]byte{0})
+	writeString(h, version)
+	h.Write([]byte{0})
+	if err := hashValue(h, map[string]any(inputs), files); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeString(h hash.Hash, s string) {
+	var lenBuf [8]byte
+	n := len(s)
+	for i := 0; i < 8; i++ {
+		lenBuf[i] = byte(n >> (8 * i))
+	}
+	h.Write(lenBuf[:])
+	h.Write([]byte(s))
+}
+
+// hashValue writes a canonical encoding of v into h.  The common JSON
+// shapes (nil, bool, float64, string, []any, map[string]any) are encoded
+// directly; any other Go value — an int from an in-process caller, a typed
+// slice — is normalised through one json.Marshal/Unmarshal round trip so
+// equivalent values hash equally regardless of their in-memory type.
+func hashValue(h hash.Hash, v any, files FileDigester) error {
+	switch val := v.(type) {
+	case nil:
+		h.Write([]byte("z"))
+	case bool:
+		if val {
+			h.Write([]byte("t"))
+		} else {
+			h.Write([]byte("f"))
+		}
+	case float64:
+		h.Write([]byte("n"))
+		writeString(h, strconv.FormatFloat(val, 'g', -1, 64))
+	case string:
+		if ref, isFile := FileRefID(val); isFile && files != nil {
+			digest, err := files(ref)
+			if err != nil {
+				return fmt.Errorf("core: hash file input %q: %w", ref, err)
+			}
+			h.Write([]byte("F"))
+			writeString(h, digest)
+			return nil
+		}
+		h.Write([]byte("s"))
+		writeString(h, val)
+	case []any:
+		h.Write([]byte("["))
+		for _, item := range val {
+			if err := hashValue(h, item, files); err != nil {
+				return err
+			}
+		}
+		h.Write([]byte("]"))
+	case map[string]any:
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h.Write([]byte("{"))
+		for _, k := range keys {
+			writeString(h, k)
+			if err := hashValue(h, val[k], files); err != nil {
+				return err
+			}
+		}
+		h.Write([]byte("}"))
+	case Values:
+		return hashValue(h, map[string]any(val), files)
+	case json.Number:
+		// Preserve the textual form only if it round-trips to the same
+		// float64 a decoded request would carry.
+		f, err := val.Float64()
+		if err != nil {
+			return fmt.Errorf("core: hash input: invalid number %q", string(val))
+		}
+		return hashValue(h, f, files)
+	default:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("core: hash input: %w", err)
+		}
+		var normalised any
+		if err := json.Unmarshal(data, &normalised); err != nil {
+			return fmt.Errorf("core: hash input: %w", err)
+		}
+		return hashValue(h, normalised, files)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCanonicalHashOrderInsensitive(t *testing.T) {
+	a := Values{"x": 1.0, "y": "s", "nested": map[string]any{"p": true, "q": []any{1.0, 2.0}}}
+	b := Values{"nested": map[string]any{"q": []any{1.0, 2.0}, "p": true}, "y": "s", "x": 1.0}
+	ha, err := CanonicalHash("svc", "1", a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := CanonicalHash("svc", "1", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("map order changed the hash: %s vs %s", ha, hb)
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	base := Values{"x": 1.0}
+	h0, _ := CanonicalHash("svc", "1", base, nil)
+	for name, alt := range map[string]struct {
+		service, version string
+		inputs           Values
+	}{
+		"service":      {"other", "1", base},
+		"version":      {"svc", "2", base},
+		"value":        {"svc", "1", Values{"x": 2.0}},
+		"key":          {"svc", "1", Values{"y": 1.0}},
+		"type":         {"svc", "1", Values{"x": "1"}},
+		"extra":        {"svc", "1", Values{"x": 1.0, "y": nil}},
+		"nested-shift": {"svc", "1", Values{"x": []any{[]any{1.0}}}},
+	} {
+		h, err := CanonicalHash(alt.service, alt.version, alt.inputs, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("%s: hash collision with base", name)
+		}
+	}
+}
+
+func TestCanonicalHashNormalisesGoTypes(t *testing.T) {
+	// An in-process submit may carry int or typed slices; a REST submit of
+	// the same request decodes to float64 and []any.  Both must hash alike.
+	inProc := Values{"n": 3, "v": []float64{1, 2}}
+	decoded := Values{"n": 3.0, "v": []any{1.0, 2.0}}
+	h1, err := CanonicalHash("svc", "1", inProc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := CanonicalHash("svc", "1", decoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("typed and decoded forms hash differently: %s vs %s", h1, h2)
+	}
+}
+
+func TestCanonicalHashFileDigest(t *testing.T) {
+	digests := map[string]string{"idA": "deadbeef", "idB": "deadbeef", "idC": "cafe"}
+	digester := func(ref string) (string, error) {
+		d, ok := digests[ref]
+		if !ok {
+			return "", errors.New("unknown file")
+		}
+		return d, nil
+	}
+	hA, err := CanonicalHash("svc", "1", Values{"f": FileRef("idA")}, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := CanonicalHash("svc", "1", Values{"f": FileRef("idB")}, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hA != hB {
+		t.Fatal("same content behind different file IDs must hash identically")
+	}
+	hC, err := CanonicalHash("svc", "1", Values{"f": FileRef("idC")}, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hC == hA {
+		t.Fatal("different content must hash differently")
+	}
+	// A file hashed by content must not collide with the literal string of
+	// its reference.
+	hLit, err := CanonicalHash("svc", "1", Values{"f": FileRef("idA")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLit == hA {
+		t.Fatal("content digest and literal ref forms must differ")
+	}
+	// Unresolvable references propagate the error so callers skip caching.
+	if _, err := CanonicalHash("svc", "1", Values{"f": FileRef("missing")}, digester); err == nil {
+		t.Fatal("expected error for unresolvable file reference")
+	}
+}
+
+func TestCanonicalHashUnmarshalable(t *testing.T) {
+	if _, err := CanonicalHash("svc", "1", Values{"bad": func() {}}, nil); err == nil {
+		t.Fatal("expected error for unmarshalable input value")
+	}
+}
+
+func BenchmarkCanonicalHash(b *testing.B) {
+	inputs := Values{}
+	for i := 0; i < 16; i++ {
+		inputs[fmt.Sprintf("param%02d", i)] = float64(i) * 1.5
+	}
+	inputs["nested"] = map[string]any{"list": []any{1.0, "two", true, nil}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CanonicalHash("svc", "1.0", inputs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workflow
+
+import (
+	"container/list"
+	"sync"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
+)
+
+// Block-memoization metric families.  Like the container metrics they live
+// in the process-wide default registry and aggregate across composite
+// services.
+var (
+	metBlockMemoHits = obs.NewCounter("mc_wf_block_memo_hits_total",
+		"Workflow service-block invocations served from the block cache.")
+	metBlockMemoMisses = obs.NewCounter("mc_wf_block_memo_misses_total",
+		"Workflow service-block invocations that executed the service.")
+	metBlockMemoEvictions = obs.NewCounter("mc_wf_block_memo_evictions_total",
+		"Block cache entries evicted by the LRU bound.")
+)
+
+// defaultBlockCacheEntries bounds the per-workflow block cache.
+const defaultBlockCacheEntries = 1024
+
+// BlockCache memoizes the results of service-block invocations across runs
+// of one workflow.  It is the engine-level counterpart of the container's
+// computation cache: the container dedups identical jobs of one service,
+// the block cache lets a composite service skip the REST round-trip (and
+// the remote queue) entirely for sub-computations it has already seen.
+//
+// Keys are content hashes of (service URI, block inputs); file references
+// are hashed by identity, not content, so a re-uploaded file is a miss —
+// conservative but never wrong.  Results containing file references are not
+// cached at all: the referenced job files may be purged between runs.
+type BlockCache struct {
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[string]*blockCacheEntry
+	lru     *list.List // front = most recently used
+}
+
+type blockCacheEntry struct {
+	key     string
+	outputs core.Values
+	elem    *list.Element
+}
+
+// NewBlockCache creates a block cache holding at most maxEntries results
+// (0 = default).
+func NewBlockCache(maxEntries int) *BlockCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultBlockCacheEntries
+	}
+	return &BlockCache{
+		maxEntries: maxEntries,
+		entries:    make(map[string]*blockCacheEntry),
+		lru:        list.New(),
+	}
+}
+
+// key derives the cache key of one service-block invocation, or ok=false
+// when the inputs cannot be hashed.
+func (c *BlockCache) key(serviceURI string, inputs core.Values) (string, bool) {
+	k, err := core.CanonicalHash(serviceURI, "block", inputs, nil)
+	if err != nil {
+		return "", false
+	}
+	return k, true
+}
+
+// lookup returns the cached outputs for key, refreshing its LRU position.
+// The returned Values are shared and must be treated as immutable.
+func (c *BlockCache) lookup(key string) (core.Values, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.outputs, true
+}
+
+// store caches the outputs of one service-block invocation.  Outputs
+// containing file references are skipped: the files belong to a job whose
+// lifetime the cache does not control.
+func (c *BlockCache) store(key string, outputs core.Values) {
+	for _, v := range outputs {
+		if _, isFile := core.FileRefID(v); isFile {
+			return
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return
+	}
+	e := &blockCacheEntry{key: key, outputs: outputs}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.maxEntries {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*blockCacheEntry)
+		c.lru.Remove(old.elem)
+		delete(c.entries, old.key)
+		metBlockMemoEvictions.Inc()
+	}
+}
+
+// Len reports the number of cached block results.
+func (c *BlockCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

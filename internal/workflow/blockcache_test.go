@@ -1,0 +1,253 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/core"
+)
+
+// TestWideFanOutRunsAllBranchesConcurrently is the engine parallelism
+// barrier test: every independent branch of a width-4 fan-out must be in
+// flight at the same time, otherwise the latch times out.
+func TestWideFanOutRunsAllBranchesConcurrently(t *testing.T) {
+	const width = 4
+	inv := newFakeInvoker()
+	var mu sync.Mutex
+	arrived := 0
+	release := make(chan struct{})
+	inv.add("svc://latch", core.ServiceDescription{
+		Name:    "latch",
+		Inputs:  []core.Param{{Name: "x", Schema: numSchema()}},
+		Outputs: []core.Param{{Name: "y", Schema: numSchema()}},
+	}, func(in core.Values) (core.Values, error) {
+		mu.Lock()
+		arrived++
+		if arrived == width {
+			close(release)
+		}
+		n := arrived
+		mu.Unlock()
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("barrier timeout: only %d of %d branches in flight", n, width)
+		}
+		return core.Values{"y": in["x"].(float64)}, nil
+	})
+
+	wf := &Workflow{
+		Name:   "fanout",
+		Blocks: []Block{{ID: "x", Type: BlockInput, Name: "x", Schema: numSchema()}},
+	}
+	for i := 0; i < width; i++ {
+		svcID := fmt.Sprintf("s%d", i)
+		outName := fmt.Sprintf("o%d", i)
+		wf.Blocks = append(wf.Blocks,
+			Block{ID: svcID, Type: BlockService, Service: "svc://latch"},
+			Block{ID: "out" + outName, Type: BlockOutput, Name: outName, Schema: numSchema()},
+		)
+		wf.Edges = append(wf.Edges,
+			Edge{From: PortRef{"x", "value"}, To: PortRef{svcID, "x"}},
+			Edge{From: PortRef{svcID, "y"}, To: PortRef{"out" + outName, "value"}},
+		)
+	}
+
+	eng := &Engine{Invoker: inv, Describer: inv}
+	outs, err := eng.Run(context.Background(), wf, core.Values{"x": 7.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < width; i++ {
+		if outs[fmt.Sprintf("o%d", i)] != 7.0 {
+			t.Fatalf("outputs = %v", outs)
+		}
+	}
+	if inv.maxPar < width {
+		t.Errorf("max parallel calls = %d, want >= %d", inv.maxPar, width)
+	}
+}
+
+// countingInvoker wraps two deterministic services and records every call
+// with its inputs, so tests can assert which sub-computations re-executed.
+func countingInvoker() (*fakeInvoker, *[]string) {
+	inv := newFakeInvoker()
+	var calls []string
+	record := func(s string) {
+		inv.mu.Lock()
+		calls = append(calls, s)
+		inv.mu.Unlock()
+	}
+	inv.add("svc://cdouble", core.ServiceDescription{
+		Name:    "cdouble",
+		Inputs:  []core.Param{{Name: "x", Schema: numSchema()}},
+		Outputs: []core.Param{{Name: "y", Schema: numSchema()}},
+	}, func(in core.Values) (core.Values, error) {
+		record(fmt.Sprintf("double(%v)", in["x"]))
+		return core.Values{"y": 2 * in["x"].(float64)}, nil
+	})
+	inv.add("svc://cadd", core.ServiceDescription{
+		Name:    "cadd",
+		Inputs:  []core.Param{{Name: "a", Schema: numSchema()}, {Name: "b", Schema: numSchema()}},
+		Outputs: []core.Param{{Name: "sum", Schema: numSchema()}},
+	}, func(in core.Values) (core.Values, error) {
+		record(fmt.Sprintf("add(%v,%v)", in["a"], in["b"]))
+		return core.Values{"sum": in["a"].(float64) + in["b"].(float64)}, nil
+	})
+	return inv, &calls
+}
+
+// memoDiamond is a -> double, b -> double, both -> add -> result.
+func memoDiamond() *Workflow {
+	return &Workflow{
+		Name: "memo-diamond",
+		Memo: true,
+		Blocks: []Block{
+			{ID: "a", Type: BlockInput, Name: "a", Schema: numSchema()},
+			{ID: "b", Type: BlockInput, Name: "b", Schema: numSchema()},
+			{ID: "da", Type: BlockService, Service: "svc://cdouble"},
+			{ID: "db", Type: BlockService, Service: "svc://cdouble"},
+			{ID: "plus", Type: BlockService, Service: "svc://cadd"},
+			{ID: "result", Type: BlockOutput, Name: "result", Schema: numSchema()},
+		},
+		Edges: []Edge{
+			{From: PortRef{"a", "value"}, To: PortRef{"da", "x"}},
+			{From: PortRef{"b", "value"}, To: PortRef{"db", "x"}},
+			{From: PortRef{"da", "y"}, To: PortRef{"plus", "a"}},
+			{From: PortRef{"db", "y"}, To: PortRef{"plus", "b"}},
+			{From: PortRef{"plus", "sum"}, To: PortRef{"result", "value"}},
+		},
+	}
+}
+
+// TestBlockCacheReexecutesOnlyAffectedSubgraph re-runs a workflow with one
+// changed input and asserts the unchanged branch is served from the block
+// cache while the changed branch and everything downstream re-executes.
+func TestBlockCacheReexecutesOnlyAffectedSubgraph(t *testing.T) {
+	inv, calls := countingInvoker()
+	eng := &Engine{Invoker: inv, Describer: inv, BlockCache: NewBlockCache(0)}
+	wf := memoDiamond()
+
+	outs, err := eng.Run(context.Background(), wf, core.Values{"a": 1.0, "b": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["result"] != 6.0 {
+		t.Fatalf("first run result = %v, want 6", outs["result"])
+	}
+	if len(*calls) != 3 {
+		t.Fatalf("cold run made %d calls %v, want 3", len(*calls), *calls)
+	}
+
+	// Identical inputs: the whole run is served from the cache.
+	outs, err = eng.Run(context.Background(), wf, core.Values{"a": 1.0, "b": 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["result"] != 6.0 || len(*calls) != 3 {
+		t.Fatalf("repeat run: result=%v calls=%v, want cached 6 with no new calls",
+			outs["result"], *calls)
+	}
+
+	// Change b only: double(1) must stay cached; double(5) and the add
+	// (whose inputs changed) must execute.
+	outs, err = eng.Run(context.Background(), wf, core.Values{"a": 1.0, "b": 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["result"] != 12.0 {
+		t.Fatalf("third run result = %v, want 12", outs["result"])
+	}
+	got := (*calls)[3:]
+	counts := map[string]int{}
+	for _, c := range got {
+		counts[c]++
+	}
+	if len(got) != 2 || counts["double(5)"] != 1 || counts["add(2,10)"] != 1 {
+		t.Fatalf("affected-subgraph calls = %v, want exactly double(5) and add(2,10)", got)
+	}
+}
+
+// TestBlockCacheSkipsFileResults pins the safety rule that block results
+// holding file references are never cached: the referenced job files may be
+// purged between runs.
+func TestBlockCacheSkipsFileResults(t *testing.T) {
+	c := NewBlockCache(0)
+	key, ok := c.key("svc://files", core.Values{"x": 1.0})
+	if !ok {
+		t.Fatal("key derivation failed")
+	}
+	c.store(key, core.Values{"data": core.FileRef("abc123")})
+	if c.Len() != 0 {
+		t.Fatalf("file-bearing result was cached (%d entries)", c.Len())
+	}
+	c.store(key, core.Values{"data": "plain"})
+	if c.Len() != 1 {
+		t.Fatalf("plain result not cached (%d entries)", c.Len())
+	}
+}
+
+// TestBlockCacheBound asserts the LRU entry bound holds.
+func TestBlockCacheBound(t *testing.T) {
+	c := NewBlockCache(3)
+	for i := 0; i < 10; i++ {
+		key, _ := c.key("svc://x", core.Values{"i": float64(i)})
+		c.store(key, core.Values{"v": float64(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, bound is 3", c.Len())
+	}
+	// The most recent entries survive.
+	key9, _ := c.key("svc://x", core.Values{"i": 9.0})
+	if _, ok := c.lookup(key9); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	key0, _ := c.key("svc://x", core.Values{"i": 0.0})
+	if _, ok := c.lookup(key0); ok {
+		t.Fatal("oldest entry still cached")
+	}
+}
+
+// TestWorkflowMemoFlagWiresAdapterCache asserts the published composite
+// service shares one block cache across requests when the document sets
+// memo, and does not memoize when it does not.
+func TestWorkflowMemoFlagWiresAdapterCache(t *testing.T) {
+	for _, memo := range []bool{true, false} {
+		inv, calls := countingInvoker()
+		factory := NewAdapterFactory(inv, inv)
+		wf := memoDiamond()
+		wf.Memo = memo
+		doc, err := wf.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := factory(json.RawMessage(fmt.Sprintf(`{"workflow": %s}`, doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			res, err := a.Invoke(context.Background(), &adapter.Request{
+				Inputs: core.Values{"a": 1.0, "b": 2.0},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outputs["result"] != 6.0 {
+				t.Fatalf("memo=%v run %d: outputs %v", memo, i, res.Outputs)
+			}
+		}
+		want := 6
+		if memo {
+			want = 3
+		}
+		if len(*calls) != want {
+			t.Fatalf("memo=%v: %d service calls across two requests, want %d (%v)",
+				memo, len(*calls), want, *calls)
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Engine struct {
 	OnBlockState func(block string, state core.JobState)
 	// ScriptStepLimit bounds script block execution (0 = default).
 	ScriptStepLimit int
+	// BlockCache, when non-nil, memoizes service-block invocations: a
+	// service block whose inputs hash to a cached result publishes that
+	// result without calling the service.  Share one cache across runs to
+	// reuse sub-computations between requests (see Workflow.Memo).
+	BlockCache *BlockCache
 }
 
 // BlockError reports the failure of one workflow block.
@@ -48,14 +53,41 @@ func (e *BlockError) Error() string {
 // Unwrap returns the underlying error.
 func (e *BlockError) Unwrap() error { return e.Err }
 
-// Run validates and executes the workflow with the given request inputs
-// and returns the workflow outputs.
-func (e *Engine) Run(ctx context.Context, wf *Workflow, inputs core.Values) (core.Values, error) {
-	r, err := wf.validate(e.Describer)
+// Compiled is a validated workflow ready for repeated execution: ports are
+// resolved, scripts parsed, the topological order fixed.  Compiling once
+// and running many times is how the WMS avoids re-validating a published
+// workflow on every request.
+type Compiled struct {
+	r *resolved
+}
+
+// Workflow returns the underlying workflow document.
+func (c *Compiled) Workflow() *Workflow { return c.r.wf }
+
+// Compile validates the workflow against the describer and returns the
+// executable form.  A Compiled is immutable and safe for concurrent runs.
+func Compile(wf *Workflow, desc Describer) (*Compiled, error) {
+	r, err := wf.validate(desc)
 	if err != nil {
 		return nil, err
 	}
-	return e.runResolved(ctx, r, inputs)
+	return &Compiled{r: r}, nil
+}
+
+// Run validates and executes the workflow with the given request inputs
+// and returns the workflow outputs.  Callers executing the same workflow
+// repeatedly should Compile once and use RunCompiled.
+func (e *Engine) Run(ctx context.Context, wf *Workflow, inputs core.Values) (core.Values, error) {
+	c, err := Compile(wf, e.Describer)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunCompiled(ctx, c, inputs)
+}
+
+// RunCompiled executes a compiled workflow with the given request inputs.
+func (e *Engine) RunCompiled(ctx context.Context, c *Compiled, inputs core.Values) (core.Values, error) {
+	return e.runResolved(ctx, c.r, inputs)
 }
 
 func (e *Engine) setState(block string, s core.JobState) {
@@ -136,14 +168,21 @@ func (e *Engine) runResolved(ctx context.Context, r *resolved, inputs core.Value
 		}()
 	}
 
+	// started guards against launching a block twice; finished records
+	// completed blocks.  They are distinct sets: a block is started the
+	// moment its last predecessor completes and finished only when its own
+	// completion is read from doneCh.
+	started := make(map[string]bool)
+	finished := make(map[string]bool)
+
 	// Launch all initially ready blocks in deterministic order.
 	for _, id := range r.order {
 		if len(waiting[id]) == 0 {
 			start(id)
+			started[id] = true
 		}
 	}
 
-	finished := make(map[string]bool)
 	var firstErr error
 	for running > 0 {
 		c := <-doneCh
@@ -163,9 +202,9 @@ func (e *Engine) runResolved(ctx context.Context, r *resolved, inputs core.Value
 		}
 		for _, dep := range dependents[c.block] {
 			delete(waiting[dep], c.block)
-			if len(waiting[dep]) == 0 && !finished[dep] {
+			if len(waiting[dep]) == 0 && !started[dep] {
 				start(dep)
-				finished[dep] = true // guard against double start
+				started[dep] = true
 			}
 		}
 	}
@@ -243,9 +282,28 @@ func (e *Engine) runBlock(ctx context.Context, r *resolved, blockID string,
 		if e.Invoker == nil {
 			return fmt.Errorf("no invoker configured for service calls")
 		}
+		var memoKey string
+		if e.BlockCache != nil {
+			if key, ok := e.BlockCache.key(b.Service, blockIn); ok {
+				memoKey = key
+				if cached, hit := e.BlockCache.lookup(key); hit {
+					metBlockMemoHits.Inc()
+					for name := range r.outPorts[blockID] {
+						if v, ok := cached[name]; ok {
+							publish(name, v)
+						}
+					}
+					return nil
+				}
+				metBlockMemoMisses.Inc()
+			}
+		}
 		result, err := e.Invoker.Call(ctx, b.Service, blockIn)
 		if err != nil {
 			return err
+		}
+		if memoKey != "" {
+			e.BlockCache.store(memoKey, result)
 		}
 		for name := range r.outPorts[blockID] {
 			if v, ok := result[name]; ok {

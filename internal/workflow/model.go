@@ -101,11 +101,17 @@ type Edge struct {
 // downloads and uploads.
 type Workflow struct {
 	// Name is the identifier the workflow is published under.
-	Name        string  `json:"name"`
-	Title       string  `json:"title,omitempty"`
-	Description string  `json:"description,omitempty"`
-	Blocks      []Block `json:"blocks"`
-	Edges       []Edge  `json:"edges"`
+	Name        string `json:"name"`
+	Title       string `json:"title,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Memo opts the published composite service into per-service-block
+	// memoization: across requests, service blocks that are called with
+	// identical inputs reuse the recorded outputs instead of re-invoking
+	// the service.  Only meaningful when every called service is
+	// deterministic; block outputs holding file references are not cached.
+	Memo   bool    `json:"memo,omitempty"`
+	Blocks []Block `json:"blocks"`
+	Edges  []Edge  `json:"edges"`
 }
 
 // Parse decodes a workflow document from JSON.

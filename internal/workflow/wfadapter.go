@@ -20,9 +20,13 @@ type AdapterConfig struct {
 // in the workflow management service.
 type Adapter struct {
 	wf        *Workflow
-	resolved  *resolved
+	compiled  *Compiled
 	invoker   Invoker
 	describer Describer
+	// blocks is the shared per-service-block result cache, non-nil when
+	// the workflow opted in with Memo: repeated requests to the composite
+	// service reuse sub-computations across runs.
+	blocks *BlockCache
 }
 
 // NewAdapterFactory returns an adapter.Factory for kind "workflow" bound
@@ -38,11 +42,15 @@ func NewAdapterFactory(inv Invoker, desc Describer) adapter.Factory {
 		if cfg.Workflow == nil {
 			return nil, fmt.Errorf("workflow adapter: missing workflow document")
 		}
-		r, err := cfg.Workflow.validate(desc)
+		c, err := Compile(cfg.Workflow, desc)
 		if err != nil {
 			return nil, err
 		}
-		return &Adapter{wf: cfg.Workflow, resolved: r, invoker: inv, describer: desc}, nil
+		a := &Adapter{wf: cfg.Workflow, compiled: c, invoker: inv, describer: desc}
+		if cfg.Workflow.Memo {
+			a.blocks = NewBlockCache(0)
+		}
+		return a, nil
 	}
 }
 
@@ -70,8 +78,9 @@ func (a *Adapter) Invoke(ctx context.Context, req *adapter.Request) (*adapter.Re
 		}
 	}
 	engine := &Engine{
-		Invoker:   invoker,
-		Describer: a.describer,
+		Invoker:    invoker,
+		Describer:  a.describer,
+		BlockCache: a.blocks,
 		// Forward block transitions into the job resource twice over:
 		// the Blocks map carries the *current* state (what the editor
 		// paints), and the job log keeps the full transition history, so
@@ -86,7 +95,7 @@ func (a *Adapter) Invoke(ctx context.Context, req *adapter.Request) (*adapter.Re
 			}
 		},
 	}
-	outs, err := engine.runResolved(ctx, a.resolved, req.Inputs)
+	outs, err := engine.RunCompiled(ctx, a.compiled, req.Inputs)
 	if err != nil {
 		return nil, err
 	}
