@@ -1,0 +1,173 @@
+// Campaign-throughput benchmarks (DESIGN.md §5f): a width-1k parameter
+// sweep submitted as one request versus serial one-at-a-time submission
+// through the same REST API, plus the O(1) aggregate-status read.  Numbers
+// land in BENCH_6.json.
+package mathcloud_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+)
+
+const campaignWidth = 1000
+
+// campaignSpin burns a deterministic amount of CPU and returns a value the
+// compiler cannot discard.
+func campaignSpin(n int, seed float64) float64 {
+	acc := seed
+	for i := 0; i < n; i++ {
+		acc = acc*1.0000001 + 1e-9
+	}
+	return acc
+}
+
+// registerCampaignFuncs registers the synthetic campaign adapter.  Every
+// invocation pays a fixed setup cost (standing in for the process/session
+// startup of a CAS or solver run) plus small per-point work; the batch form
+// pays the setup once per batch — the amortization the paper's campaign
+// applications rely on.
+var registerCampaignFuncs = sync.OnceFunc(func() {
+	const setup, perPoint = 200_000, 10_000
+	adapter.RegisterFunc("benchsweep.point", func(_ context.Context, in core.Values) (core.Values, error) {
+		x, _ := in["x"].(float64)
+		return core.Values{"y": campaignSpin(setup, 1) + campaignSpin(perPoint, x)}, nil
+	})
+	adapter.RegisterBatchFunc("benchsweep.point", func(_ context.Context, batch []core.Values) ([]core.Values, []error) {
+		base := campaignSpin(setup, 1)
+		outs := make([]core.Values, len(batch))
+		errs := make([]error, len(batch))
+		for i, in := range batch {
+			x, _ := in["x"].(float64)
+			outs[i] = core.Values{"y": base + campaignSpin(perPoint, x)}
+		}
+		return outs, errs
+	})
+})
+
+// startCampaignBench brings up a container with the synthetic campaign
+// service behind a real listener and returns a client handle to it.
+func startCampaignBench(b *testing.B) *client.Service {
+	b.Helper()
+	registerCampaignFuncs()
+	c, err := container.New(container.Options{Workers: 8, BatchMaxSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name: "campaign", Version: "1", Batch: true,
+			Inputs:  []core.Param{{Name: "x"}},
+			Outputs: []core.Param{{Name: "y"}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "benchsweep.point"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	b.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+	return client.New().Service(c.ServiceURI("campaign"))
+}
+
+// BenchmarkCampaignSerial1k is the baseline: 1000 near-identical points
+// submitted one at a time through the REST API, each paying its own HTTP
+// round trip, submission path and adapter setup.
+func BenchmarkCampaignSerial1k(b *testing.B) {
+	svc := startCampaignBench(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < campaignWidth; j++ {
+			x := float64(i*campaignWidth + j)
+			if _, err := svc.Call(ctx, core.Values{"x": x}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*campaignWidth)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkCampaignSweep1k is the same 1000 points as one sweep: a single
+// POST expands them through the bulk submission path and micro-batched
+// adapters, and one long-polled status GET observes completion.
+func BenchmarkCampaignSweep1k(b *testing.B) {
+	svc := startCampaignBench(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := make([]core.Values, campaignWidth)
+		for j := range points {
+			points[j] = core.Values{"x": float64(i*campaignWidth + j)}
+		}
+		sweep, err := svc.SubmitSweep(ctx, &core.SweepSpec{Points: points}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done, err := svc.WaitSweep(ctx, sweep.URI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done.Counts.Done != campaignWidth {
+			b.Fatalf("campaign finished %s with %+v", done.State, done.Counts)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*campaignWidth)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkSweepStatus reads the aggregate status of a finished sweep at
+// two widths; allocations must not grow with width (the O(1) status
+// contract of DESIGN.md §5f).
+func BenchmarkSweepStatus(b *testing.B) {
+	registerCampaignFuncs()
+	run := func(b *testing.B, width int) {
+		c, err := container.New(container.Options{Workers: 8, BatchMaxSize: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		if err := c.Deploy(container.ServiceConfig{
+			Description: core.ServiceDescription{
+				Name: "campaign", Version: "1", Batch: true,
+				Inputs:  []core.Param{{Name: "x"}},
+				Outputs: []core.Param{{Name: "y"}},
+			},
+			Adapter: container.AdapterSpec{Kind: "native",
+				Config: json.RawMessage(`{"function": "benchsweep.point"}`)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		points := make([]core.Values, width)
+		for j := range points {
+			points[j] = core.Values{"x": float64(j)}
+		}
+		sweep, err := c.Jobs().SubmitSweep(context.Background(), "campaign", &core.SweepSpec{Points: points}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Jobs().WaitSweep(context.Background(), sweep.ID, 2*time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Jobs().GetSweep(sweep.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("width-16", func(b *testing.B) { run(b, 16) })
+	b.Run("width-1024", func(b *testing.B) { run(b, 1024) })
+}

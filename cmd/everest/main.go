@@ -75,6 +75,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6060)")
 	memoEntries := flag.Int("memo-entries", 0, "computation cache entry bound (0 = default 4096, negative disables)")
 	memoBytes := flag.Int64("memo-bytes", 0, "computation cache byte bound (0 = default 256 MiB, negative disables)")
+	batchMax := flag.Int("batch", 0, "micro-batch size cap for batch-capable services (0 = default 16, <2 disables)")
+	sweepWidth := flag.Int("sweep-width", 0, "maximum child jobs per parameter sweep (0 = default 10000, negative uncapped)")
 	flag.Parse()
 
 	// Structured request/job logs are informational in a server process
@@ -94,6 +96,8 @@ func main() {
 		DebugAddr:      *debugAddr,
 		MemoMaxEntries: *memoEntries,
 		MemoMaxBytes:   *memoBytes,
+		BatchMaxSize:   *batchMax,
+		MaxSweepWidth:  *sweepWidth,
 	})
 	if err != nil {
 		log.Fatalf("everest: %v", err)

@@ -27,6 +27,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6061)")
 	memoEntries := flag.Int("memo-entries", 0, "computation cache entry bound (0 = default 4096, negative disables)")
 	memoBytes := flag.Int64("memo-bytes", 0, "computation cache byte bound (0 = default 256 MiB, negative disables)")
+	batchMax := flag.Int("batch", 0, "micro-batch size cap for batch-capable services (0 = default 16, <2 disables)")
+	sweepWidth := flag.Int("sweep-width", 0, "maximum child jobs per parameter sweep (0 = default 10000, negative uncapped)")
 	flag.Parse()
 
 	obs.SetLogLevel(slog.LevelInfo)
@@ -38,6 +40,8 @@ func main() {
 		DebugAddr:      *debugAddr,
 		MemoMaxEntries: *memoEntries,
 		MemoMaxBytes:   *memoBytes,
+		BatchMaxSize:   *batchMax,
+		MaxSweepWidth:  *sweepWidth,
 	})
 	if err != nil {
 		log.Fatalf("wms: %v", err)

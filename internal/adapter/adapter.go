@@ -74,6 +74,42 @@ type Interface interface {
 	Invoke(ctx context.Context, req *Request) (*Result, error)
 }
 
+// BatchItem is the outcome of one request of a batched invocation: exactly
+// one of Result and Err is set.  A failed item fails only its own job; the
+// rest of the batch is unaffected.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// BatchInterface is the micro-batching extension of the adapter contract:
+// adapters that can amortise per-invocation overhead — process start-up,
+// solver warm-up, model load — across several requests of one service
+// implement it in addition to Interface.  The container's worker pool
+// drains up to its configured batch size of queued jobs of a service that
+// declares "batch": true into a single InvokeBatch call.
+//
+// InvokeBatch must return one BatchItem per request, in request order; a
+// non-nil error return instead fails the whole batch (every job).  It must
+// honour ctx cancellation, which covers the batch as a whole — individual
+// job cancellation is handled by the container, which discards that job's
+// item on return.
+type BatchInterface interface {
+	InvokeBatch(ctx context.Context, reqs []*Request) ([]BatchItem, error)
+}
+
+// WorkDirCapability is optionally implemented by adapters that can report
+// whether they use the per-job scratch directory.  The container creates
+// (and afterwards removes) a directory per job unless the adapter reports
+// it never touches one — two filesystem round trips that dominate the cost
+// of short in-process computations, and exactly the overhead a wide
+// campaign of small jobs pays a thousand times over.  Adapters that do not
+// implement the interface are assumed to need the directory.
+type WorkDirCapability interface {
+	// NeedsWorkDir reports whether Invoke/InvokeBatch reads Request.WorkDir.
+	NeedsWorkDir() bool
+}
+
 // Factory builds an adapter instance from the internal service
 // configuration (the non-public half of a service's configuration file).
 type Factory func(config json.RawMessage) (Interface, error)

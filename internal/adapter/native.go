@@ -24,6 +24,13 @@ type Func func(ctx context.Context, inputs core.Values) (core.Values, error)
 // paper's matrices of "hundreds of megabytes" — implement this form.
 type RequestFunc func(ctx context.Context, req *Request) (*Result, error)
 
+// BatchFunc is the micro-batched form of an in-process computational
+// function: it receives the inputs of several requests at once and returns
+// one output map (or one error) per request, in request order.  A batch
+// function coexists with the single-request Func of the same name — the
+// adapter uses whichever form matches how the container dispatched the work.
+type BatchFunc func(ctx context.Context, batch []core.Values) ([]core.Values, []error)
+
 // nativeFuncs is the process-wide registry of invocable functions.  A
 // service configuration refers to functions by name, mirroring the Java
 // adapter's "name of the corresponding class".
@@ -31,7 +38,8 @@ var nativeFuncs = struct {
 	sync.RWMutex
 	m map[string]Func
 	r map[string]RequestFunc
-}{m: make(map[string]Func), r: make(map[string]RequestFunc)}
+	b map[string]BatchFunc
+}{m: make(map[string]Func), r: make(map[string]RequestFunc), b: make(map[string]BatchFunc)}
 
 // RegisterFunc makes fn available to Native adapters under the given name.
 // It replaces a previous registration with the same name, which keeps test
@@ -44,6 +52,7 @@ func RegisterFunc(name string, fn Func) {
 	defer nativeFuncs.Unlock()
 	nativeFuncs.m[name] = fn
 	delete(nativeFuncs.r, name)
+	delete(nativeFuncs.b, name)
 }
 
 // RegisterRequestFunc makes a file-aware function available to Native
@@ -57,6 +66,28 @@ func RegisterRequestFunc(name string, fn RequestFunc) {
 	defer nativeFuncs.Unlock()
 	nativeFuncs.r[name] = fn
 	delete(nativeFuncs.m, name)
+	delete(nativeFuncs.b, name)
+}
+
+// RegisterBatchFunc adds a micro-batched form for an already registered
+// function name.  It does not replace the single-request registration — the
+// Native adapter still needs Func or RequestFunc for unbatched dispatch —
+// it only enables InvokeBatch to process several requests in one call.
+func RegisterBatchFunc(name string, fn BatchFunc) {
+	if fn == nil {
+		panic("adapter: RegisterBatchFunc with nil function")
+	}
+	nativeFuncs.Lock()
+	defer nativeFuncs.Unlock()
+	nativeFuncs.b[name] = fn
+}
+
+// LookupBatchFunc returns the registered batch function with the given name.
+func LookupBatchFunc(name string) (BatchFunc, bool) {
+	nativeFuncs.RLock()
+	defer nativeFuncs.RUnlock()
+	fn, ok := nativeFuncs.b[name]
+	return fn, ok
 }
 
 // LookupFunc returns the registered function with the given name.
@@ -112,6 +143,7 @@ type NativeAdapter struct {
 	name     string
 	fn       Func
 	reqFn    RequestFunc
+	batchFn  BatchFunc
 	slowdown float64
 }
 
@@ -125,6 +157,7 @@ func NewNativeAdapter(config json.RawMessage) (Interface, error) {
 		return nil, fmt.Errorf("native adapter: negative simulatedSlowdown")
 	}
 	a := &NativeAdapter{name: cfg.Function, slowdown: cfg.SimulatedSlowdown}
+	a.batchFn, _ = LookupBatchFunc(cfg.Function)
 	if fn, ok := LookupFunc(cfg.Function); ok {
 		a.fn = fn
 		return a, nil
@@ -139,6 +172,11 @@ func NewNativeAdapter(config json.RawMessage) (Interface, error) {
 
 // Kind implements Interface.
 func (a *NativeAdapter) Kind() string { return "native" }
+
+// NeedsWorkDir implements WorkDirCapability: only request-form functions
+// receive the Request (and with it WorkDir); plain value functions never
+// see a path, so their jobs can skip scratch-directory creation entirely.
+func (a *NativeAdapter) NeedsWorkDir() bool { return a.reqFn != nil }
 
 // call dispatches to whichever function form is registered.
 func (a *NativeAdapter) call(ctx context.Context, req *Request) (*Result, error) {
@@ -186,4 +224,68 @@ func (a *NativeAdapter) Invoke(ctx context.Context, req *Request) (*Result, erro
 		return nil, ctx.Err()
 	}
 	return res, nil
+}
+
+// InvokeBatch implements BatchInterface.  When a BatchFunc is registered
+// under the adapter's function name, the whole batch is processed in one
+// call — that is where per-invocation overhead (and, under simulated
+// slowdown, the proportional sleep) is amortised.  Without one it degrades
+// to per-request Invoke calls, preserving semantics at single-request cost.
+func (a *NativeAdapter) InvokeBatch(ctx context.Context, reqs []*Request) ([]BatchItem, error) {
+	items := make([]BatchItem, len(reqs))
+	if a.batchFn == nil {
+		for i, req := range reqs {
+			res, err := a.Invoke(ctx, req)
+			items[i] = BatchItem{Result: res, Err: err}
+		}
+		return items, nil
+	}
+	batch := make([]core.Values, len(reqs))
+	for i, req := range reqs {
+		batch[i] = req.Inputs
+	}
+	var outs []core.Values
+	var errs []error
+	runBatch := func() error {
+		outs, errs = a.batchFn(ctx, batch)
+		if len(outs) != len(reqs) || len(errs) != len(reqs) {
+			return fmt.Errorf("native adapter: %s: batch function returned %d outputs and %d errors for %d requests",
+				a.name, len(outs), len(errs), len(reqs))
+		}
+		return nil
+	}
+	if a.slowdown <= 0 {
+		if err := runBatch(); err != nil {
+			return nil, err
+		}
+	} else {
+		runtime.LockOSThread()
+		cpu0, cpuOK := threadCPUTime()
+		wall0 := time.Now()
+		err := runBatch()
+		var compute time.Duration
+		if cpu1, ok := threadCPUTime(); cpuOK && ok {
+			compute = cpu1 - cpu0
+		} else {
+			compute = time.Since(wall0)
+		}
+		runtime.UnlockOSThread()
+		if err != nil {
+			return nil, err
+		}
+		extra := time.Duration(a.slowdown * float64(compute))
+		select {
+		case <-time.After(extra):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	for i := range reqs {
+		if errs[i] != nil {
+			items[i] = BatchItem{Err: fmt.Errorf("native adapter: %s: %w", a.name, errs[i])}
+		} else {
+			items[i] = BatchItem{Result: &Result{Outputs: outs[i]}}
+		}
+	}
+	return items, nil
 }

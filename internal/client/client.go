@@ -330,8 +330,11 @@ func (s *Service) Job(ctx context.Context, jobURI string) (*core.Job, error) {
 // job finishes — the window length only bounds how often an idle wait
 // re-issues the request.
 // A server that ignores the wait parameter (or completes the window
-// early) is re-polled no more often than the client's MinPoll, so a
-// non-terminal answer never degenerates into a zero-delay busy loop.
+// early) is re-polled no more often than the client's MinPoll, jittered
+// (rest.Jitter) so that many watchers started together — e.g. a thousand
+// clients following the children of one sweep — drift apart instead of
+// phase-locking into synchronized poll bursts, and a non-terminal answer
+// never degenerates into a zero-delay busy loop.
 func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
 	window := s.client.waitWindow()
 	minPoll := s.client.minPoll()
@@ -348,8 +351,8 @@ func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if elapsed := time.Since(start); elapsed < minPoll {
-			t := time.NewTimer(minPoll - elapsed)
+		if delay := rest.Jitter(minPoll); time.Since(start) < delay {
+			t := time.NewTimer(delay - time.Since(start))
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -379,6 +382,121 @@ func (s *Service) Cancel(ctx context.Context, jobURI string) (*core.Job, error) 
 		return nil, fmt.Errorf("client: decode job: %w", err)
 	}
 	return &job, nil
+}
+
+// SubmitSweep performs POST on the service's sweep collection, expanding a
+// parameter-sweep specification into child jobs in one round trip.  If wait
+// is positive the server holds the request until the whole campaign
+// completes or the window elapses.
+func (s *Service) SubmitSweep(ctx context.Context, spec *core.SweepSpec, wait time.Duration) (*core.Sweep, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode sweep spec: %w", err)
+	}
+	uri := s.uri + "/sweeps"
+	if wait > 0 {
+		uri += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, uri, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: POST %s: %w", uri, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, apiError(resp)
+	}
+	var sweep core.Sweep
+	if err := json.NewDecoder(resp.Body).Decode(&sweep); err != nil {
+		return nil, fmt.Errorf("client: decode sweep: %w", err)
+	}
+	return &sweep, nil
+}
+
+// Sweep fetches the current aggregate status of a sweep by URI.  The answer
+// is O(1) on the server regardless of width, so polling wide campaigns is
+// cheap.
+func (s *Service) Sweep(ctx context.Context, sweepURI string) (*core.Sweep, error) {
+	var sweep core.Sweep
+	if err := s.client.getJSON(ctx, sweepURI, &sweep); err != nil {
+		return nil, err
+	}
+	return &sweep, nil
+}
+
+// WaitSweep polls the sweep resource (using server-side long-poll windows,
+// jittered like Wait) until every child job is terminal or ctx is
+// cancelled.
+func (s *Service) WaitSweep(ctx context.Context, sweepURI string) (*core.Sweep, error) {
+	window := s.client.waitWindow()
+	minPoll := s.client.minPoll()
+	for {
+		start := time.Now()
+		var sweep core.Sweep
+		uri := sweepURI + "?wait=" + window.String()
+		if err := s.client.getJSON(ctx, uri, &sweep); err != nil {
+			return nil, err
+		}
+		if sweep.State.Terminal() {
+			return &sweep, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if delay := rest.Jitter(minPoll); time.Since(start) < delay {
+			t := time.NewTimer(delay - time.Since(start))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// CancelSweep performs DELETE on the sweep resource, cancelling every
+// non-terminal child in one call.
+func (s *Service) CancelSweep(ctx context.Context, sweepURI string) (*core.Sweep, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, sweepURI, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := s.client.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: DELETE %s: %w", sweepURI, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var sweep core.Sweep
+	if err := json.NewDecoder(resp.Body).Decode(&sweep); err != nil {
+		return nil, fmt.Errorf("client: decode sweep: %w", err)
+	}
+	return &sweep, nil
+}
+
+// SweepJobs fetches one page of a sweep's child jobs in point order,
+// optionally filtered by state ("" = all).  limit 0 returns every matching
+// child; the second result is the total match count before paging.
+func (s *Service) SweepJobs(ctx context.Context, sweepURI string, state core.JobState, limit, offset int) ([]*core.Job, int, error) {
+	uri := fmt.Sprintf("%s/jobs?limit=%d&offset=%d", sweepURI, limit, offset)
+	if state != "" {
+		uri += "&state=" + string(state)
+	}
+	var page struct {
+		Jobs  []*core.Job `json:"jobs"`
+		Total int         `json:"total"`
+	}
+	if err := s.client.getJSON(ctx, uri, &page); err != nil {
+		return nil, 0, err
+	}
+	return page.Jobs, page.Total, nil
 }
 
 // Call is the convenience synchronous invocation: submit, wait for

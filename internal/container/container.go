@@ -80,6 +80,15 @@ type Options struct {
 	// disables the cache.
 	MemoMaxEntries int
 	MemoMaxBytes   int64
+	// BatchMaxSize bounds adapter micro-batching: a handler drains up to
+	// this many queued jobs of one service declaring "batch": true into a
+	// single InvokeBatch call.  Zero selects the default (16); a value
+	// below 2 disables batching.
+	BatchMaxSize int
+	// MaxSweepWidth caps the number of child jobs one parameter sweep may
+	// expand to.  Zero selects the default (10000); a negative value
+	// removes the cap.
+	MaxSweepWidth int
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -205,7 +214,17 @@ func New(opts Options) (*Container, error) {
 	if memoBytes == 0 {
 		memoBytes = defaultMemoBytes
 	}
-	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline, memoEntries, memoBytes)
+	batchMax := opts.BatchMaxSize
+	if batchMax == 0 {
+		batchMax = defaultBatchMaxSize
+	}
+	sweepWidth := opts.MaxSweepWidth
+	if sweepWidth == 0 {
+		sweepWidth = defaultMaxSweepWidth
+	} else if sweepWidth < 0 {
+		sweepWidth = 0 // no cap
+	}
+	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline, memoEntries, memoBytes, batchMax, sweepWidth)
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr)
 		if err != nil {
@@ -438,4 +457,16 @@ func (c *Container) localFileID(ref string) (string, bool) {
 func (c *Container) decorate(j *core.Job) *core.Job {
 	j.URI = c.JobURI(j.Service, j.ID)
 	return j
+}
+
+// SweepURI returns the absolute URI of a sweep resource.
+func (c *Container) SweepURI(serviceName, sweepID string) string {
+	return c.ServiceURI(serviceName) + "/sweeps/" + sweepID
+}
+
+// decorateSweep fills the URI fields of a sweep snapshot.
+func (c *Container) decorateSweep(s *core.Sweep) *core.Sweep {
+	s.URI = c.SweepURI(s.Service, s.ID)
+	s.JobsURI = s.URI + "/jobs"
+	return s
 }

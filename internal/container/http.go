@@ -2,6 +2,8 @@ package container
 
 import (
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"mathcloud/internal/core"
@@ -16,8 +18,14 @@ import (
 //	GET    /                              container index
 //	GET    /services/{name}               service description (or web UI)
 //	POST   /services/{name}               submit request, create job
+//	GET    /services/{name}/jobs          job list (?state=&limit=&offset=)
 //	GET    /services/{name}/jobs/{id}     job status and results (or web UI)
 //	DELETE /services/{name}/jobs/{id}     cancel job / delete job data
+//	POST   /services/{name}/sweeps        submit a parameter sweep
+//	GET    /services/{name}/sweeps        sweep list
+//	GET    /services/{name}/sweeps/{id}   aggregate sweep status (?wait=)
+//	DELETE /services/{name}/sweeps/{id}   cancel sweep / delete sweep data
+//	GET    /services/{name}/sweeps/{id}/jobs  child jobs (?state=&limit=&offset=)
 //	POST   /files                         upload a file resource
 //	GET    /files/{id}                    file data (supports ranges)
 //	DELETE /files/{id}                    delete a file resource
@@ -113,17 +121,56 @@ func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path 
 		c.handleService(w, r, name, principal)
 	default:
 		sub, rest2 := rest.ShiftPath(tail)
-		if sub != "jobs" {
+		switch sub {
+		case "jobs":
+			jobID, _ := rest.ShiftPath(rest2)
+			if jobID == "" {
+				c.handleJobList(w, r, name)
+				return
+			}
+			c.handleJob(w, r, name, jobID)
+		case "sweeps":
+			sweepID, rest3 := rest.ShiftPath(rest2)
+			if sweepID == "" {
+				c.handleSweepList(w, r, name, principal)
+				return
+			}
+			if child, _ := rest.ShiftPath(rest3); child == "jobs" {
+				c.handleSweepJobs(w, r, name, sweepID)
+				return
+			}
+			c.handleSweep(w, r, name, sweepID)
+		default:
 			rest.WriteError(w, core.ErrNotFound("resource", sub))
-			return
 		}
-		jobID, _ := rest.ShiftPath(rest2)
-		if jobID == "" {
-			c.handleJobList(w, r, name)
-			return
-		}
-		c.handleJob(w, r, name, jobID)
 	}
+}
+
+// listParams parses the shared list-filtering query parameters: ?state=
+// (case-insensitive job state), ?limit= and ?offset=.  An unknown state or a
+// malformed number is a client error.
+func listParams(r *http.Request) (state core.JobState, limit, offset int, err error) {
+	q := r.URL.Query()
+	if s := q.Get("state"); s != "" {
+		state = core.JobState(strings.ToUpper(s))
+		switch state {
+		case core.StateWaiting, core.StateRunning, core.StateDone,
+			core.StateError, core.StateCancelled:
+		default:
+			return "", 0, 0, core.ErrBadRequest("unknown job state %q", s)
+		}
+	}
+	if s := q.Get("limit"); s != "" {
+		if limit, err = strconv.Atoi(s); err != nil || limit < 0 {
+			return "", 0, 0, core.ErrBadRequest("invalid limit %q", s)
+		}
+	}
+	if s := q.Get("offset"); s != "" {
+		if offset, err = strconv.Atoi(s); err != nil || offset < 0 {
+			return "", 0, 0, core.ErrBadRequest("invalid offset %q", s)
+		}
+	}
+	return state, limit, offset, nil
 }
 
 // handleService implements the service resource: GET returns the service
@@ -194,11 +241,21 @@ func (c *Container) handleJobList(w http.ResponseWriter, r *http.Request, servic
 		rest.WriteError(w, err)
 		return
 	}
-	jobs := c.jobs.List(service)
+	state, limit, offset, err := listParams(r)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	jobs, total := c.jobs.ListPage(service, state, limit, offset)
 	for _, j := range jobs {
 		c.decorate(j)
 	}
-	rest.WriteJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"jobs":   jobs,
+		"total":  total,
+		"limit":  limit,
+		"offset": offset,
+	})
 }
 
 // handleJob implements the job resource: GET returns status and results,
@@ -246,6 +303,124 @@ func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, j
 	default:
 		rest.MethodNotAllowed(w, http.MethodGet, http.MethodDelete)
 	}
+}
+
+// handleSweepList implements the sweep collection: POST expands one sweep
+// specification into a whole campaign of child jobs in a single round trip,
+// GET lists the service's sweeps.
+func (c *Container) handleSweepList(w http.ResponseWriter, r *http.Request, service string, principal core.Principal) {
+	switch r.Method {
+	case http.MethodPost:
+		var spec core.SweepSpec
+		if err := rest.ReadJSON(r, &spec); err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		sweep, err := c.jobs.SubmitSweep(r.Context(), service, &spec, principal.Effective())
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		// Synchronous mode, as for single jobs: a short campaign that
+		// finishes within the wait window returns terminal in one call.
+		if waitParam := r.URL.Query().Get("wait"); waitParam != "" {
+			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
+				if s, err := c.jobs.WaitSweep(r.Context(), sweep.ID, d); err == nil {
+					sweep = s
+				}
+			}
+		}
+		w.Header().Set("Location", c.SweepURI(service, sweep.ID))
+		rest.WriteJSON(w, http.StatusCreated, c.decorateSweep(sweep))
+	case http.MethodGet:
+		if _, err := c.Describe(service); err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		sweeps := c.jobs.ListSweeps(service)
+		for _, s := range sweeps {
+			c.decorateSweep(s)
+		}
+		rest.WriteJSON(w, http.StatusOK, map[string]any{"sweeps": sweeps})
+	default:
+		rest.MethodNotAllowed(w, http.MethodGet, http.MethodPost)
+	}
+}
+
+// handleSweep implements the sweep resource: GET returns the aggregate
+// status (long-polling via ?wait=), DELETE cancels a live sweep in one call
+// or destroys a finished one.
+func (c *Container) handleSweep(w http.ResponseWriter, r *http.Request, service, sweepID string) {
+	sweep, err := c.jobs.GetSweep(sweepID)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	if sweep.Service != service {
+		rest.WriteError(w, core.ErrNotFound("sweep", sweepID))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if waitParam := r.URL.Query().Get("wait"); waitParam != "" && !sweep.State.Terminal() {
+			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
+				if s, err := c.jobs.WaitSweep(r.Context(), sweepID, d); err == nil {
+					sweep = s
+				}
+			}
+		}
+		if rest.WantsHTML(r) {
+			c.renderSweep(w, c.decorateSweep(sweep))
+			return
+		}
+		rest.WriteJSON(w, http.StatusOK, c.decorateSweep(sweep))
+	case http.MethodDelete:
+		sweep, err := c.jobs.DeleteSweep(sweepID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		rest.WriteJSON(w, http.StatusOK, c.decorateSweep(sweep))
+	default:
+		rest.MethodNotAllowed(w, http.MethodGet, http.MethodDelete)
+	}
+}
+
+// handleSweepJobs lists one page of a sweep's children in point order,
+// optionally filtered by state.
+func (c *Container) handleSweepJobs(w http.ResponseWriter, r *http.Request, service, sweepID string) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	sweep, err := c.jobs.GetSweep(sweepID)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	if sweep.Service != service {
+		rest.WriteError(w, core.ErrNotFound("sweep", sweepID))
+		return
+	}
+	state, limit, offset, err := listParams(r)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	jobs, total, err := c.jobs.SweepChildren(sweepID, state, limit, offset)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	for _, j := range jobs {
+		c.decorate(j)
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"jobs":   jobs,
+		"total":  total,
+		"limit":  limit,
+		"offset": offset,
+	})
 }
 
 // handleFiles implements the file resource: GET returns the file data,

@@ -36,6 +36,17 @@ type jobRecord struct {
 	// completed by its flight's leader.  Followers stay out of the queue
 	// gauges.
 	coalesced bool
+	// sweep links a child job back to the sweep that spawned it; nil for
+	// ordinary jobs.  Immutable once the record is published.  State
+	// transitions notify the sweep OUTSIDE rec.mu — a sweep may take its
+	// own lock and then rec.mu (pump inspects children), so the reverse
+	// order would deadlock.
+	sweep *sweepRecord
+	// queued tracks whether the record currently occupies a queue slot, so
+	// the queue-depth gauge stays exact across every exit path (worker
+	// pickup, cancel-while-queued, enqueue rejection) without caring which
+	// path wins the race.
+	queued atomic.Bool
 	// snap caches the last published snapshot of the job.  Mutators clear
 	// it (under mu); readers rebuild it lazily, so the status-polling hot
 	// path costs one atomic load and a shallow copy instead of a mutex
@@ -91,6 +102,16 @@ type JobManager struct {
 	// outputs, and concurrent identical submissions coalesce onto one
 	// adapter execution.
 	memo *memoTable
+	// batchMax bounds adapter micro-batching: a worker drains up to this
+	// many queued jobs of one batch-capable service into a single
+	// InvokeBatch call.  Values below 2 disable batching.
+	batchMax int
+	// maxSweepWidth caps the number of child jobs one sweep may expand to
+	// (0 means unlimited).
+	maxSweepWidth int
+	// sweeps tracks the active parameter sweeps and their not-yet-enqueued
+	// children.
+	sweeps sweepManager
 
 	shards [jobShardCount]jobShard
 
@@ -103,7 +124,7 @@ type JobManager struct {
 	baseCancel context.CancelFunc
 }
 
-func newJobManager(c *Container, workers, queueSize int, deadline time.Duration, memoEntries int, memoBytes int64) *JobManager {
+func newJobManager(c *Container, workers, queueSize int, deadline time.Duration, memoEntries int, memoBytes int64, batchMax, maxSweepWidth int) *JobManager {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -112,13 +133,16 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration,
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	jm := &JobManager{
-		c:          c,
-		queue:      make(chan *jobRecord, queueSize),
-		deadline:   deadline,
-		closing:    make(chan struct{}),
-		baseCtx:    baseCtx,
-		baseCancel: baseCancel,
+		c:             c,
+		queue:         make(chan *jobRecord, queueSize),
+		deadline:      deadline,
+		batchMax:      batchMax,
+		maxSweepWidth: maxSweepWidth,
+		closing:       make(chan struct{}),
+		baseCtx:       baseCtx,
+		baseCancel:    baseCancel,
 	}
+	jm.sweeps.sweeps = make(map[string]*sweepRecord)
 	if memoEntries > 0 && memoBytes > 0 {
 		jm.memo = newMemoTable(memoEntries, memoBytes)
 	}
@@ -132,13 +156,20 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration,
 	return jm
 }
 
-// shard returns the lock stripe owning the given job ID (FNV-1a hash).
-func (jm *JobManager) shard(id string) *jobShard {
+// shardIndex returns the index of the lock stripe owning the given job ID
+// (FNV-1a hash).  Bulk submitters group records by index to take each
+// stripe's lock once.
+func (jm *JobManager) shardIndex(id string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h = (h ^ uint32(id[i])) * 16777619
 	}
-	return &jm.shards[h%jobShardCount]
+	return int(h % jobShardCount)
+}
+
+// shard returns the lock stripe owning the given job ID.
+func (jm *JobManager) shard(id string) *jobShard {
+	return &jm.shards[jm.shardIndex(id)]
 }
 
 // allRecords snapshots the record pointers of every shard.
@@ -242,10 +273,14 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		return rec.snapshot(), nil
 	}
 
+	// Mark the record queued before the send: a worker may dequeue it the
+	// instant it lands, and the pickup path balances the gauge through the
+	// same flag.
+	rec.queued.Store(true)
+	metJobsWaiting.Add(1)
 	select {
 	case jm.queue <- rec:
 		metJobsSubmitted.Inc()
-		metJobsWaiting.Add(1)
 		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
 			logger.LogAttrs(ctx, slog.LevelInfo, "job submitted",
 				slog.String("request_id", trace),
@@ -262,6 +297,9 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		}
 		return rec.snapshot(), nil
 	default:
+		if rec.queued.CompareAndSwap(true, false) {
+			metJobsWaiting.Add(-1)
+		}
 		sh.mu.Lock()
 		delete(sh.jobs, rec.job.ID)
 		sh.mu.Unlock()
@@ -342,7 +380,7 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		rec.job.Finished = time.Now()
 		rec.invalidate()
 		close(rec.done)
-		if !rec.coalesced {
+		if rec.queued.CompareAndSwap(true, false) {
 			metJobsWaiting.Add(-1)
 		}
 		metJobsCompleted.With("cancelled").Inc()
@@ -355,6 +393,9 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		// a cancellation error rather than waiting on a job that will
 		// never run.
 		jm.settleFlight(rec)
+		if sw := rec.sweep; sw != nil {
+			sw.childTransition(core.StateWaiting, core.StateCancelled, "")
+		}
 		return rec.snapshot(), nil
 	case core.StateRunning:
 		if cancel != nil {
@@ -386,6 +427,17 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 // List returns snapshots of jobs for one service (or all, if service is
 // empty), newest first.
 func (jm *JobManager) List(service string) []*core.Job {
+	jobs, _ := jm.ListPage(service, "", 0, 0)
+	return jobs
+}
+
+// ListPage returns one page of job snapshots for a service (or all services
+// when service is empty), optionally filtered by state, newest first, along
+// with the total number of matches before paging.  limit <= 0 means no
+// limit; offset skips that many matches from the newest end.  Campaign-scale
+// clients page through a sweep's thousands of children instead of pulling
+// one monolithic list.
+func (jm *JobManager) ListPage(service string, state core.JobState, limit, offset int) ([]*core.Job, int) {
 	var out []*core.Job
 	for _, rec := range jm.allRecords() {
 		// Service is immutable after Submit publishes the record, so the
@@ -393,10 +445,25 @@ func (jm *JobManager) List(service string) []*core.Job {
 		if service != "" && rec.job.Service != service {
 			continue
 		}
-		out = append(out, rec.snapshot())
+		snap := rec.snapshot()
+		if state != "" && snap.State != state {
+			continue
+		}
+		out = append(out, snap)
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
-	return out
+	total := len(out)
+	if offset > 0 {
+		if offset >= len(out) {
+			out = nil
+		} else {
+			out = out[offset:]
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, total
 }
 
 // Close stops the worker pool after cancelling running jobs and drains the
@@ -442,41 +509,324 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	rec.job.Finished = time.Now()
 	rec.invalidate()
 	close(rec.done)
-	if !rec.coalesced {
+	if rec.queued.CompareAndSwap(true, false) {
 		metJobsWaiting.Add(-1)
 	}
 	metJobsCompleted.With("cancelled").Inc()
 	rec.mu.Unlock()
 	jm.settleFlight(rec)
+	if sw := rec.sweep; sw != nil {
+		sw.childTransition(core.StateWaiting, core.StateCancelled, "")
+	}
 }
 
-func (jm *JobManager) worker() {
-	defer jm.wg.Done()
-	for {
-		select {
-		case <-jm.closing:
-			return
-		case rec := <-jm.queue:
-			jm.process(rec)
+// cancelJob cancels one live job without destroying its record: queued jobs
+// move straight to CANCELLED, running jobs have their context cancelled and
+// land wherever their worker puts them.  Terminal jobs are left alone — this
+// is the cancel half of Delete, which whole-sweep cancellation applies to
+// every child without tearing down finished results.
+func (jm *JobManager) cancelJob(rec *jobRecord) {
+	rec.mu.Lock()
+	state := rec.job.State
+	cancel := rec.cancel
+	rec.mu.Unlock()
+	switch state {
+	case core.StateWaiting:
+		// cancelPending re-checks the state under the lock, so losing a
+		// race against a worker pickup here is harmless.
+		jm.cancelPending(rec)
+	case core.StateRunning:
+		if cancel != nil {
+			cancel()
 		}
 	}
 }
 
-// process runs one job through its adapter.  It is panic-safe: a panicking
-// adapter (or staging/publishing step) marks the job ERROR with the captured
-// stack instead of killing the worker goroutine and wedging every waiter.
-func (jm *JobManager) process(rec *jobRecord) {
+func (jm *JobManager) worker() {
+	defer jm.wg.Done()
+	// spill holds a job pulled off the queue by drainBatch that belongs to a
+	// different service: the worker runs it next instead of re-enqueueing,
+	// so draining never starves or reorders foreign jobs behind the batch.
+	var spill *jobRecord
+	for {
+		var rec *jobRecord
+		if spill != nil {
+			rec, spill = spill, nil
+		} else {
+			select {
+			case <-jm.closing:
+				return
+			case rec = <-jm.queue:
+			}
+		}
+		if svc, batch := jm.drainBatch(rec, &spill); batch != nil {
+			jm.processBatch(svc, batch)
+		} else {
+			jm.process(rec)
+		}
+		// A finished job may have freed queue capacity for sweep children
+		// that did not fit at submission time.
+		jm.sweeps.pump()
+	}
+}
+
+// drainBatch collects queued jobs of rec's service into one micro-batch of
+// up to jm.batchMax members.  It returns (nil, nil) when batching does not
+// apply — batching disabled, service gone or not declared "batch", adapter
+// without InvokeBatch, or no second job available — in which case the caller
+// processes rec singly.  Draining stops at the first job of a different
+// service, which is handed back through spill.
+func (jm *JobManager) drainBatch(rec *jobRecord, spill **jobRecord) (*service, []*jobRecord) {
+	if jm.batchMax < 2 {
+		return nil, nil
+	}
+	// Service is immutable after Submit publishes the record.
+	svc, err := jm.c.service(rec.job.Service)
+	if err != nil || !svc.desc.Batch {
+		return nil, nil
+	}
+	if _, ok := svc.adapter.(adapter.BatchInterface); !ok {
+		return nil, nil
+	}
+	batch := []*jobRecord{rec}
+drain:
+	for len(batch) < jm.batchMax {
+		select {
+		case next := <-jm.queue:
+			if next.job.Service == rec.job.Service {
+				batch = append(batch, next)
+			} else {
+				*spill = next
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	if len(batch) == 1 {
+		return nil, nil
+	}
+	return svc, batch
+}
+
+// runningJob carries the per-execution state of one job from its
+// WAITING→RUNNING transition to its terminal state.  It factors the single
+// and micro-batched worker paths over one set of lifecycle helpers: beginJob
+// → prepare → (adapter) → complete/finish, with cleanup and recoverPanic as
+// deferred guards.
+type runningJob struct {
+	jm       *JobManager
+	rec      *jobRecord
+	ctx      context.Context
+	deadline time.Duration
+	jobID    string
+	service  string
+	owner    string
+	trace    string
+	inputs   core.Values
+	workDir  string
+	req      *adapter.Request
+}
+
+// beginJob moves a dequeued job to RUNNING and captures the fields its
+// execution needs, returning nil when the job is no longer WAITING
+// (cancelled while queued).  ctx must already wrap the execution deadline;
+// cancel is retained on the record so DELETE can abort the run.
+func (jm *JobManager) beginJob(rec *jobRecord, ctx context.Context, cancel context.CancelFunc, deadline time.Duration) *runningJob {
 	rec.mu.Lock()
 	if rec.job.State != core.StateWaiting {
 		// Cancelled while queued.
 		rec.mu.Unlock()
-		return
+		return nil
 	}
-	serviceName := rec.job.Service
+	rec.job.State = core.StateRunning
+	rec.job.Started = time.Now()
+	rec.job.QueueWait = core.Duration(rec.job.Started.Sub(rec.job.Created))
+	rec.cancel = cancel
+	rec.invalidate()
+	rj := &runningJob{
+		jm:       jm,
+		rec:      rec,
+		deadline: deadline,
+		jobID:    rec.job.ID,
+		service:  rec.job.Service,
+		owner:    rec.job.Owner,
+		trace:    rec.job.TraceID,
+		inputs:   rec.job.Inputs.Clone(),
+	}
+	queueWait := rec.job.QueueWait.Std()
 	rec.mu.Unlock()
 
+	if rec.queued.CompareAndSwap(true, false) {
+		metJobsWaiting.Add(-1)
+	}
+	metJobsRunning.Add(1)
+	metQueueWait.Observe(queueWait.Seconds())
+	// Re-enter the job's trace into the execution context: every outbound
+	// call the adapter makes (workflow block invocations, file staging)
+	// then carries the ingress X-Request-ID.
+	if rj.trace != "" {
+		ctx = obs.WithRequestID(ctx, rj.trace)
+	}
+	rj.ctx = ctx
+	if sw := rec.sweep; sw != nil {
+		sw.childTransition(core.StateWaiting, core.StateRunning, "")
+	}
+	return rj
+}
+
+// finish records the job's terminal state, settles its singleflight (a DONE
+// leader populates the computation cache and completes coalesced followers)
+// and notifies its sweep.  It is idempotent: the first caller wins, so the
+// panic guard can invoke it over an already-finished job.
+func (rj *runningJob) finish(outputs core.Values, err error) {
+	rec := rj.rec
+	rec.mu.Lock()
+	if rec.job.State.Terminal() {
+		rec.mu.Unlock()
+		return
+	}
+	rec.job.Finished = time.Now()
+	rec.job.RunTime = core.Duration(rec.job.Finished.Sub(rec.job.Started))
+	switch {
+	case err == nil:
+		rec.job.State = core.StateDone
+		rec.job.Outputs = outputs
+	case errors.Is(rj.ctx.Err(), context.DeadlineExceeded):
+		// The job overran its execution deadline: a fault of the
+		// job, not a client cancellation.
+		rec.job.State = core.StateError
+		rec.job.Error = fmt.Sprintf("container: job exceeded its %s execution deadline", rj.deadline)
+		metDeadlineOverruns.Inc()
+	case rj.ctx.Err() != nil:
+		rec.job.State = core.StateCancelled
+	default:
+		rec.job.State = core.StateError
+		rec.job.Error = err.Error()
+	}
+	state := rec.job.State
+	errMsg := rec.job.Error
+	runTime := rec.job.RunTime.Std()
+	queueWait := rec.job.QueueWait.Std()
+	rec.invalidate()
+	close(rec.done)
+	rec.mu.Unlock()
+
+	metJobsRunning.Add(-1)
+	metRunTime.Observe(runTime.Seconds())
+	metJobsCompleted.With(strings.ToLower(string(state))).Inc()
+	if logger := obs.Logger(); logger.Enabled(rj.ctx, slog.LevelInfo) {
+		logger.LogAttrs(rj.ctx, slog.LevelInfo, "job finished",
+			slog.String("request_id", rj.trace),
+			slog.String("job_id", rj.jobID),
+			slog.String("service", rj.service),
+			slog.String("state", string(state)),
+			slog.Duration("queue_wait", queueWait),
+			slog.Duration("run_time", runTime))
+	}
+	rj.jm.settleFlight(rec)
+	if sw := rec.sweep; sw != nil {
+		sw.childTransition(core.StateRunning, state, errMsg)
+	}
+}
+
+// prepare creates the job's scratch directory, stages file inputs into it
+// and assembles the adapter request.  The directory is created lazily: a
+// job with no file inputs whose adapter reports (WorkDirCapability) that it
+// never reads WorkDir skips the create/remove round trip entirely — for
+// short in-process computations those two filesystem operations dominate
+// the whole job, and a wide campaign pays them per child.
+func (rj *runningJob) prepare(ad adapter.Interface) error {
+	needDir := hasFileInputs(rj.inputs)
+	if !needDir {
+		if cap, ok := ad.(adapter.WorkDirCapability); !ok || cap.NeedsWorkDir() {
+			needDir = true
+		}
+	}
+	var files map[string]string
+	if needDir {
+		workDir, err := os.MkdirTemp(rj.jm.c.workRoot, "job-"+rj.jobID[:8]+"-")
+		if err != nil {
+			return fmt.Errorf("container: create work dir: %w", err)
+		}
+		rj.workDir = workDir
+		if files, err = rj.jm.stageInputs(rj.ctx, rj.inputs, workDir); err != nil {
+			return err
+		}
+	}
+	rec := rj.rec
+	progress := func(msg string) {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if len(rec.job.Log) < 1000 {
+			rec.job.Log = append(rec.job.Log, msg)
+			rec.invalidate()
+		}
+	}
+	setBlockState := func(block string, state core.JobState) {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		if rec.job.Blocks == nil {
+			rec.job.Blocks = make(map[string]core.JobState)
+		}
+		rec.job.Blocks[block] = state
+		rec.invalidate()
+	}
+	rj.req = &adapter.Request{
+		JobID:         rj.jobID,
+		Service:       rj.service,
+		Owner:         rj.owner,
+		Inputs:        rj.inputs,
+		Files:         files,
+		WorkDir:       rj.workDir,
+		Progress:      progress,
+		SetBlockState: setBlockState,
+	}
+	return nil
+}
+
+// cleanup removes the job's scratch directory, if prepare created one.
+func (rj *runningJob) cleanup() {
+	if rj.workDir != "" {
+		_ = os.RemoveAll(rj.workDir)
+	}
+}
+
+// complete publishes the adapter result and lands the job in its terminal
+// state.
+func (rj *runningJob) complete(svc *service, res *adapter.Result, err error) {
+	if err != nil {
+		rj.finish(nil, err)
+		return
+	}
+	outputs, err := rj.jm.publishOutputs(res, rj.jobID)
+	if err != nil {
+		rj.finish(nil, err)
+		return
+	}
+	if err := svc.desc.ValidateOutputs(outputs); err != nil {
+		rj.finish(nil, fmt.Errorf("container: adapter produced invalid outputs: %w", err))
+		return
+	}
+	rj.finish(outputs, nil)
+}
+
+// recoverPanic is the deferred panic guard of the worker paths: a panicking
+// adapter (or staging/publishing step) marks the job ERROR with the captured
+// stack instead of killing the worker goroutine and wedging every waiter.
+func (rj *runningJob) recoverPanic() {
+	if r := recover(); r != nil {
+		metWorkerPanics.Inc()
+		rj.finish(nil, fmt.Errorf("container: adapter panic: %v\n%s", r, panicStack()))
+	}
+}
+
+// process runs one job through its adapter.
+func (jm *JobManager) process(rec *jobRecord) {
 	// Resolve the service first: its description may override the
-	// container's default execution deadline.
+	// container's default execution deadline.  Service is immutable after
+	// Submit publishes the record.
+	serviceName := rec.job.Service
 	svc, svcErr := jm.c.service(serviceName)
 	deadline := jm.deadline
 	if svc != nil && svc.desc.Deadline > 0 {
@@ -491,155 +841,112 @@ func (jm *JobManager) process(rec *jobRecord) {
 	}
 	defer cancel()
 
-	rec.mu.Lock()
-	if rec.job.State != core.StateWaiting {
-		// Cancelled between the first check and here.
-		rec.mu.Unlock()
+	rj := jm.beginJob(rec, ctx, cancel, deadline)
+	if rj == nil {
 		return
 	}
-	rec.job.State = core.StateRunning
-	rec.job.Started = time.Now()
-	rec.job.QueueWait = core.Duration(rec.job.Started.Sub(rec.job.Created))
-	rec.cancel = cancel
-	rec.invalidate()
-	jobID := rec.job.ID
-	owner := rec.job.Owner
-	trace := rec.job.TraceID
-	queueWait := rec.job.QueueWait.Std()
-	inputs := rec.job.Inputs.Clone()
-	rec.mu.Unlock()
-
-	metJobsWaiting.Add(-1)
-	metJobsRunning.Add(1)
-	metQueueWait.Observe(queueWait.Seconds())
-	// Re-enter the job's trace into the execution context: every outbound
-	// call the adapter makes (workflow block invocations, file staging)
-	// then carries the ingress X-Request-ID.
-	if trace != "" {
-		ctx = obs.WithRequestID(ctx, trace)
+	defer rj.recoverPanic()
+	defer rj.cleanup()
+	if svcErr != nil {
+		rj.finish(nil, svcErr)
+		return
 	}
-
-	finishLocked := func(outputs core.Values, err error) {
-		rec.mu.Lock()
-		defer rec.mu.Unlock()
-		if rec.job.State.Terminal() {
-			return
-		}
-		rec.job.Finished = time.Now()
-		rec.job.RunTime = core.Duration(rec.job.Finished.Sub(rec.job.Started))
-		switch {
-		case err == nil:
-			rec.job.State = core.StateDone
-			rec.job.Outputs = outputs
-		case errors.Is(ctx.Err(), context.DeadlineExceeded):
-			// The job overran its execution deadline: a fault of the
-			// job, not a client cancellation.
-			rec.job.State = core.StateError
-			rec.job.Error = fmt.Sprintf("container: job exceeded its %s execution deadline", deadline)
-			metDeadlineOverruns.Inc()
-		case ctx.Err() != nil:
-			rec.job.State = core.StateCancelled
-		default:
-			rec.job.State = core.StateError
-			rec.job.Error = err.Error()
-		}
-		rec.invalidate()
-		close(rec.done)
-		metJobsRunning.Add(-1)
-		metRunTime.Observe(rec.job.RunTime.Std().Seconds())
-		metJobsCompleted.With(strings.ToLower(string(rec.job.State))).Inc()
-		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
-			logger.LogAttrs(ctx, slog.LevelInfo, "job finished",
-				slog.String("request_id", trace),
-				slog.String("job_id", jobID),
-				slog.String("service", serviceName),
-				slog.String("state", string(rec.job.State)),
-				slog.Duration("queue_wait", queueWait),
-				slog.Duration("run_time", rec.job.RunTime.Std()))
-		}
+	if err := rj.prepare(svc.adapter); err != nil {
+		rj.finish(nil, err)
+		return
 	}
+	res, err := svc.adapter.Invoke(rj.ctx, rj.req)
+	rj.complete(svc, res, err)
+}
 
-	// finish records the terminal state and then settles the job's
-	// singleflight (outside the record lock): on DONE the outputs populate
-	// the computation cache and complete every coalesced follower.
-	finish := func(outputs core.Values, err error) {
-		finishLocked(outputs, err)
-		jm.settleFlight(rec)
+// processBatch runs several queued jobs of one batch-capable service through
+// a single InvokeBatch call.  The batch shares one execution deadline; each
+// member keeps its own cancellable child context, so DELETE of one member
+// cancels that member alone.  A failed item fails only its job; an error (or
+// panic) of the batch as a whole fails every member that has not finished.
+func (jm *JobManager) processBatch(svc *service, recs []*jobRecord) {
+	deadline := jm.deadline
+	if svc.desc.Deadline > 0 {
+		deadline = svc.desc.Deadline.Std()
 	}
+	var batchCtx context.Context
+	var batchCancel context.CancelFunc
+	if deadline > 0 {
+		batchCtx, batchCancel = context.WithTimeout(jm.baseCtx, deadline)
+	} else {
+		batchCtx, batchCancel = context.WithCancel(jm.baseCtx)
+	}
+	defer batchCancel()
 
-	// Panic safety: finish is idempotent (guarded on Terminal), so a panic
-	// anywhere below — most likely inside the adapter — lands the job in
-	// ERROR with the stack, and the worker goroutine survives.
+	// Begin every member; jobs cancelled while queued drop out here.
+	active := make([]*runningJob, 0, len(recs))
+	for _, rec := range recs {
+		ctx, cancel := context.WithCancel(batchCtx)
+		rj := jm.beginJob(rec, ctx, cancel, deadline)
+		if rj == nil {
+			cancel()
+			continue
+		}
+		active = append(active, rj)
+	}
+	if len(active) == 0 {
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			metWorkerPanics.Inc()
-			finish(nil, fmt.Errorf("container: adapter panic: %v\n%s", r, panicStack()))
+			err := fmt.Errorf("container: adapter panic: %v\n%s", r, panicStack())
+			// finish is idempotent: members that already landed keep their
+			// state, the rest go to ERROR.
+			for _, rj := range active {
+				rj.finish(nil, err)
+			}
+		}
+	}()
+	defer func() {
+		for _, rj := range active {
+			rj.cleanup()
 		}
 	}()
 
-	if svcErr != nil {
-		finish(nil, svcErr)
+	// Stage every member; a member whose staging fails drops out of the
+	// invocation without affecting the rest.
+	ready := make([]*runningJob, 0, len(active))
+	for _, rj := range active {
+		if err := rj.prepare(svc.adapter); err != nil {
+			rj.finish(nil, err)
+			continue
+		}
+		ready = append(ready, rj)
+	}
+	if len(ready) == 0 {
 		return
 	}
-
-	workDir, err := os.MkdirTemp(jm.c.workRoot, "job-"+jobID[:8]+"-")
+	metBatchSize.Observe(float64(len(ready)))
+	reqs := make([]*adapter.Request, len(ready))
+	for i, rj := range ready {
+		reqs[i] = rj.req
+	}
+	items, err := svc.adapter.(adapter.BatchInterface).InvokeBatch(batchCtx, reqs)
+	if err == nil && len(items) != len(reqs) {
+		err = fmt.Errorf("container: batch adapter returned %d results for %d jobs", len(items), len(reqs))
+	}
 	if err != nil {
-		finish(nil, fmt.Errorf("container: create work dir: %w", err))
+		for _, rj := range ready {
+			rj.finish(nil, err)
+		}
 		return
 	}
-	defer os.RemoveAll(workDir)
-
-	files, err := jm.stageInputs(ctx, inputs, workDir)
-	if err != nil {
-		finish(nil, err)
-		return
-	}
-
-	progress := func(msg string) {
-		rec.mu.Lock()
-		defer rec.mu.Unlock()
-		if len(rec.job.Log) < 1000 {
-			rec.job.Log = append(rec.job.Log, msg)
-			rec.invalidate()
+	for i, rj := range ready {
+		switch {
+		case items[i].Err != nil:
+			rj.finish(nil, items[i].Err)
+		case items[i].Result == nil:
+			rj.finish(nil, fmt.Errorf("container: batch adapter returned no result for job %s", rj.jobID))
+		default:
+			rj.complete(svc, items[i].Result, nil)
 		}
 	}
-
-	setBlockState := func(block string, state core.JobState) {
-		rec.mu.Lock()
-		defer rec.mu.Unlock()
-		if rec.job.Blocks == nil {
-			rec.job.Blocks = make(map[string]core.JobState)
-		}
-		rec.job.Blocks[block] = state
-		rec.invalidate()
-	}
-
-	req := &adapter.Request{
-		JobID:         jobID,
-		Service:       serviceName,
-		Owner:         owner,
-		Inputs:        inputs,
-		Files:         files,
-		WorkDir:       workDir,
-		Progress:      progress,
-		SetBlockState: setBlockState,
-	}
-	res, err := svc.adapter.Invoke(ctx, req)
-	if err != nil {
-		finish(nil, err)
-		return
-	}
-
-	outputs, err := jm.publishOutputs(res, jobID)
-	if err != nil {
-		finish(nil, err)
-		return
-	}
-	if err := svc.desc.ValidateOutputs(outputs); err != nil {
-		finish(nil, fmt.Errorf("container: adapter produced invalid outputs: %w", err))
-		return
-	}
-	finish(outputs, nil)
 }
 
 // stageInputs resolves file-reference input values into local files inside
@@ -649,6 +956,17 @@ func (jm *JobManager) process(rec *jobRecord) {
 // over HTTP straight into the work dir, except when they point back at this
 // container, in which case the transfer is short-cut to the local path.
 // No path buffers whole files on the heap.
+// hasFileInputs reports whether any input value is a file reference that
+// must be staged to disk.
+func hasFileInputs(inputs core.Values) bool {
+	for _, v := range inputs {
+		if _, ok := core.FileRefID(v); ok {
+			return true
+		}
+	}
+	return false
+}
+
 func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workDir string) (map[string]string, error) {
 	files := make(map[string]string)
 	for name, val := range inputs {
@@ -861,8 +1179,8 @@ func (jm *JobManager) failFlight(key, errMsg string) {
 // left untouched (done is closed exactly once).
 func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outputs core.Values, errMsg string) {
 	rec.mu.Lock()
-	defer rec.mu.Unlock()
 	if rec.job.State.Terminal() {
+		rec.mu.Unlock()
 		return
 	}
 	now := time.Now()
@@ -877,9 +1195,16 @@ func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outp
 		rec.job.State = core.StateError
 		rec.job.Error = errMsg
 	}
+	final := rec.job.State
+	finalErr := rec.job.Error
 	rec.invalidate()
 	close(rec.done)
-	metJobsCompleted.With(strings.ToLower(string(rec.job.State))).Inc()
+	rec.mu.Unlock()
+	metJobsCompleted.With(strings.ToLower(string(final))).Inc()
+	// Followers go straight from WAITING to their terminal state.
+	if sw := rec.sweep; sw != nil {
+		sw.childTransition(core.StateWaiting, final, finalErr)
+	}
 }
 
 // panicStack captures the panicking goroutine's stack, truncated so a deep

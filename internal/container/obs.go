@@ -58,12 +58,25 @@ var (
 		"File resources deduplicated to an existing content-addressed blob.")
 	metDedupBytes = obs.NewCounter("mc_filestore_dedup_bytes_total",
 		"Bytes not written to disk because an identical blob already existed.")
+
+	// Campaign plane (DESIGN.md §5f): parameter sweeps and adapter
+	// micro-batching.
+	metSweepsSubmitted = obs.NewCounter("mc_sweeps_submitted_total",
+		"Parameter sweeps accepted for expansion into child jobs.")
+	metSweepActive = obs.NewGauge("mc_sweep_active",
+		"Sweeps with at least one non-terminal child job.")
+	metSweepChildren = obs.NewCounterVec("mc_sweep_children_total",
+		"Sweep child jobs that reached a terminal state, by state.", "state")
+	metBatchSize = obs.NewHistogram("mc_batch_size",
+		"Jobs dispatched per adapter micro-batch invocation.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 )
 
 // knownRoutes is the closed set of route labels routeOf can return.
 var knownRoutes = []string{
 	"index", "metrics", "status", "workflows", "editor", "search", "tags",
-	"ping", "file", "service", "job_list", "job", "other",
+	"ping", "file", "service", "job_list", "job", "sweep_list", "sweep",
+	"sweep_jobs", "other",
 }
 
 // knownMethods and knownClasses close the remaining label dimensions of the
@@ -126,6 +139,15 @@ func routeOf(path string) string {
 				return "job_list"
 			}
 			return "job"
+		case "sweeps":
+			id, rest2 := shiftClean(rest)
+			if id == "" {
+				return "sweep_list"
+			}
+			if sub, _ := shiftClean(rest2); sub == "jobs" {
+				return "sweep_jobs"
+			}
+			return "sweep"
 		}
 	}
 	return "other"

@@ -120,6 +120,41 @@ pre{background:#f4f4f4;padding:1em;overflow:auto}
 </body></html>
 `))
 
+var sweepTemplate = template.Must(template.New("sweep").Funcs(template.FuncMap{
+	"stamp": func(t time.Time) string {
+		if t.IsZero() {
+			return "—"
+		}
+		return t.Format("2006-01-02 15:04:05.000 MST")
+	},
+}).Parse(`<!DOCTYPE html>
+<html><head><title>Sweep {{.ID}} — MathCloud</title><style>
+body{font-family:sans-serif;margin:2em;max-width:60em}
+table{border-collapse:collapse}td,th{border:1px solid #999;padding:.3em .6em;text-align:left}
+code{background:#eee;padding:0 .2em}
+pre{background:#f4f4f4;padding:1em;overflow:auto}
+.state-DONE{color:#060}.state-ERROR{color:#a00}.state-RUNNING{color:#06c}
+</style></head><body>
+<h1>Sweep <code>{{.ID}}</code></h1>
+<p>Service <a href="/services/{{.Service}}"><code>{{.Service}}</code></a>
+&middot; state <strong class="state-{{.State}}">{{.State}}</strong>
+&middot; width {{.Width}}
+{{if .TraceID}}&middot; trace <code>{{.TraceID}}</code>{{end}}
+{{if .Owner}}&middot; owner <code>{{.Owner}}</code>{{end}}</p>
+<h2>Children</h2>
+<table>
+<tr><th>Waiting</th><td>{{.Counts.Waiting}}</td></tr>
+<tr><th>Running</th><td>{{.Counts.Running}}</td></tr>
+<tr><th>Done</th><td>{{.Counts.Done}}</td></tr>
+<tr><th>Error</th><td>{{.Counts.Error}}</td></tr>
+<tr><th>Cancelled</th><td>{{.Counts.Cancelled}}</td></tr>
+</table>
+<p>Submitted {{stamp .Created}}{{if not .Finished.IsZero}} &middot; finished {{stamp .Finished}}{{end}}</p>
+{{if .FirstError}}<h2>First error</h2><pre>{{.FirstError}}</pre>{{end}}
+<p><a href="{{.JobsURI}}">Child jobs</a></p>
+</body></html>
+`))
+
 func (c *Container) renderIndex(w http.ResponseWriter, services []core.ServiceDescription) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTemplate.Execute(w, services); err != nil {
@@ -141,5 +176,14 @@ func (c *Container) renderJob(w http.ResponseWriter, job *core.Job) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := jobTemplate.Execute(w, job); err != nil {
 		log.Printf("container: render job: %v", err)
+	}
+}
+
+// renderSweep paints the campaign status page: per-state child counts and
+// the first error, cheap to serve at any width.
+func (c *Container) renderSweep(w http.ResponseWriter, sweep *core.Sweep) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := sweepTemplate.Execute(w, sweep); err != nil {
+		log.Printf("container: render sweep: %v", err)
 	}
 }

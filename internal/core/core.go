@@ -169,6 +169,12 @@ type ServiceDescription struct {
 	// adapter execution.  Services with side effects, randomness or
 	// time-dependent results must leave this unset.
 	Deterministic bool `json:"deterministic,omitempty"`
+	// Batch declares that the service's adapter supports micro-batched
+	// invocation (adapter.BatchInterface): the container's worker pool may
+	// drain several queued jobs of this service into one adapter call,
+	// amortising per-invocation overhead — one external process, one
+	// solver warm-up — across the batch.  Failures isolate per job.
+	Batch bool `json:"batch,omitempty"`
 	// URI is the absolute resource identifier of the service; filled by
 	// the container when the description is served.
 	URI string `json:"uri,omitempty"`

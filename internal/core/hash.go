@@ -1,11 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash"
+	"io"
 	"sort"
 	"strconv"
 )
@@ -33,19 +34,23 @@ type FileDigester func(ref string) (string, error)
 // in-process submit of the same shape); anything else is an error.
 func CanonicalHash(service, version string, inputs Values, files FileDigester) (string, error) {
 	h := sha256.New()
-	// Domain-separate the identity fields so ("a", "bc") and ("ab", "c")
-	// cannot collide.
-	writeString(h, service)
-	h.Write([]byte{0})
-	writeString(h, version)
-	h.Write([]byte{0})
+	writeHashHeader(h, service, version)
 	if err := hashValue(h, map[string]any(inputs), files); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-func writeString(h hash.Hash, s string) {
+// writeHashHeader writes the domain-separated identity prefix of a
+// computation key, so ("a", "bc") and ("ab", "c") cannot collide.
+func writeHashHeader(w io.Writer, service, version string) {
+	writeString(w, service)
+	w.Write([]byte{0})
+	writeString(w, version)
+	w.Write([]byte{0})
+}
+
+func writeString(h io.Writer, s string) {
 	var lenBuf [8]byte
 	n := len(s)
 	for i := 0; i < 8; i++ {
@@ -60,7 +65,7 @@ func writeString(h hash.Hash, s string) {
 // directly; any other Go value — an int from an in-process caller, a typed
 // slice — is normalised through one json.Marshal/Unmarshal round trip so
 // equivalent values hash equally regardless of their in-memory type.
-func hashValue(h hash.Hash, v any, files FileDigester) error {
+func hashValue(h io.Writer, v any, files FileDigester) error {
 	switch val := v.(type) {
 	case nil:
 		h.Write([]byte("z"))
@@ -129,4 +134,69 @@ func hashValue(h hash.Hash, v any, files FileDigester) error {
 		return hashValue(h, normalised, files)
 	}
 	return nil
+}
+
+// InputHasher derives computation keys for a family of requests sharing one
+// template: the canonical encodings of the service identity and of every
+// template value — including file-digest resolution — are computed once at
+// construction and replayed per point, so hashing the k-th point of a sweep
+// costs one sha256 pass over mostly precomputed bytes instead of re-encoding
+// (and re-digesting) the shared inputs.  HashPoint(override) produces
+// exactly CanonicalHash(service, version, merge(template, override), files),
+// which is what lets sweep children share the memo table with ordinary
+// single submissions.  An InputHasher is immutable after construction and
+// safe for concurrent use.
+type InputHasher struct {
+	header   []byte
+	keys     []string // sorted template keys
+	segments map[string][]byte
+}
+
+// NewInputHasher precomputes the canonical encoding of (service, version)
+// and of each template value.  File-reference template values are resolved
+// through files exactly once, here.
+func NewInputHasher(service, version string, template Values, files FileDigester) (*InputHasher, error) {
+	ih := &InputHasher{segments: make(map[string][]byte, len(template))}
+	var buf bytes.Buffer
+	writeHashHeader(&buf, service, version)
+	ih.header = append([]byte(nil), buf.Bytes()...)
+	for _, k := range template.Names() {
+		buf.Reset()
+		writeString(&buf, k)
+		if err := hashValue(&buf, template[k], files); err != nil {
+			return nil, err
+		}
+		ih.segments[k] = append([]byte(nil), buf.Bytes()...)
+		ih.keys = append(ih.keys, k)
+	}
+	return ih, nil
+}
+
+// HashPoint returns the computation key of the template merged with the
+// given per-point overrides (overrides win on conflicting names).  Only the
+// override values are encoded — and only their file references digested —
+// at call time.
+func (ih *InputHasher) HashPoint(override Values, files FileDigester) (string, error) {
+	h := sha256.New()
+	h.Write(ih.header)
+	h.Write([]byte("{"))
+	ti := 0
+	for _, k := range override.Names() {
+		for ti < len(ih.keys) && ih.keys[ti] < k {
+			h.Write(ih.segments[ih.keys[ti]])
+			ti++
+		}
+		if ti < len(ih.keys) && ih.keys[ti] == k {
+			ti++ // template value shadowed by the override
+		}
+		writeString(h, k)
+		if err := hashValue(h, override[k], files); err != nil {
+			return "", err
+		}
+	}
+	for ; ti < len(ih.keys); ti++ {
+		h.Write(ih.segments[ih.keys[ti]])
+	}
+	h.Write([]byte("}"))
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSweepExpandAxes(t *testing.T) {
+	spec := SweepSpec{
+		Template: Values{"fixed": "x"},
+		Axes: map[string][]any{
+			"b": {1.0, 2.0, 3.0},
+			"a": {"p", "q"},
+		},
+	}
+	if w := spec.Width(); w != 6 {
+		t.Fatalf("Width = %d, want 6", w)
+	}
+	points, err := spec.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Row-major over sorted axis names: "a" outer, "b" inner.
+	want := []Values{
+		{"a": "p", "b": 1.0}, {"a": "p", "b": 2.0}, {"a": "p", "b": 3.0},
+		{"a": "q", "b": 1.0}, {"a": "q", "b": 2.0}, {"a": "q", "b": 3.0},
+	}
+	for i, p := range points {
+		if fmt.Sprint(p["a"]) != fmt.Sprint(want[i]["a"]) || fmt.Sprint(p["b"]) != fmt.Sprint(want[i]["b"]) {
+			t.Errorf("point %d = %v, want %v", i, p, want[i])
+		}
+		merged := spec.MergePoint(p)
+		if merged["fixed"] != "x" {
+			t.Errorf("point %d lost template value: %v", i, merged)
+		}
+	}
+}
+
+func TestSweepExpandPoints(t *testing.T) {
+	spec := SweepSpec{Points: []Values{{"n": 1.0}, nil, {"n": 3.0}}}
+	points, err := spec.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || points[1] == nil {
+		t.Fatalf("points = %v", points)
+	}
+}
+
+func TestSweepExpandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SweepSpec
+		max  int
+	}{
+		{"empty", SweepSpec{}, 0},
+		{"both", SweepSpec{Axes: map[string][]any{"a": {1.0}}, Points: []Values{{}}}, 0},
+		{"empty axis", SweepSpec{Axes: map[string][]any{"a": {}}}, 0},
+		{"axes over cap", SweepSpec{Axes: map[string][]any{"a": {1.0, 2.0}, "b": {1.0, 2.0}}}, 3},
+		{"points over cap", SweepSpec{Points: []Values{{}, {}, {}}}, 2},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.Expand(tc.max); err == nil {
+			t.Errorf("%s: Expand succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestSweepExpandWidthOverflow exercises the overflow guard: gigantic axis
+// products must be rejected, not wrapped.
+func TestSweepExpandWidthOverflow(t *testing.T) {
+	big := make([]any, 100000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	spec := SweepSpec{Axes: map[string][]any{"a": big, "b": big, "c": big}}
+	if _, err := spec.Expand(1 << 20); err == nil {
+		t.Fatal("Expand of 10^15 points succeeded, want width error")
+	}
+}
+
+// TestInputHasherMatchesCanonicalHash is the correctness contract of the
+// sweep fast path: the prefix-reusing hasher must produce byte-identical
+// keys to the ordinary per-request CanonicalHash, including when overrides
+// shadow template values, so sweep children and single submissions share
+// one memo table.
+func TestInputHasherMatchesCanonicalHash(t *testing.T) {
+	digester := func(ref string) (string, error) { return "digest-of-" + ref, nil }
+	template := Values{
+		"alpha": 1.5,
+		"m":     map[string]any{"k": []any{true, nil, "s"}},
+		"file":  FileRef("abc123"),
+		"zeta":  "shared",
+	}
+	ih, err := NewInputHasher("svc", "2.0", template, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overrides := []Values{
+		{},
+		{"beta": 2.0},
+		{"alpha": 9.0},                      // shadows a template key
+		{"aa": 1.0, "nn": 2.0, "zz": 3.0},   // interleaves around template keys
+		{"zeta": "own", "zzz": "tail"},      // shadow plus trailing key
+		{"file2": FileRef("def456")},        // per-point file input
+		{"a": map[string]any{"x": []any{}}}, // structured override
+	}
+	seen := make(map[string]string)
+	for _, ov := range overrides {
+		merged := (&SweepSpec{Template: template}).MergePoint(ov)
+		want, err := CanonicalHash("svc", "2.0", merged, digester)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ih.HashPoint(ov, digester)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("HashPoint(%v) = %s, want CanonicalHash %s", ov, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("hash collision between overrides %v and %s", ov, prev)
+		}
+		seen[got] = fmt.Sprint(ov)
+	}
+	// An override that repeats template values verbatim merges to the same
+	// inputs as no override at all, so the keys must coincide — that is the
+	// overlap property sweep memoization relies on.
+	empty, err := ih.HashPoint(nil, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ih.HashPoint(Values{"alpha": 1.5, "zeta": "shared"}, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != same {
+		t.Errorf("equal-valued override hashed differently: %s vs %s", empty, same)
+	}
+}
+
+func TestInputHasherFileDigestResolvedOnce(t *testing.T) {
+	calls := 0
+	digester := func(ref string) (string, error) { calls++; return "d-" + ref, nil }
+	ih, err := NewInputHasher("svc", "1", Values{"file": FileRef("abc")}, digester)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ih.HashPoint(Values{"n": float64(i)}, digester); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("template file digested %d times, want 1", calls)
+	}
+}
+
+func TestSweepAggregateState(t *testing.T) {
+	cases := []struct {
+		counts SweepCounts
+		width  int
+		want   JobState
+	}{
+		{SweepCounts{Waiting: 2, Done: 1}, 3, StateRunning},
+		{SweepCounts{Done: 3}, 3, StateDone},
+		{SweepCounts{Done: 2, Error: 1}, 3, StateError},
+		{SweepCounts{Done: 2, Cancelled: 1}, 3, StateCancelled},
+		{SweepCounts{Error: 1, Cancelled: 2}, 3, StateError},
+	}
+	for i, tc := range cases {
+		if got := tc.counts.AggregateState(tc.width); got != tc.want {
+			t.Errorf("case %d: AggregateState = %s, want %s", i, got, tc.want)
+		}
+	}
+}

@@ -103,6 +103,21 @@ func (p *RetryPolicy) backoff(n int) time.Duration {
 	return d/2 + time.Duration(f*float64(d/2))
 }
 
+// Jitter spreads a polling delay: it returns a uniformly random duration in
+// [d, 3d/2).  Pollers sleeping Jitter(minPoll) instead of exactly minPoll
+// desynchronize — a thousand sweep watchers started by one campaign submit
+// would otherwise phase-lock into periodic request bursts against a single
+// container.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	jitterRand.Lock()
+	f := jitterRand.Float64()
+	jitterRand.Unlock()
+	return d + time.Duration(f*float64(d)/2)
+}
+
 // idempotent reports whether the method may be replayed unconditionally.
 func idempotent(method string) bool {
 	switch method {

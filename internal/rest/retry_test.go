@@ -155,3 +155,22 @@ func TestStatusOfUnavailable(t *testing.T) {
 		t.Errorf("StatusOf = %d, want 503", got)
 	}
 }
+
+// TestJitterBounds pins the poll-desynchronization contract: Jitter returns
+// a value in [d, 3d/2), never less than the minimum poll delay and never
+// unbounded, and passes non-positive delays through untouched.
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		got := rest.Jitter(d)
+		if got < d || got >= d+d/2 {
+			t.Fatalf("Jitter(%v) = %v, want in [%v, %v)", d, got, d, d+d/2)
+		}
+	}
+	if got := rest.Jitter(0); got != 0 {
+		t.Errorf("Jitter(0) = %v", got)
+	}
+	if got := rest.Jitter(-time.Second); got != -time.Second {
+		t.Errorf("Jitter(-1s) = %v", got)
+	}
+}

@@ -22,6 +22,16 @@ const (
 )
 
 func curveFunc(_ context.Context, inputs core.Values) (core.Values, error) {
+	q, err := floatSlice(inputs["q"])
+	if err != nil {
+		return nil, fmt.Errorf("scatter: q grid: %w", err)
+	}
+	return curveCompute(inputs, q)
+}
+
+// curveCompute evaluates one curve request against an already converted q
+// grid (the part a batched campaign shares across points).
+func curveCompute(inputs core.Values, q []float64) (core.Values, error) {
 	var s Structure
 	raw, err := json.Marshal(inputs["structure"])
 	if err != nil {
@@ -33,16 +43,53 @@ func curveFunc(_ context.Context, inputs core.Values) (core.Values, error) {
 	if s.Class == "" {
 		return nil, fmt.Errorf("scatter: missing structure class")
 	}
-	q, err := floatSlice(inputs["q"])
-	if err != nil {
-		return nil, fmt.Errorf("scatter: q grid: %w", err)
-	}
 	samples := 0
 	if v, ok := inputs["samples"].(float64); ok {
 		samples = int(v)
 	}
 	curve := Curve(s, q, samples)
 	return core.Values{"curve": floatsToJSON(curve)}, nil
+}
+
+// curveBatchFunc is the micro-batched form of the curve computation.  The
+// points of a sweep share their template values by reference (the container
+// merges maps without copying the values), so consecutive points carrying
+// the same q-grid slice are detected by identity and pay its []any→[]float64
+// conversion once per batch instead of once per point.  Each point fails or
+// succeeds on its own.
+func curveBatchFunc(ctx context.Context, batch []core.Values) ([]core.Values, []error) {
+	outs := make([]core.Values, len(batch))
+	errs := make([]error, len(batch))
+	var lastRaw []any
+	var lastQ []float64
+	for i, inputs := range batch {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		rawQ, isArr := inputs["q"].([]any)
+		var q []float64
+		if isArr && sameSlice(rawQ, lastRaw) {
+			q = lastQ
+		} else {
+			var err error
+			q, err = floatSlice(inputs["q"])
+			if err != nil {
+				errs[i] = fmt.Errorf("scatter: q grid: %w", err)
+				continue
+			}
+			lastRaw, lastQ = rawQ, q
+		}
+		outs[i], errs[i] = curveCompute(inputs, q)
+	}
+	return outs, errs
+}
+
+// sameSlice reports whether a and b are the same []any (identical backing
+// array and length), which is how shared template values reach batched
+// points.
+func sameSlice(a, b []any) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
 func fitFunc(_ context.Context, inputs core.Values) (core.Values, error) {
@@ -105,6 +152,7 @@ func floatsToJSON(fs []float64) []any {
 // adapter registry.
 func RegisterFuncs() {
 	adapter.RegisterFunc(CurveFuncName, curveFunc)
+	adapter.RegisterBatchFunc(CurveFuncName, curveBatchFunc)
 	adapter.RegisterFunc(FitFuncName, fitFunc)
 }
 
@@ -121,6 +169,7 @@ func CurveServiceConfig(name string) container.ServiceConfig {
 			Description: "Computes the Debye scattering intensity of one carbon nanostructure on a q grid.",
 			Version:     "1.0",
 			Tags:        []string{"xray", "scattering", "nanostructure", "debye"},
+			Batch:       true,
 			Inputs: []core.Param{
 				{Name: "structure", Schema: jsonschema.MustParse(`{"type":"object"}`)},
 				{Name: "q", Schema: numArray},
