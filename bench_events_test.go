@@ -1,0 +1,166 @@
+// Event-plane benchmarks (DESIGN.md §5g): 1000 clients following one
+// width-100 sweep to completion, long-polling versus the SSE stream.  The
+// headline number is HTTP requests per watcher — push turns the poll storm
+// into one streamed request each.  Numbers land in BENCH_7.json.
+package mathcloud_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/client"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+)
+
+const (
+	watchSweepWidth = 100
+	watchClients    = 1000
+	// watchJobTime paces the sweep (one worker, so ~8 s end to end): long
+	// enough for the poll arm to show its request cadence, with child
+	// transitions arriving faster than the idle cap below so SSE streams
+	// never close mid-sweep.
+	watchJobTime = 80 * time.Millisecond
+	// watchWaitCap is the server's MaxWaitWindow: the long-poll ceiling a
+	// proxy-friendly deployment would configure, and the cadence the poll
+	// arm degenerates to.
+	watchWaitCap = 150 * time.Millisecond
+)
+
+var registerWatchFuncs = sync.OnceFunc(func() {
+	adapter.RegisterFunc("benchevents.sleep", func(ctx context.Context, in core.Values) (core.Values, error) {
+		select {
+		case <-time.After(watchJobTime):
+			return core.Values{"ok": true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+})
+
+// startWatchBench brings up the paced service behind a request-counting
+// listener and returns a client handle plus the counter.
+func startWatchBench(b *testing.B) (*client.Service, *atomic.Int64) {
+	b.Helper()
+	registerWatchFuncs()
+	c, err := container.New(container.Options{
+		Workers:       1,
+		MaxWaitWindow: watchWaitCap,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name: "watched", Version: "1",
+			Inputs:  []core.Param{{Name: "x", Optional: true}},
+			Outputs: []core.Param{{Name: "ok", Optional: true}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: json.RawMessage(`{"function": "benchevents.sleep"}`)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var requests atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		c.Handler().ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(counted)
+	b.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+
+	// A fleet of concurrent watchers needs connection reuse far beyond the
+	// default two idle conns per host.
+	tr := &http.Transport{
+		MaxIdleConns:        watchClients * 2,
+		MaxIdleConnsPerHost: watchClients * 2,
+	}
+	b.Cleanup(tr.CloseIdleConnections)
+	cl := &client.Client{
+		HTTP:       &http.Client{Transport: tr},
+		WaitWindow: 30 * time.Second,
+		MinPoll:    10 * time.Millisecond,
+	}
+	return cl.Service(c.ServiceURI("watched")), &requests
+}
+
+// watchSweep submits one width-100 sweep and has 1000 watchers follow it
+// to completion with the given wait function, returning the HTTP requests
+// spent and how many watchers observed the terminal state.
+func watchSweep(b *testing.B, svc *client.Service, requests *atomic.Int64,
+	wait func(ctx context.Context, sweepURI string) (*core.Sweep, error)) (int64, int64) {
+	b.Helper()
+	ctx := context.Background()
+	points := make([]core.Values, watchSweepWidth)
+	for j := range points {
+		points[j] = core.Values{"x": float64(j)}
+	}
+	before := requests.Load()
+	sweep, err := svc.SubmitSweep(ctx, &core.SweepSpec{Points: points}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var terminal atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < watchClients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done, err := wait(ctx, sweep.URI)
+			if err == nil && done.State.Terminal() && done.Counts.Done == watchSweepWidth {
+				terminal.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return requests.Load() - before, terminal.Load()
+}
+
+// BenchmarkSweepWatchPoll1k is the baseline: every watcher long-polls the
+// aggregate status, re-arming each time the server's clamped wait window
+// expires — a thundering herd of GETs scaling with watchers × duration.
+func BenchmarkSweepWatchPoll1k(b *testing.B) {
+	svc, requests := startWatchBench(b)
+	b.ResetTimer()
+	var reqs, seen int64
+	for i := 0; i < b.N; i++ {
+		r, s := watchSweep(b, svc, requests, svc.WaitSweep)
+		reqs += r
+		seen += s
+	}
+	b.StopTimer()
+	if seen != int64(b.N)*watchClients {
+		b.Fatalf("%d/%d watchers observed the terminal state", seen, int64(b.N)*watchClients)
+	}
+	b.ReportMetric(float64(reqs)/float64(int64(b.N)*watchClients), "req/watcher")
+	b.ReportMetric(float64(reqs)/float64(b.N), "req/sweep")
+}
+
+// BenchmarkSweepWatchSSE1k is the push plane: each watcher holds one SSE
+// stream and is told about progress, paying one HTTP request for the whole
+// watch regardless of sweep duration.
+func BenchmarkSweepWatchSSE1k(b *testing.B) {
+	svc, requests := startWatchBench(b)
+	b.ResetTimer()
+	var reqs, seen int64
+	for i := 0; i < b.N; i++ {
+		r, s := watchSweep(b, svc, requests, svc.WaitSweepSSE)
+		reqs += r
+		seen += s
+	}
+	b.StopTimer()
+	if seen != int64(b.N)*watchClients {
+		b.Fatalf("%d/%d watchers observed the terminal state", seen, int64(b.N)*watchClients)
+	}
+	b.ReportMetric(float64(reqs)/float64(int64(b.N)*watchClients), "req/watcher")
+	b.ReportMetric(float64(reqs)/float64(b.N), "req/sweep")
+}

@@ -77,6 +77,7 @@ func main() {
 	memoBytes := flag.Int64("memo-bytes", 0, "computation cache byte bound (0 = default 256 MiB, negative disables)")
 	batchMax := flag.Int("batch", 0, "micro-batch size cap for batch-capable services (0 = default 16, <2 disables)")
 	sweepWidth := flag.Int("sweep-width", 0, "maximum child jobs per parameter sweep (0 = default 10000, negative uncapped)")
+	maxWait := flag.Duration("max-wait", 0, "cap on ?wait= long-poll windows and SSE idle streams (0 = default 60s, negative uncapped)")
 	flag.Parse()
 
 	// Structured request/job logs are informational in a server process
@@ -98,6 +99,7 @@ func main() {
 		MemoMaxBytes:   *memoBytes,
 		BatchMaxSize:   *batchMax,
 		MaxSweepWidth:  *sweepWidth,
+		MaxWaitWindow:  *maxWait,
 	})
 	if err != nil {
 		log.Fatalf("everest: %v", err)

@@ -130,7 +130,9 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 	if c.ActFor != "" {
 		req.Header.Set(core.ActForHeader, c.ActFor)
 	}
-	req.Header.Set("Accept", "application/json")
+	if req.Header.Get("Accept") == "" {
+		req.Header.Set("Accept", "application/json")
+	}
 	return c.retry().Do(c.httpClient(), req)
 }
 
@@ -179,22 +181,31 @@ func asAPI(err error, target **APIError) bool {
 }
 
 func (c *Client) getJSON(ctx context.Context, uri string, out any) error {
+	_, err := c.getJSONWait(ctx, uri, out)
+	return err
+}
+
+// getJSONWait is getJSON, additionally returning the server's advertised
+// wait ceiling (the Wait-Max header; 0 when absent).  Long-poll loops use
+// it to shrink their requested windows to what the server will honour.
+func (c *Client) getJSONWait(ctx context.Context, uri string, out any) (time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, uri, nil)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return 0, fmt.Errorf("client: %w", err)
 	}
 	resp, err := c.do(req)
 	if err != nil {
-		return fmt.Errorf("client: GET %s: %w", uri, err)
+		return 0, fmt.Errorf("client: GET %s: %w", uri, err)
 	}
 	defer resp.Body.Close()
+	waitMax, _ := time.ParseDuration(resp.Header.Get(rest.WaitMaxHeader))
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return waitMax, apiError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode %s: %w", uri, err)
+		return waitMax, fmt.Errorf("client: decode %s: %w", uri, err)
 	}
-	return nil
+	return waitMax, nil
 }
 
 // Service is a handle to one computational web service identified by its
@@ -342,8 +353,14 @@ func (s *Service) Wait(ctx context.Context, jobURI string) (*core.Job, error) {
 		start := time.Now()
 		var job core.Job
 		uri := jobURI + "?wait=" + window.String()
-		if err := s.client.getJSON(ctx, uri, &job); err != nil {
+		adv, err := s.client.getJSONWait(ctx, uri, &job)
+		if err != nil {
 			return nil, err
+		}
+		// Respect the server's advertised ceiling: asking for more than
+		// Wait-Max only gets clamped, so shrink the next window to match.
+		if adv > 0 && adv < window {
+			window = adv
 		}
 		if job.State.Terminal() {
 			return &job, nil
@@ -438,8 +455,12 @@ func (s *Service) WaitSweep(ctx context.Context, sweepURI string) (*core.Sweep, 
 		start := time.Now()
 		var sweep core.Sweep
 		uri := sweepURI + "?wait=" + window.String()
-		if err := s.client.getJSON(ctx, uri, &sweep); err != nil {
+		adv, err := s.client.getJSONWait(ctx, uri, &sweep)
+		if err != nil {
 			return nil, err
+		}
+		if adv > 0 && adv < window {
+			window = adv
 		}
 		if sweep.State.Terminal() {
 			return &sweep, nil
@@ -501,14 +522,16 @@ func (s *Service) SweepJobs(ctx context.Context, sweepURI string, state core.Job
 
 // Call is the convenience synchronous invocation: submit, wait for
 // completion and return the outputs, turning job-level failures into
-// errors.
+// errors.  The submit long-polls one window (short jobs answer in a
+// single round trip); a job still running after that is followed over its
+// SSE event stream, with transparent fallback to long-polling.
 func (s *Service) Call(ctx context.Context, inputs core.Values) (core.Values, error) {
 	job, err := s.Submit(ctx, inputs, s.client.waitWindow())
 	if err != nil {
 		return nil, err
 	}
 	if !job.State.Terminal() {
-		job, err = s.Wait(ctx, job.URI)
+		job, err = s.WaitSSE(ctx, job.URI)
 		if err != nil {
 			return nil, err
 		}

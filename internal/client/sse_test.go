@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/events"
+	"mathcloud/internal/rest"
+)
+
+// sseJobServer stubs a job resource with an /events stream: the snapshot
+// is RUNNING, and the stream pushes RUNNING then DONE frames.
+func sseJobServer(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var pollHits, streamHits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services/echo/jobs/job1", func(w http.ResponseWriter, r *http.Request) {
+		pollHits.Add(1)
+		json.NewEncoder(w).Encode(core.Job{ID: "job1", State: core.StateDone})
+	})
+	mux.HandleFunc("/services/echo/jobs/job1/events", func(w http.ResponseWriter, r *http.Request) {
+		streamHits.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		running, _ := json.Marshal(core.Job{ID: "job1", State: core.StateRunning})
+		done, _ := json.Marshal(core.Job{ID: "job1", State: core.StateDone})
+		events.WriteEvent(w, events.Event{ID: 1, Type: events.TypeJob, Data: running})
+		events.WriteEvent(w, events.Event{ID: 2, Type: events.TypeJob, Data: done, End: true})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &pollHits, &streamHits
+}
+
+func TestWaitSSEFollowsStream(t *testing.T) {
+	srv, pollHits, streamHits := sseJobServer(t)
+	svc := New().Service(srv.URL + "/services/echo")
+	job, err := svc.WaitSSE(context.Background(), srv.URL+"/services/echo/jobs/job1")
+	if err != nil {
+		t.Fatalf("WaitSSE: %v", err)
+	}
+	if job.State != core.StateDone {
+		t.Fatalf("state = %s, want DONE", job.State)
+	}
+	if streamHits.Load() != 1 || pollHits.Load() != 0 {
+		t.Fatalf("stream=%d poll=%d, want the single stream request and no polls",
+			streamHits.Load(), pollHits.Load())
+	}
+}
+
+// TestWaitSSEFallsBackToPolling: a server without /events routes (404)
+// must be handled transparently by degrading to the long-poll Wait.
+func TestWaitSSEFallsBackToPolling(t *testing.T) {
+	var pollHits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services/echo/jobs/job1", func(w http.ResponseWriter, r *http.Request) {
+		pollHits.Add(1)
+		json.NewEncoder(w).Encode(core.Job{ID: "job1", State: core.StateDone})
+	})
+	srv := httptest.NewServer(mux) // no /events route: 404
+	t.Cleanup(srv.Close)
+
+	svc := New().Service(srv.URL + "/services/echo")
+	job, err := svc.WaitSSE(context.Background(), srv.URL+"/services/echo/jobs/job1")
+	if err != nil {
+		t.Fatalf("WaitSSE fallback: %v", err)
+	}
+	if job.State != core.StateDone || pollHits.Load() == 0 {
+		t.Fatalf("fallback did not poll: state=%s polls=%d", job.State, pollHits.Load())
+	}
+}
+
+// TestWaitSSEFallsBackOnWrongContentType: an intermediary answering 200
+// with JSON instead of an event stream is as unusable as a 404.
+func TestWaitSSEFallsBackOnWrongContentType(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services/echo/jobs/job1", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(core.Job{ID: "job1", State: core.StateDone})
+	})
+	mux.HandleFunc("/services/echo/jobs/job1/events", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"not": "a stream"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	svc := New().Service(srv.URL + "/services/echo")
+	job, err := svc.WaitSSE(context.Background(), srv.URL+"/services/echo/jobs/job1")
+	if err != nil || job.State != core.StateDone {
+		t.Fatalf("WaitSSE = %+v, %v", job, err)
+	}
+}
+
+// TestEventsReconnectResumes: after an idle server close the client
+// reconnects with Last-Event-ID and continues from where it left off.
+func TestEventsReconnectResumes(t *testing.T) {
+	var conns atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services/echo/jobs/job1/events", func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		if n == 1 {
+			// First connection: one frame, then an idle close.
+			events.WriteEvent(w, events.Event{ID: 1, Type: events.TypeJob,
+				Data: []byte(`{"id":"job1","state":"RUNNING"}`)})
+			return
+		}
+		if got := r.Header.Get("Last-Event-ID"); got != "1" {
+			t.Errorf("reconnect Last-Event-ID = %q, want 1", got)
+		}
+		events.WriteEvent(w, events.Event{ID: 2, Type: events.TypeJob,
+			Data: []byte(`{"id":"job1","state":"DONE"}`), End: true})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	c := New()
+	c.MinPoll = time.Millisecond // fast reconnect pause for the test
+	job, err := c.Service(srv.URL+"/services/echo").WaitSSE(
+		context.Background(), srv.URL+"/services/echo/jobs/job1")
+	if err != nil {
+		t.Fatalf("WaitSSE: %v", err)
+	}
+	if job.State != core.StateDone || conns.Load() != 2 {
+		t.Fatalf("state=%s conns=%d, want DONE over 2 connections", job.State, conns.Load())
+	}
+}
+
+// TestEventsUnsupportedSurfaced: direct Events callers can detect the
+// degradation condition with errors.Is.
+func TestEventsUnsupportedSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(srv.Close)
+	err := New().Service(srv.URL+"/services/x").Events(context.Background(),
+		srv.URL+"/services/x/jobs/j", func(events.Event) (bool, error) { return true, nil })
+	if !errors.Is(err, ErrEventsUnsupported) {
+		t.Fatalf("err = %v, want ErrEventsUnsupported", err)
+	}
+}
+
+// TestClientRespectsAdvertisedWaitMax: a server advertising Wait-Max: 1s
+// must not be asked for the client's larger default window on the next
+// poll — the long-poll loop shrinks to the server's ceiling.
+func TestClientRespectsAdvertisedWaitMax(t *testing.T) {
+	var polls atomic.Int64
+	waits := make(chan string, 8)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services/echo/jobs/job1", func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		waits <- r.URL.Query().Get("wait")
+		w.Header().Set(rest.WaitMaxHeader, "1s")
+		state := core.StateRunning
+		if n >= 2 {
+			state = core.StateDone
+		}
+		json.NewEncoder(w).Encode(core.Job{ID: "job1", State: state})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	c := New()
+	c.WaitWindow = 30 * time.Second
+	c.MinPoll = time.Millisecond
+	job, err := c.Service(srv.URL+"/services/echo").Wait(
+		context.Background(), srv.URL+"/services/echo/jobs/job1")
+	if err != nil || job.State != core.StateDone {
+		t.Fatalf("Wait = %+v, %v", job, err)
+	}
+	first, second := <-waits, <-waits
+	if first != "30s" {
+		t.Fatalf("first poll wait = %q, want the client default 30s", first)
+	}
+	if d, err := time.ParseDuration(second); err != nil || d > time.Second {
+		t.Fatalf("second poll wait = %q, want shrunk to the advertised 1s ceiling", second)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/events"
 	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
@@ -89,6 +90,15 @@ type Options struct {
 	// expand to.  Zero selects the default (10000); a negative value
 	// removes the cap.
 	MaxSweepWidth int
+	// MaxWaitWindow caps server-side blocking: the ?wait= long-poll window
+	// and the idle timeout of SSE event streams.  Requests asking for more
+	// are clamped, and the effective ceiling is advertised through the
+	// Wait-Max response header so well-behaved clients stop over-asking.
+	// Zero selects the default (60s); a negative value removes the cap.
+	MaxWaitWindow time.Duration
+	// EventRingSize sets how many recent events each bus topic retains for
+	// Last-Event-ID resume (default 64).
+	EventRingSize int
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -148,6 +158,8 @@ type Container struct {
 	registry   *adapter.Registry
 	files      *FileStore
 	jobs       *JobManager
+	events     *events.Bus
+	maxWait    time.Duration
 	guard      Guard
 	logger     *log.Logger
 	httpClient *http.Client
@@ -224,6 +236,13 @@ func New(opts Options) (*Container, error) {
 	} else if sweepWidth < 0 {
 		sweepWidth = 0 // no cap
 	}
+	c.maxWait = opts.MaxWaitWindow
+	if c.maxWait == 0 {
+		c.maxWait = defaultMaxWaitWindow
+	} else if c.maxWait < 0 {
+		c.maxWait = 0 // no cap
+	}
+	c.events = events.NewBus(events.Options{RingSize: opts.EventRingSize})
 	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline, memoEntries, memoBytes, batchMax, sweepWidth)
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr)
@@ -254,9 +273,52 @@ func (c *Container) Close() {
 		c.debugSrv = nil
 	}
 	c.jobs.Close()
+	// The job manager drained first, so its terminal transitions reached
+	// the bus; closing the bus now releases every remaining event stream.
+	if c.events != nil {
+		c.events.Close()
+	}
 	if c.ownsData {
 		_ = os.RemoveAll(c.dataDir)
 	}
+}
+
+// Events exposes the container's event bus — the push-based complement to
+// polling the REST resources (DESIGN.md §5g).
+func (c *Container) Events() *events.Bus { return c.events }
+
+// defaultMaxWaitWindow caps blocking GETs and SSE idle time unless
+// Options.MaxWaitWindow overrides it: long enough for real long-polling,
+// short enough that an abandoned ?wait=24h cannot pin a goroutine all day.
+const defaultMaxWaitWindow = 60 * time.Second
+
+// clampWait bounds a client-requested wait window by MaxWaitWindow.
+func (c *Container) clampWait(d time.Duration) time.Duration {
+	if c.maxWait > 0 && d > c.maxWait {
+		return c.maxWait
+	}
+	return d
+}
+
+// advertiseWaitMax announces the server's wait ceiling on a response so
+// clients shrink their requested windows instead of being silently
+// clamped.
+func (c *Container) advertiseWaitMax(h http.Header) {
+	if c.maxWait > 0 {
+		h.Set(rest.WaitMaxHeader, c.maxWait.String())
+	}
+}
+
+// notifyService publishes a deploy/undeploy notice on the service feed.
+func (c *Container) notifyService(name, change string) {
+	if c.events == nil || !c.events.Active(events.ServiceTopic(name)) {
+		return
+	}
+	data, err := json.Marshal(map[string]string{"service": name, "change": change})
+	if err != nil {
+		return
+	}
+	c.events.Publish(events.ServiceTopic(name), events.TypeService, false, data)
 }
 
 // Deploy adds a service to the container.  Deployment fails if the
@@ -286,6 +348,7 @@ func (c *Container) Deploy(cfg ServiceConfig) error {
 	}
 	c.logger.Printf("container: deployed service %q (adapter %s)",
 		cfg.Description.Name, cfg.Adapter.Kind)
+	c.notifyService(cfg.Description.Name, "deploy")
 	return nil
 }
 
@@ -300,6 +363,7 @@ func (c *Container) Undeploy(name string) error {
 	if c.jobs != nil && c.jobs.memo != nil {
 		c.jobs.memo.dropService(name)
 	}
+	c.notifyService(name, "undeploy")
 	return nil
 }
 

@@ -1,0 +1,433 @@
+package container_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/events"
+	"mathcloud/internal/rest"
+)
+
+var eventsSvcSeq atomic.Int64
+
+// startEventsContainer brings up a container with one gated service whose
+// jobs block until the returned release function is called — the SSE tests
+// need jobs that are reliably still RUNNING when a stream attaches.
+func startEventsContainer(t *testing.T, opts container.Options) (*httptest.Server, string, func()) {
+	t.Helper()
+	fn := fmt.Sprintf("events.gated.%d", eventsSvcSeq.Add(1))
+	gate := make(chan struct{})
+	var once atomic.Bool
+	release := func() {
+		if once.CompareAndSwap(false, true) {
+			close(gate)
+		}
+	}
+	t.Cleanup(release)
+	adapter.RegisterFunc(fn, func(ctx context.Context, in core.Values) (core.Values, error) {
+		select {
+		case <-gate:
+			return core.Values{"ok": true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	opts.Logger = quietLogger()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	c, err := container.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name: "gated", Version: "1",
+			Inputs:  []core.Param{{Name: "x", Optional: true}},
+			Outputs: []core.Param{{Name: "ok", Optional: true}},
+		},
+		Adapter: container.AdapterSpec{Kind: "native",
+			Config: mustJSON(t, adapter.NativeConfig{Function: fn})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	c.SetBaseURL(srv.URL)
+	return srv, srv.URL + "/services/gated", release
+}
+
+// submitGated posts one job to the gated service and returns it.
+func submitGated(t *testing.T, svcURL string) core.Job {
+	t.Helper()
+	resp, err := http.Post(svcURL, "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// openStream GETs an SSE endpoint and returns the response (caller closes).
+func openStream(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	return resp
+}
+
+// TestJobEventsStream follows one job over SSE: opening snapshot, then the
+// terminal transition exactly once, then a clean end of stream.
+func TestJobEventsStream(t *testing.T) {
+	_, svcURL, release := startEventsContainer(t, container.Options{})
+	job := submitGated(t, svcURL)
+
+	resp := openStream(t, svcURL+"/jobs/"+job.ID+"/events")
+	defer resp.Body.Close()
+	sc := events.NewScanner(resp.Body)
+
+	// Opening frame: the job's current (non-terminal) snapshot.
+	first, err := sc.Next()
+	if err != nil {
+		t.Fatalf("opening frame: %v", err)
+	}
+	if first.Type != "job" {
+		t.Fatalf("opening frame type = %q", first.Type)
+	}
+	var snap core.Job
+	if err := json.Unmarshal(first.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != job.ID || snap.State.Terminal() {
+		t.Fatalf("opening snapshot = %s %s", snap.ID, snap.State)
+	}
+
+	release()
+
+	// The terminal transition arrives pushed, exactly once, then EOF.
+	terminals := 0
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if ev.Type != "job" {
+			continue
+		}
+		var j core.Job
+		if err := json.Unmarshal(ev.Data, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.State.Terminal() {
+			terminals++
+			if j.State != core.StateDone {
+				t.Fatalf("terminal state = %s, want DONE", j.State)
+			}
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("saw %d terminal events, want exactly 1", terminals)
+	}
+}
+
+// TestJobEventsTerminalSnapshot: a stream opened on an already-finished job
+// delivers the terminal snapshot and ends immediately.
+func TestJobEventsTerminalSnapshot(t *testing.T) {
+	_, svcURL, release := startEventsContainer(t, container.Options{})
+	release()
+	resp, err := http.Post(svcURL+"?wait=10s", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != core.StateDone {
+		t.Fatalf("job not done: %s", job.State)
+	}
+
+	stream := openStream(t, svcURL+"/jobs/"+job.ID+"/events")
+	defer stream.Body.Close()
+	sc := events.NewScanner(stream.Body)
+	ev, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j core.Job
+	if err := json.Unmarshal(ev.Data, &j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.State.Terminal() {
+		t.Fatalf("snapshot state = %s, want terminal", j.State)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("stream after terminal snapshot = %v, want io.EOF", err)
+	}
+}
+
+// TestJobEventsResume reconnects with Last-Event-ID and receives only what
+// was missed (here: the pushed terminal event), not a duplicate snapshot.
+func TestJobEventsResume(t *testing.T) {
+	_, svcURL, release := startEventsContainer(t, container.Options{})
+	job := submitGated(t, svcURL)
+
+	// First connection pins the topic and reads the opening snapshot.
+	resp := openStream(t, svcURL+"/jobs/"+job.ID+"/events")
+	sc := events.NewScanner(resp.Body)
+	first, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // client drops mid-watch
+
+	release()
+	// Give the terminal transition time to land in the topic ring.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var j core.Job
+		mustGetJSON(t, svcURL+"/jobs/"+job.ID, &j)
+		if j.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Resume via the query-parameter form of Last-Event-ID.
+	resp2 := openStream(t, fmt.Sprintf("%s/jobs/%s/events?lastEventId=%d", svcURL, job.ID, first.ID))
+	defer resp2.Body.Close()
+	sc2 := events.NewScanner(resp2.Body)
+	ev, err := sc2.Next()
+	if err != nil {
+		t.Fatalf("resume frame: %v", err)
+	}
+	if ev.ID <= first.ID {
+		t.Fatalf("resumed event ID %d not after %d", ev.ID, first.ID)
+	}
+	var j core.Job
+	if err := json.Unmarshal(ev.Data, &j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.State.Terminal() {
+		t.Fatalf("resumed event state = %s, want terminal", j.State)
+	}
+}
+
+// TestServiceEventsFeed: the per-service feed opens with a hello frame and
+// carries job transitions and undeploy notices.
+func TestServiceEventsFeed(t *testing.T) {
+	srv, svcURL, release := startEventsContainer(t, container.Options{})
+
+	resp := openStream(t, svcURL+"/events")
+	defer resp.Body.Close()
+	sc := events.NewScanner(resp.Body)
+	hello, err := sc.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != "service" || !bytes.Contains(hello.Data, []byte(`"watch"`)) {
+		t.Fatalf("hello frame = %q %s", hello.Type, hello.Data)
+	}
+
+	job := submitGated(t, svcURL)
+	release()
+
+	sawTerminal := false
+	for !sawTerminal {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		if ev.Type != "job" {
+			continue
+		}
+		var j core.Job
+		if err := json.Unmarshal(ev.Data, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.ID == job.ID && j.State.Terminal() {
+			sawTerminal = true
+		}
+	}
+
+	// The feed endpoint 404s for unknown services.
+	if code := getStatus(t, srv.URL+"/services/nosuch/events"); code != http.StatusNotFound {
+		t.Fatalf("events on unknown service = %d, want 404", code)
+	}
+}
+
+// TestSweepEventsStream follows a sweep's aggregate progress to DONE.
+func TestSweepEventsStream(t *testing.T) {
+	_, svcURL, release := startEventsContainer(t, container.Options{Workers: 2})
+	resp, err := http.Post(svcURL+"/sweeps", "application/json",
+		strings.NewReader(`{"axes":{"x":[1,2,3]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep core.Sweep
+	if err := json.NewDecoder(resp.Body).Decode(&sweep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || sweep.ID == "" {
+		t.Fatalf("sweep submit = %d %+v", resp.StatusCode, sweep)
+	}
+
+	stream := openStream(t, svcURL+"/sweeps/"+sweep.ID+"/events")
+	defer stream.Body.Close()
+	sc := events.NewScanner(stream.Body)
+	release()
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("sweep stream: %v", err)
+		}
+		if ev.Type != "sweep" {
+			continue
+		}
+		var s core.Sweep
+		if err := json.Unmarshal(ev.Data, &s); err != nil {
+			t.Fatal(err)
+		}
+		if s.State.Terminal() {
+			if s.State != core.StateDone || s.Counts.Done != 3 {
+				t.Fatalf("terminal sweep = %s %+v", s.State, s.Counts)
+			}
+			break
+		}
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("stream after terminal sweep = %v, want io.EOF", err)
+	}
+}
+
+// TestMalformedWaitRejected: every handler with a ?wait= knob answers 400
+// to garbage instead of silently ignoring it — and the bad submit forms
+// must not create the resource as a side effect.
+func TestMalformedWaitRejected(t *testing.T) {
+	_, srv := startContainer(t)
+
+	post := func(url string) int {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(`{"a":1,"b":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	for _, wait := range []string{"bogus", "-5s", "0", "2"} {
+		if code := post(srv.URL + "/services/add?wait=" + wait); code != http.StatusBadRequest {
+			t.Fatalf("POST job wait=%q = %d, want 400", wait, code)
+		}
+	}
+	if code := post(srv.URL + "/services/add/sweeps?wait=nope"); code != http.StatusBadRequest {
+		t.Fatalf("POST sweep wait=nope = %d, want 400", code)
+	}
+
+	// No job was submitted by the rejected POSTs.
+	var page struct {
+		Total int `json:"total"`
+	}
+	mustGetJSON(t, srv.URL+"/services/add/jobs", &page)
+	if page.Total != 0 {
+		t.Fatalf("rejected submits created %d jobs", page.Total)
+	}
+
+	// Status polls with bad waits are rejected too.
+	job := core.Job{}
+	resp, err := http.Post(srv.URL+"/services/add?wait=5s", "application/json",
+		strings.NewReader(`{"a":1,"b":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if code := getStatus(t, srv.URL+"/services/add/jobs/"+job.ID+"?wait=banana"); code != http.StatusBadRequest {
+		t.Fatalf("GET job wait=banana = %d, want 400", code)
+	}
+
+	sresp, err := http.Post(srv.URL+"/services/add/sweeps?wait=5s", "application/json",
+		strings.NewReader(`{"axes":{"a":[1],"b":[2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep core.Sweep
+	json.NewDecoder(sresp.Body).Decode(&sweep)
+	sresp.Body.Close()
+	if code := getStatus(t, srv.URL+"/services/add/sweeps/"+sweep.ID+"?wait=-1s"); code != http.StatusBadRequest {
+		t.Fatalf("GET sweep wait=-1s = %d, want 400", code)
+	}
+}
+
+// TestWaitClampedToMaxWindow: a request asking for a longer poll than the
+// configured ceiling returns when the ceiling expires, and the ceiling is
+// advertised via the Wait-Max header.
+func TestWaitClampedToMaxWindow(t *testing.T) {
+	_, svcURL, _ := startEventsContainer(t, container.Options{
+		MaxWaitWindow: 80 * time.Millisecond,
+	})
+
+	start := time.Now()
+	resp, err := http.Post(svcURL+"?wait=30s", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("clamped wait took %v; the 30s request was not capped", elapsed)
+	}
+	if got := resp.Header.Get(rest.WaitMaxHeader); got != "80ms" {
+		t.Fatalf("Wait-Max = %q, want 80ms", got)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	// The gate never opened, so the window must have expired with the job
+	// still non-terminal.
+	if job.State.Terminal() {
+		t.Fatalf("job state = %s, want non-terminal after clamp", job.State)
+	}
+}

@@ -26,6 +26,9 @@ import (
 //	GET    /services/{name}/sweeps/{id}   aggregate sweep status (?wait=)
 //	DELETE /services/{name}/sweeps/{id}   cancel sweep / delete sweep data
 //	GET    /services/{name}/sweeps/{id}/jobs  child jobs (?state=&limit=&offset=)
+//	GET    /services/{name}/events        SSE feed of the service's activity
+//	GET    /services/{name}/jobs/{id}/events    SSE job state stream
+//	GET    /services/{name}/sweeps/{id}/events  SSE sweep progress stream
 //	POST   /files                         upload a file resource
 //	GET    /files/{id}                    file data (supports ranges)
 //	DELETE /files/{id}                    delete a file resource
@@ -123,9 +126,13 @@ func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path 
 		sub, rest2 := rest.ShiftPath(tail)
 		switch sub {
 		case "jobs":
-			jobID, _ := rest.ShiftPath(rest2)
+			jobID, rest3 := rest.ShiftPath(rest2)
 			if jobID == "" {
 				c.handleJobList(w, r, name)
+				return
+			}
+			if child, _ := rest.ShiftPath(rest3); child == "events" {
+				c.handleJobEvents(w, r, name, jobID)
 				return
 			}
 			c.handleJob(w, r, name, jobID)
@@ -135,11 +142,16 @@ func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path 
 				c.handleSweepList(w, r, name, principal)
 				return
 			}
-			if child, _ := rest.ShiftPath(rest3); child == "jobs" {
+			switch child, _ := rest.ShiftPath(rest3); child {
+			case "jobs":
 				c.handleSweepJobs(w, r, name, sweepID)
-				return
+			case "events":
+				c.handleSweepEvents(w, r, name, sweepID)
+			default:
+				c.handleSweep(w, r, name, sweepID)
 			}
-			c.handleSweep(w, r, name, sweepID)
+		case "events":
+			c.handleServiceEvents(w, r, name)
 		default:
 			rest.WriteError(w, core.ErrNotFound("resource", sub))
 		}
@@ -205,6 +217,13 @@ func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name s
 		}
 		rest.ServeJSONBytes(w, r, etag, body)
 	case http.MethodPost:
+		// Parse ?wait= before submitting: a malformed window is the
+		// client's error and must 400 without creating a job.
+		wait, hasWait, err := rest.ParseWait(r)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
 		var inputs core.Values
 		if err := rest.ReadJSON(r, &inputs); err != nil {
 			rest.WriteError(w, err)
@@ -218,11 +237,10 @@ func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name s
 		// Synchronous mode: if the client asked to wait and the job
 		// finishes in time, the completed representation (state DONE)
 		// is returned immediately, as Section 2 of the paper allows.
-		if waitParam := r.URL.Query().Get("wait"); waitParam != "" {
-			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
-				if j, err := c.jobs.Wait(r.Context(), job.ID, d); err == nil {
-					job = j
-				}
+		c.advertiseWaitMax(w.Header())
+		if hasWait {
+			if j, err := c.jobs.Wait(r.Context(), job.ID, c.clampWait(wait)); err == nil {
+				job = j
 			}
 		}
 		w.Header().Set("Location", c.JobURI(name, job.ID))
@@ -263,6 +281,11 @@ func (c *Container) handleJobList(w http.ResponseWriter, r *http.Request, servic
 func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, jobID string) {
 	switch r.Method {
 	case http.MethodGet:
+		wait, hasWait, err := rest.ParseWait(r)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
 		job, err := c.jobs.Get(jobID)
 		if err != nil {
 			rest.WriteError(w, err)
@@ -272,11 +295,10 @@ func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, j
 			rest.WriteError(w, core.ErrNotFound("job", jobID))
 			return
 		}
-		if waitParam := r.URL.Query().Get("wait"); waitParam != "" && !job.State.Terminal() {
-			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
-				if j, err := c.jobs.Wait(r.Context(), jobID, d); err == nil {
-					job = j
-				}
+		c.advertiseWaitMax(w.Header())
+		if hasWait && !job.State.Terminal() {
+			if j, err := c.jobs.Wait(r.Context(), jobID, c.clampWait(wait)); err == nil {
+				job = j
 			}
 		}
 		if rest.WantsHTML(r) {
@@ -311,6 +333,11 @@ func (c *Container) handleJob(w http.ResponseWriter, r *http.Request, service, j
 func (c *Container) handleSweepList(w http.ResponseWriter, r *http.Request, service string, principal core.Principal) {
 	switch r.Method {
 	case http.MethodPost:
+		wait, hasWait, err := rest.ParseWait(r)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
 		var spec core.SweepSpec
 		if err := rest.ReadJSON(r, &spec); err != nil {
 			rest.WriteError(w, err)
@@ -323,11 +350,10 @@ func (c *Container) handleSweepList(w http.ResponseWriter, r *http.Request, serv
 		}
 		// Synchronous mode, as for single jobs: a short campaign that
 		// finishes within the wait window returns terminal in one call.
-		if waitParam := r.URL.Query().Get("wait"); waitParam != "" {
-			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
-				if s, err := c.jobs.WaitSweep(r.Context(), sweep.ID, d); err == nil {
-					sweep = s
-				}
+		c.advertiseWaitMax(w.Header())
+		if hasWait {
+			if s, err := c.jobs.WaitSweep(r.Context(), sweep.ID, c.clampWait(wait)); err == nil {
+				sweep = s
 			}
 		}
 		w.Header().Set("Location", c.SweepURI(service, sweep.ID))
@@ -362,11 +388,15 @@ func (c *Container) handleSweep(w http.ResponseWriter, r *http.Request, service,
 	}
 	switch r.Method {
 	case http.MethodGet:
-		if waitParam := r.URL.Query().Get("wait"); waitParam != "" && !sweep.State.Terminal() {
-			if d, err := time.ParseDuration(waitParam); err == nil && d > 0 {
-				if s, err := c.jobs.WaitSweep(r.Context(), sweepID, d); err == nil {
-					sweep = s
-				}
+		wait, hasWait, err := rest.ParseWait(r)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		c.advertiseWaitMax(w.Header())
+		if hasWait && !sweep.State.Terminal() {
+			if s, err := c.jobs.WaitSweep(r.Context(), sweepID, c.clampWait(wait)); err == nil {
+				sweep = s
 			}
 		}
 		if rest.WantsHTML(r) {

@@ -261,6 +261,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		// never occupies a queue slot or a worker.
 		metMemoCoalesced.Inc()
 		metJobsSubmitted.Inc()
+		jm.notifyJob(rec)
 		// Close may have swept the registry before the insert above; the
 		// final sweep of Close cancels WAITING followers, and a leader
 		// settling concurrently skips terminal records, so no waiter is
@@ -281,6 +282,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 	select {
 	case jm.queue <- rec:
 		metJobsSubmitted.Inc()
+		jm.notifyJob(rec)
 		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
 			logger.LogAttrs(ctx, slog.LevelInfo, "job submitted",
 				slog.String("request_id", trace),
@@ -396,6 +398,7 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		if sw := rec.sweep; sw != nil {
 			sw.childTransition(core.StateWaiting, core.StateCancelled, "")
 		}
+		jm.notifyJob(rec)
 		return rec.snapshot(), nil
 	case core.StateRunning:
 		if cancel != nil {
@@ -518,6 +521,7 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, core.StateCancelled, "")
 	}
+	jm.notifyJob(rec)
 }
 
 // cancelJob cancels one live job without destroying its record: queued jobs
@@ -672,6 +676,7 @@ func (jm *JobManager) beginJob(rec *jobRecord, ctx context.Context, cancel conte
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, core.StateRunning, "")
 	}
+	jm.notifyJob(rec)
 	return rj
 }
 
@@ -728,6 +733,7 @@ func (rj *runningJob) finish(outputs core.Values, err error) {
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateRunning, state, errMsg)
 	}
+	rj.jm.notifyJob(rec)
 }
 
 // prepare creates the job's scratch directory, stages file inputs into it
@@ -1110,6 +1116,7 @@ func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, 
 	sh.mu.Unlock()
 	metJobsSubmitted.Inc()
 	metJobsCompleted.With("done").Inc()
+	jm.notifyJob(rec)
 	if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
 		logger.LogAttrs(ctx, slog.LevelInfo, "job served from computation cache",
 			slog.String("request_id", trace),
@@ -1205,6 +1212,7 @@ func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outp
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, final, finalErr)
 	}
+	jm.notifyJob(rec)
 }
 
 // panicStack captures the panicking goroutine's stack, truncated so a deep

@@ -76,7 +76,7 @@ var (
 var knownRoutes = []string{
 	"index", "metrics", "status", "workflows", "editor", "search", "tags",
 	"ping", "file", "service", "job_list", "job", "sweep_list", "sweep",
-	"sweep_jobs", "other",
+	"sweep_jobs", "service_events", "job_events", "sweep_events", "other",
 }
 
 // knownMethods and knownClasses close the remaining label dimensions of the
@@ -134,9 +134,15 @@ func routeOf(path string) string {
 		switch sub {
 		case "":
 			return "service"
+		case "events":
+			return "service_events"
 		case "jobs":
-			if id, _ := shiftClean(rest); id == "" {
+			id, rest2 := shiftClean(rest)
+			if id == "" {
 				return "job_list"
+			}
+			if sub, _ := shiftClean(rest2); sub == "events" {
+				return "job_events"
 			}
 			return "job"
 		case "sweeps":
@@ -144,8 +150,11 @@ func routeOf(path string) string {
 			if id == "" {
 				return "sweep_list"
 			}
-			if sub, _ := shiftClean(rest2); sub == "jobs" {
+			switch sub, _ := shiftClean(rest2); sub {
+			case "jobs":
 				return "sweep_jobs"
+			case "events":
+				return "sweep_events"
 			}
 			return "sweep"
 		}
@@ -185,6 +194,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so the SSE endpoints can stream
+// through the instrumentation middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument is the container's ingress middleware: it establishes the

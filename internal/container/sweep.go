@@ -157,6 +157,9 @@ func (sw *sweepRecord) childTransition(from, to core.JobState, errMsg string) {
 	if terminalNow {
 		sw.finalize()
 	}
+	// Publish after finalize so the terminal event carries the finished
+	// timestamp; the Active gate inside keeps unwatched sweeps free.
+	sw.jm.notifySweep(sw)
 }
 
 // finalize runs exactly once, when the last child lands (its caller set
@@ -432,6 +435,7 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 			slog.Int("width", sw.width),
 			slog.Int("cached", bornDone))
 	}
+	jm.notifySweepSubmitted(sw)
 	return sw.snapshot(), nil
 }
 

@@ -61,16 +61,24 @@ pre{background:#f4f4f4;padding:1em;overflow:auto}
 <button onclick="submitJob()">Run</button>
 <pre id="result"></pre>
 <script>
+// Submit without ?wait= and go straight to the job page, which follows
+// the job's SSE event stream to completion — the page never shows a
+// stale snapshot of a slow job.
 async function submitJob() {
   const out = document.getElementById('result');
   out.textContent = 'submitting...';
   try {
-    const resp = await fetch('/services/{{.Name}}?wait=2s', {
+    const resp = await fetch('/services/{{.Name}}', {
       method: 'POST',
       headers: {'Content-Type': 'application/json'},
       body: document.getElementById('inputs').value
     });
-    out.textContent = JSON.stringify(await resp.json(), null, 2);
+    const job = await resp.json();
+    if (!resp.ok || !job.id) {
+      out.textContent = JSON.stringify(job, null, 2);
+      return;
+    }
+    window.location = '/services/{{.Name}}/jobs/' + job.id;
   } catch (e) { out.textContent = 'error: ' + e; }
 }
 </script>
@@ -101,7 +109,7 @@ pre{background:#f4f4f4;padding:1em;overflow:auto}
 </style></head><body>
 <h1>Job <code>{{.ID}}</code></h1>
 <p>Service <a href="/services/{{.Service}}"><code>{{.Service}}</code></a>
-&middot; state <strong class="state-{{.State}}">{{.State}}</strong>
+&middot; state <strong id="state" class="state-{{.State}}">{{.State}}</strong>
 {{if .TraceID}}&middot; trace <code>{{.TraceID}}</code>{{end}}
 {{if .Owner}}&middot; owner <code>{{.Owner}}</code>{{end}}</p>
 <h2>Timeline</h2>
@@ -117,6 +125,24 @@ pre{background:#f4f4f4;padding:1em;overflow:auto}
 {{if .Outputs}}<h2>Outputs</h2><pre>{{json .Outputs}}</pre>{{end}}
 {{if .Log}}<h2>Log</h2><pre>{{range .Log}}{{.}}
 {{end}}</pre>{{end}}
+{{if not .State.Terminal}}<script>
+// Live page: follow the job's SSE stream; reload once it goes terminal
+// so the server renders the final outputs/error sections.
+(function () {
+  const stateEl = document.getElementById('state');
+  const es = new EventSource('/services/{{.Service}}/jobs/{{.ID}}/events');
+  es.addEventListener('job', function (e) {
+    const job = JSON.parse(e.data);
+    stateEl.textContent = job.state;
+    stateEl.className = 'state-' + job.state;
+    if (job.state === 'DONE' || job.state === 'ERROR' || job.state === 'CANCELLED') {
+      es.close();
+      location.reload();
+    }
+  });
+  es.addEventListener('sync', function () { es.close(); location.reload(); });
+})();
+</script>{{end}}
 </body></html>
 `))
 
@@ -137,21 +163,42 @@ pre{background:#f4f4f4;padding:1em;overflow:auto}
 </style></head><body>
 <h1>Sweep <code>{{.ID}}</code></h1>
 <p>Service <a href="/services/{{.Service}}"><code>{{.Service}}</code></a>
-&middot; state <strong class="state-{{.State}}">{{.State}}</strong>
+&middot; state <strong id="state" class="state-{{.State}}">{{.State}}</strong>
 &middot; width {{.Width}}
 {{if .TraceID}}&middot; trace <code>{{.TraceID}}</code>{{end}}
 {{if .Owner}}&middot; owner <code>{{.Owner}}</code>{{end}}</p>
 <h2>Children</h2>
 <table>
-<tr><th>Waiting</th><td>{{.Counts.Waiting}}</td></tr>
-<tr><th>Running</th><td>{{.Counts.Running}}</td></tr>
-<tr><th>Done</th><td>{{.Counts.Done}}</td></tr>
-<tr><th>Error</th><td>{{.Counts.Error}}</td></tr>
-<tr><th>Cancelled</th><td>{{.Counts.Cancelled}}</td></tr>
+<tr><th>Waiting</th><td id="count-waiting">{{.Counts.Waiting}}</td></tr>
+<tr><th>Running</th><td id="count-running">{{.Counts.Running}}</td></tr>
+<tr><th>Done</th><td id="count-done">{{.Counts.Done}}</td></tr>
+<tr><th>Error</th><td id="count-error">{{.Counts.Error}}</td></tr>
+<tr><th>Cancelled</th><td id="count-cancelled">{{.Counts.Cancelled}}</td></tr>
 </table>
 <p>Submitted {{stamp .Created}}{{if not .Finished.IsZero}} &middot; finished {{stamp .Finished}}{{end}}</p>
 {{if .FirstError}}<h2>First error</h2><pre>{{.FirstError}}</pre>{{end}}
 <p><a href="{{.JobsURI}}">Child jobs</a></p>
+{{if not .State.Terminal}}<script>
+// Live campaign progress from the sweep's SSE stream; reload on the
+// terminal event for the server-rendered final page.
+(function () {
+  const stateEl = document.getElementById('state');
+  const es = new EventSource('/services/{{.Service}}/sweeps/{{.ID}}/events');
+  es.addEventListener('sweep', function (e) {
+    const s = JSON.parse(e.data);
+    for (const k of ['waiting', 'running', 'done', 'error', 'cancelled']) {
+      document.getElementById('count-' + k).textContent = s.counts[k];
+    }
+    stateEl.textContent = s.state;
+    stateEl.className = 'state-' + s.state;
+    if (s.state === 'DONE' || s.state === 'ERROR' || s.state === 'CANCELLED') {
+      es.close();
+      location.reload();
+    }
+  });
+  es.addEventListener('sync', function () { es.close(); location.reload(); });
+})();
+</script>{{end}}
 </body></html>
 `))
 

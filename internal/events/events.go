@@ -1,0 +1,153 @@
+// Package events is the push-based async plane of the container: a small,
+// dependency-free event bus that turns JobManager state transitions into
+// per-topic streams, plus the Server-Sent Events wire codec that carries
+// them over plain HTTP (DESIGN.md §5g).
+//
+// The design goals, in order:
+//
+//  1. Publishers never block.  A slow or stalled subscriber must not be
+//     able to hold up a job-state transition; when a subscriber's buffer
+//     fills, its queue is coalesced down to a single "state changed,
+//     re-fetch" sync event instead of applying backpressure.
+//  2. Unwatched topics are free.  Topic state is created on first
+//     Subscribe, never on Publish, so the common case — a job nobody is
+//     streaming — pays one map lookup per transition and marshals nothing.
+//  3. Reconnects don't lose events.  Each topic keeps a small ring buffer
+//     of recent events; a subscriber resuming with the last event ID it saw
+//     gets the gap replayed, or a sync event if the ring has wrapped past
+//     it.
+package events
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Event types carried on the bus.  The type names the JSON shape of Data:
+// a decorated core.Job, core.Sweep, or service-change notice.  TypeSync
+// carries no data: it tells the consumer its view may be stale and it
+// should re-fetch the resource (emitted when a subscriber fell behind or a
+// resumed ring no longer covers its Last-Event-ID).
+const (
+	TypeJob     = "job"
+	TypeSweep   = "sweep"
+	TypeService = "service"
+	TypeSync    = "sync"
+)
+
+// Event is one bus message.  ID is a per-topic 1-based sequence number —
+// it is the SSE event id, and subscribers resume by presenting the last ID
+// they saw.  End marks the topic's final event (a terminal job or sweep
+// state); SSE handlers close the stream after writing it.
+type Event struct {
+	ID   uint64
+	Type string
+	Data []byte
+	End  bool
+}
+
+// Topic name constructors.  Topics are flat strings; these helpers keep
+// the namespaces from colliding.
+
+// JobTopic returns the topic carrying one job's state transitions.
+func JobTopic(jobID string) string { return "job/" + jobID }
+
+// SweepTopic returns the topic carrying one sweep's aggregate updates.
+func SweepTopic(sweepID string) string { return "sweep/" + sweepID }
+
+// ServiceTopic returns the per-service feed: every job transition of the
+// service, sweep submissions, and deploy/undeploy notices.
+func ServiceTopic(service string) string { return "service/" + service }
+
+// WriteEvent writes one event as an SSE frame.  Data may contain newlines;
+// each line becomes its own data: field per the SSE spec.
+func WriteEvent(w io.Writer, ev Event) error {
+	var b strings.Builder
+	if ev.ID > 0 {
+		b.WriteString("id: ")
+		b.WriteString(strconv.FormatUint(ev.ID, 10))
+		b.WriteByte('\n')
+	}
+	if ev.Type != "" {
+		b.WriteString("event: ")
+		b.WriteString(ev.Type)
+		b.WriteByte('\n')
+	}
+	if len(ev.Data) == 0 {
+		// EventSource drops frames with no data field entirely; give
+		// data-less events (sync) an empty object so they are delivered.
+		b.WriteString("data: {}\n")
+	} else {
+		for _, line := range strings.Split(string(ev.Data), "\n") {
+			b.WriteString("data: ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Scanner parses an SSE stream into Events.  It implements the subset of
+// the EventSource grammar the container emits: id/event/data/retry fields,
+// comment lines, and blank-line dispatch.
+type Scanner struct {
+	r *bufio.Reader
+}
+
+// NewScanner wraps an SSE response body.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReader(r)}
+}
+
+// Next returns the next complete event frame.  io.EOF reports the end of
+// the stream; a partial trailing frame is discarded.
+func (s *Scanner) Next() (Event, error) {
+	var ev Event
+	var data []byte
+	seen := false
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && line != "" {
+				err = io.ErrUnexpectedEOF
+			}
+			return Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if !seen {
+				continue // stray blank line, no frame pending
+			}
+			ev.Data = data
+			return ev, nil
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment / keep-alive
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			if n, perr := strconv.ParseUint(value, 10, 64); perr == nil {
+				ev.ID = n
+				seen = true
+			}
+		case "event":
+			ev.Type = value
+			seen = true
+		case "data":
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+			seen = true
+		default:
+			// retry hints and unknown fields are ignored, as the SSE spec
+			// requires; the Go client paces its own reconnects.
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"mathcloud/internal/core"
 )
@@ -151,6 +152,30 @@ func ReadJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// WaitMaxHeader advertises the server's long-poll/idle-stream ceiling
+// (Options.MaxWaitWindow) on blocking-GET and SSE responses, as a Go
+// duration string.  Clients shrink their requested windows to it instead
+// of asking for waits the server will silently clamp.
+const WaitMaxHeader = "Wait-Max"
+
+// ParseWait extracts the UWS-style blocking-GET window from the ?wait=
+// query parameter.  Absent means "no wait" (ok=false, no error); present
+// but unparseable or non-positive is a client error — previously such
+// values were silently ignored, so a caller that thought it long-polled
+// got an instant poll storm instead.
+func ParseWait(r *http.Request) (d time.Duration, ok bool, err error) {
+	s := r.URL.Query().Get("wait")
+	if s == "" {
+		return 0, false, nil
+	}
+	d, perr := time.ParseDuration(s)
+	if perr != nil || d <= 0 {
+		return 0, false, core.ErrBadRequest(
+			"invalid wait parameter %q: want a positive duration such as 10s", s)
+	}
+	return d, true, nil
+}
+
 // ShiftPath splits the first path segment off p ("/a/b/c" → "a", "/b/c").
 // It is the routing primitive used by the handlers, which keeps the
 // resource hierarchy of the unified API explicit in code.
@@ -203,6 +228,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so streaming responses (SSE) keep
+// working through the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Drain reads and discards the remainder of a response body so the

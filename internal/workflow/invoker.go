@@ -16,6 +16,11 @@ import (
 // the client's retry policy (rest.DefaultRetry unless overridden), so a
 // workflow block survives dropped connections and transient 503 overload
 // answers from a busy container instead of failing the whole workflow.
+// Blocks that outlive the submit's long-poll window are followed over the
+// job's SSE event stream (client.Service.WaitSSE): a running DAG holds one
+// idle connection per in-flight remote block and is notified of completion
+// by push, instead of re-polling every block — with transparent fallback
+// to the long-poll loop against servers that expose no event streams.
 // Description fetches go through the client's conditional-GET description
 // cache: repeated workflow validations revalidate with If-None-Match and
 // reuse the cached decoded description on a 304 instead of re-transferring
