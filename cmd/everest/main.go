@@ -78,6 +78,7 @@ func main() {
 	batchMax := flag.Int("batch", 0, "micro-batch size cap for batch-capable services (0 = default 16, <2 disables)")
 	sweepWidth := flag.Int("sweep-width", 0, "maximum child jobs per parameter sweep (0 = default 10000, negative uncapped)")
 	maxWait := flag.Duration("max-wait", 0, "cap on ?wait= long-poll windows and SSE idle streams (0 = default 60s, negative uncapped)")
+	replica := flag.String("replica", "", "replica identity in a federated deployment (1-16 of [a-z0-9]; prefixes all minted IDs)")
 	flag.Parse()
 
 	// Structured request/job logs are informational in a server process
@@ -100,6 +101,7 @@ func main() {
 		BatchMaxSize:   *batchMax,
 		MaxSweepWidth:  *sweepWidth,
 		MaxWaitWindow:  *maxWait,
+		ReplicaID:      *replica,
 	})
 	if err != nil {
 		log.Fatalf("everest: %v", err)

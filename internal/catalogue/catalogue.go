@@ -441,6 +441,21 @@ func (c *Catalogue) probe(ctx context.Context, uri string, timeout time.Duration
 	return ok && err == nil
 }
 
+// MarkUnavailable records a passive health observation: a caller (the
+// federation gateway, a workflow invoker) failed to reach the service just
+// now, so its entry is flipped to unavailable without waiting for the next
+// sweep.  The next successful probe flips it back.  Unknown URIs are
+// ignored — passive signals race with unregistration.
+func (c *Catalogue) MarkUnavailable(uri string) {
+	uri = strings.TrimRight(uri, "/")
+	c.mu.Lock()
+	if e, ok := c.entries[uri]; ok {
+		e.Available = false
+		e.LastChecked = time.Now()
+	}
+	c.mu.Unlock()
+}
+
 // StartPinger launches the periodic availability monitor.  Call Close to
 // stop it.  Each probe of a sweep gets its own deadline —
 // min(interval/4, 10 s) — so a single hung service cannot eat the whole

@@ -83,8 +83,32 @@ const maxCachedDescriptions = 256
 // this way share one tuned http.Transport (rest.SharedTransport), so
 // keep-alive connections are pooled across every Service handle in the
 // process instead of per call site.
+//
+// The client is gateway-aware by construction: pointing the base URL of a
+// Service handle at a federation gateway (cmd/mcgw) instead of a single
+// container changes nothing in the protocol.  Resource identifiers minted by
+// federated replicas carry their home replica as an affinity prefix
+// (ReplicaOf); the gateway routes on that prefix, and the retry policy
+// transparently replays idempotent requests the gateway answered 502/504
+// while a replica was down.
 func New() *Client {
 	return &Client{HTTP: rest.SharedClient}
+}
+
+// ReplicaOf extracts the home-replica name from an affinity-tagged resource
+// identifier or from a resource URI whose last path segment is one
+// ("http://gw/services/s/jobs/r03-<id>" → "r03").  It reports false for bare
+// pre-federation IDs.
+func ReplicaOf(idOrURI string) (string, bool) {
+	seg := idOrURI
+	if i := strings.IndexAny(seg, "?#"); i >= 0 {
+		seg = seg[:i]
+	}
+	seg = strings.TrimRight(seg, "/")
+	if i := strings.LastIndexByte(seg, '/'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	return core.SplitReplicaID(seg)
 }
 
 // defaultClient backs Default.

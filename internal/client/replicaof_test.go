@@ -1,0 +1,27 @@
+package client
+
+import "testing"
+
+func TestReplicaOf(t *testing.T) {
+	hex := "0123456789abcdef0123456789abcdef"
+	cases := []struct {
+		in      string
+		replica string
+		ok      bool
+	}{
+		{"r03-" + hex, "r03", true},
+		{"http://gw:8090/services/add/jobs/r03-" + hex, "r03", true},
+		{"http://gw:8090/services/add/jobs/r03-" + hex + "?wait=10s", "r03", true},
+		{"http://gw:8090/files/r12-" + hex + "/", "r12", true},
+		{hex, "", false}, // bare pre-federation ID
+		{"http://gw:8090/services/add", "", false}, // no ID segment
+		{"R03-" + hex, "", false},                  // uppercase prefix invalid
+		{"", "", false},
+	}
+	for _, c := range cases {
+		rep, ok := ReplicaOf(c.in)
+		if rep != c.replica || ok != c.ok {
+			t.Fatalf("ReplicaOf(%q) = (%q, %v), want (%q, %v)", c.in, rep, ok, c.replica, c.ok)
+		}
+	}
+}

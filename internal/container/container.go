@@ -99,6 +99,13 @@ type Options struct {
 	// EventRingSize sets how many recent events each bus topic retains for
 	// Last-Event-ID resume (default 64).
 	EventRingSize int
+	// ReplicaID names this container within a federated deployment (e.g.
+	// "r03").  When set, every job, sweep and file identifier the container
+	// mints carries the name as an affinity prefix ("r03-<id>"), responses
+	// carry an X-MC-Replica header, and a routing gateway (internal/gateway)
+	// can dispatch resource requests to their home replica statelessly.
+	// Must satisfy core.ValidReplicaName; empty keeps bare IDs.
+	ReplicaID string
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -166,6 +173,7 @@ type Container struct {
 	workRoot   string
 	dataDir    string
 	ownsData   bool
+	replicaID  string
 	debugSrv   *http.Server
 
 	mu       sync.RWMutex
@@ -175,6 +183,9 @@ type Container struct {
 
 // New creates a container with the given options.
 func New(opts Options) (*Container, error) {
+	if opts.ReplicaID != "" && !core.ValidReplicaName(opts.ReplicaID) {
+		return nil, fmt.Errorf("container: invalid replica ID %q (want 1-16 of [a-z0-9])", opts.ReplicaID)
+	}
 	dataDir := opts.DataDir
 	ownsData := false
 	if dataDir == "" {
@@ -189,6 +200,7 @@ func New(opts Options) (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
+	files.SetIDPrefix(opts.ReplicaID)
 	workRoot := filepath.Join(dataDir, "work")
 	if err := os.MkdirAll(workRoot, 0o700); err != nil {
 		return nil, fmt.Errorf("container: %w", err)
@@ -216,6 +228,7 @@ func New(opts Options) (*Container, error) {
 		workRoot:   workRoot,
 		dataDir:    dataDir,
 		ownsData:   ownsData,
+		replicaID:  opts.ReplicaID,
 		services:   make(map[string]*service),
 	}
 	memoEntries := opts.MemoMaxEntries
@@ -286,6 +299,14 @@ func (c *Container) Close() {
 // Events exposes the container's event bus — the push-based complement to
 // polling the REST resources (DESIGN.md §5g).
 func (c *Container) Events() *events.Bus { return c.events }
+
+// ReplicaID returns the container's federated identity ("" outside a
+// federation).
+func (c *Container) ReplicaID() string { return c.replicaID }
+
+// newID mints one resource identifier, carrying the replica affinity prefix
+// when the container is part of a federation.
+func (c *Container) newID() string { return core.TagID(c.replicaID, core.NewID()) }
 
 // defaultMaxWaitWindow caps blocking GETs and SSE idle time unless
 // Options.MaxWaitWindow overrides it: long enough for real long-polling,

@@ -97,7 +97,7 @@ func (c *Container) serveEvents(w http.ResponseWriter, r *http.Request, src sseS
 		if err != nil {
 			return
 		}
-		if events.WriteEvent(w, events.Event{ID: sub.Seq, Type: src.event, Data: data}) != nil {
+		if events.WriteEvent(w, events.Event{ID: sub.Seq, Type: src.event, Data: data, End: end}) != nil {
 			return
 		}
 		fl.Flush()
@@ -135,8 +135,8 @@ func (c *Container) serveEvents(w http.ResponseWriter, r *http.Request, src sseS
 				if err != nil {
 					return
 				}
-				ev = events.Event{ID: ev.ID, Type: src.event, Data: data}
 				end = end || snapEnd
+				ev = events.Event{ID: ev.ID, Type: src.event, Data: data, End: end}
 			}
 			if events.WriteEvent(w, ev) != nil {
 				return

@@ -27,6 +27,9 @@ import (
 // file ID.
 type FileStore struct {
 	dir string
+	// idPrefix is the replica affinity prefix stamped on every minted file
+	// ID ("" outside a federation).  Set once, before the store is shared.
+	idPrefix string
 
 	mu    sync.Mutex
 	sizes map[string]int64
@@ -44,7 +47,13 @@ type FileStore struct {
 	physicalBytes int64
 }
 
-var fileIDPattern = regexp.MustCompile(`^[0-9a-f]{32}$`)
+// fileIDPattern accepts the bare 32-hex form and the federation form with a
+// replica affinity prefix ("r03-<32 hex>", see core.TagID).
+var fileIDPattern = regexp.MustCompile(`^(?:[a-z0-9]{1,16}-)?[0-9a-f]{32}$`)
+
+// SetIDPrefix sets the replica affinity prefix of newly minted file IDs.
+// Call it right after construction, before the store serves requests.
+func (fs *FileStore) SetIDPrefix(replica string) { fs.idPrefix = replica }
 
 // NewFileStore creates a file store rooted at dir, creating it if needed.
 func NewFileStore(dir string) (*FileStore, error) {
@@ -216,7 +225,7 @@ func (fs *FileStore) adoptLocked(digest string, size int64, jobID string) string
 // registerLocked mints an ID for a blob already accounted in refs.
 // Callers must hold fs.mu.
 func (fs *FileStore) registerLocked(digest string, size int64, jobID string) string {
-	id := core.NewID()
+	id := core.TagID(fs.idPrefix, core.NewID())
 	fs.digests[id] = digest
 	fs.sizes[id] = size
 	fs.logicalBytes += size

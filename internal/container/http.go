@@ -51,11 +51,19 @@ func (c *Container) Handler() http.Handler {
 // container API and must instrument the combined handler exactly once.
 func Instrument(next http.Handler) http.Handler { return instrument(next) }
 
+// ReplicaHeader carries the identity of the container replica that answered
+// a request.  Gateways and clients use it to attribute responses (and debug
+// misrouted affinity IDs) in federated deployments.
+const ReplicaHeader = "X-MC-Replica"
+
 // APIHandler returns the unified REST API handler without the ingress
 // instrumentation.  Use Handler unless the handler is being embedded under
 // an outer Instrument wrapper.
 func (c *Container) APIHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c.replicaID != "" {
+			w.Header().Set(ReplicaHeader, c.replicaID)
+		}
 		head, tail := rest.ShiftPath(r.URL.Path)
 		switch head {
 		case "metrics":
@@ -101,10 +109,14 @@ func (c *Container) handleIndex(w http.ResponseWriter, r *http.Request) {
 		c.renderIndex(w, services)
 		return
 	}
-	rest.WriteJSON(w, http.StatusOK, map[string]any{
+	index := map[string]any{
 		"container": "everest",
 		"services":  services,
-	})
+	}
+	if c.replicaID != "" {
+		index["replica"] = c.replicaID
+	}
+	rest.WriteJSON(w, http.StatusOK, index)
 }
 
 func (c *Container) handleServices(w http.ResponseWriter, r *http.Request, path string, principal core.Principal) {

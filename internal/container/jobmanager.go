@@ -221,7 +221,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 	now := time.Now()
 	rec := &jobRecord{
 		job: &core.Job{
-			ID:        core.NewID(),
+			ID:        jm.c.newID(),
 			Service:   serviceName,
 			State:     core.StateWaiting,
 			Inputs:    inputs,
@@ -1095,7 +1095,7 @@ func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, 
 	now := time.Now()
 	rec := &jobRecord{
 		job: &core.Job{
-			ID:        core.NewID(),
+			ID:        jm.c.newID(),
 			Service:   serviceName,
 			State:     core.StateDone,
 			Inputs:    inputs,

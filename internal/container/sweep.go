@@ -274,7 +274,7 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 	now := time.Now()
 	sw := &sweepRecord{
 		jm:      jm,
-		id:      core.NewID(),
+		id:      jm.c.newID(),
 		service: serviceName,
 		owner:   owner,
 		traceID: trace,
@@ -324,7 +324,10 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 	for i, inputs := range merged {
 		rec := &jobRecord{
 			job: &core.Job{
-				ID:        core.NewID(),
+				// Children carry the same replica prefix as the sweep, so a
+				// gateway paging SweepJobs routes every child to the sweep's
+				// home replica.
+				ID:        jm.c.newID(),
 				Service:   serviceName,
 				State:     core.StateWaiting,
 				Inputs:    inputs,

@@ -419,6 +419,51 @@ func NewID() string {
 	return hex.EncodeToString(buf[:])
 }
 
+// maxReplicaNameLen bounds replica names embedded in resource identifiers.
+const maxReplicaNameLen = 16
+
+// ValidReplicaName reports whether name may be used as a replica identity
+// prefix inside resource IDs: 1–16 characters of [a-z0-9].  The dash is
+// excluded because it separates the prefix from the random part.
+func ValidReplicaName(name string) bool {
+	if len(name) == 0 || len(name) > maxReplicaNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// TagID prefixes a resource identifier with its home replica ("r03-<id>").
+// Affinity-tagged IDs make federated routing stateless: a gateway holding
+// only the ID of a job, sweep or file knows which container replica owns it
+// without any shared lookup table.  An empty replica name leaves the ID
+// untouched (single-container deployments keep the bare 32-hex form).
+func TagID(replica, id string) string {
+	if replica == "" {
+		return id
+	}
+	return replica + "-" + id
+}
+
+// SplitReplicaID extracts the replica prefix of an affinity-tagged resource
+// ID.  It reports false for bare (untagged) IDs and for strings whose prefix
+// is not a valid replica name, so pre-federation identifiers keep working.
+func SplitReplicaID(id string) (replica string, ok bool) {
+	i := strings.IndexByte(id, '-')
+	if i <= 0 || i >= len(id)-1 {
+		return "", false
+	}
+	if !ValidReplicaName(id[:i]) {
+		return "", false
+	}
+	return id[:i], true
+}
+
 // NotFoundError reports a missing resource (service, job or file).
 type NotFoundError struct {
 	Kind string // "service", "job" or "file"

@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+func TestTagAndSplitReplicaID(t *testing.T) {
+	id := NewID()
+	tagged := TagID("r03", id)
+	if tagged != "r03-"+id {
+		t.Fatalf("TagID = %q, want r03-%s", tagged, id)
+	}
+	replica, ok := SplitReplicaID(tagged)
+	if !ok || replica != "r03" {
+		t.Fatalf("SplitReplicaID(%q) = %q,%v, want r03,true", tagged, replica, ok)
+	}
+	// An empty replica name leaves the ID in its bare pre-federation form.
+	if got := TagID("", id); got != id {
+		t.Fatalf("TagID(\"\") = %q, want %q", got, id)
+	}
+	if _, ok := SplitReplicaID(id); ok {
+		t.Fatalf("SplitReplicaID(%q) matched a bare ID", id)
+	}
+}
+
+func TestSplitReplicaIDRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"-abc",                      // empty prefix
+		"r03-",                      // empty remainder
+		"R03-abc",                   // uppercase prefix
+		"r_3-abc",                   // invalid character
+		"aaaaaaaaaaaaaaaaa-abc",     // 17-char prefix
+		"no dash at all 0123456789", // spaces, no dash
+	} {
+		if rep, ok := SplitReplicaID(bad); ok {
+			t.Errorf("SplitReplicaID(%q) = %q,true, want false", bad, rep)
+		}
+	}
+	// Boundary: a 16-character prefix is the longest accepted.
+	if rep, ok := SplitReplicaID("aaaaaaaaaaaaaaaa-x"); !ok || rep != "aaaaaaaaaaaaaaaa" {
+		t.Errorf("16-char prefix rejected: %q %v", rep, ok)
+	}
+}
+
+func TestValidReplicaName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"r03": true, "a": true, "replica12": true,
+		"": false, "R03": false, "r-3": false, "r.3": false,
+		"aaaaaaaaaaaaaaaaa": false,
+	} {
+		if got := ValidReplicaName(name); got != want {
+			t.Errorf("ValidReplicaName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

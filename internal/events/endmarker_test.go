@@ -1,0 +1,45 @@
+package events
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The End flag must survive an SSE hop: WriteEvent encodes it as a comment
+// line (invisible to browsers) and Scanner decodes it back, so the
+// federation gateway can relay terminal frames without parsing payloads.
+func TestEndFlagRoundTripsThroughWire(t *testing.T) {
+	var buf bytes.Buffer
+	in := Event{ID: 7, Type: TypeJob, Data: []byte(`{"state":"DONE"}`), End: true}
+	if err := WriteEvent(&buf, in); err != nil {
+		t.Fatalf("WriteEvent: %v", err)
+	}
+	if !strings.Contains(buf.String(), ": end\n") {
+		t.Fatalf("wire frame missing end marker:\n%s", buf.String())
+	}
+	out, err := NewScanner(&buf).Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if !out.End || out.ID != 7 || out.Type != TypeJob || string(out.Data) != `{"state":"DONE"}` {
+		t.Fatalf("round trip mangled the event: %+v", out)
+	}
+}
+
+func TestNonTerminalFrameCarriesNoEndMarker(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvent(&buf, Event{ID: 1, Type: TypeJob, Data: []byte(`{}`)}); err != nil {
+		t.Fatalf("WriteEvent: %v", err)
+	}
+	if strings.Contains(buf.String(), ": end") {
+		t.Fatalf("non-terminal frame carries end marker:\n%s", buf.String())
+	}
+	out, err := NewScanner(&buf).Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if out.End {
+		t.Fatal("End decoded true for a non-terminal frame")
+	}
+}

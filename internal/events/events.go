@@ -61,10 +61,24 @@ func SweepTopic(sweepID string) string { return "sweep/" + sweepID }
 // service, sweep submissions, and deploy/undeploy notices.
 func ServiceTopic(service string) string { return "service/" + service }
 
+// endMarker is the comment line that carries Event.End on the wire.  SSE has
+// no standard field for "this stream is complete", and intermediaries (the
+// federation gateway) must know whether an upstream close was a terminal end
+// or an idle timeout without parsing the JSON payload.  Browsers and
+// spec-conforming parsers ignore comment lines, so the marker is invisible to
+// EventSource while round-tripping End through WriteEvent/Scanner.
+const endMarker = ": end"
+
 // WriteEvent writes one event as an SSE frame.  Data may contain newlines;
-// each line becomes its own data: field per the SSE spec.
+// each line becomes its own data: field per the SSE spec.  A set End flag is
+// encoded as a ": end" comment inside the frame, so the flag survives
+// proxying through another SSE hop.
 func WriteEvent(w io.Writer, ev Event) error {
 	var b strings.Builder
+	if ev.End {
+		b.WriteString(endMarker)
+		b.WriteByte('\n')
+	}
 	if ev.ID > 0 {
 		b.WriteString("id: ")
 		b.WriteString(strconv.FormatUint(ev.ID, 10))
@@ -126,7 +140,11 @@ func (s *Scanner) Next() (Event, error) {
 			return ev, nil
 		}
 		if strings.HasPrefix(line, ":") {
-			continue // comment / keep-alive
+			if line == endMarker {
+				ev.End = true
+				seen = true
+			}
+			continue // other comments are keep-alives
 		}
 		field, value, _ := strings.Cut(line, ":")
 		value = strings.TrimPrefix(value, " ")

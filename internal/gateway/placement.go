@@ -1,0 +1,189 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"mathcloud/internal/core"
+)
+
+// Placement answers one question: which replica should serve this request?
+//
+// Reads about a service (describe, merged listings) follow rendezvous
+// (highest-random-weight) hashing over (service, replica): every gateway
+// instance computes the same preference order with no shared state, and the
+// order degrades minimally when a replica leaves — only the services that
+// ranked it first move.  Work placement (job and sweep submission) must
+// instead SPREAD: rendezvous alone would pin each service to one replica and
+// cap its throughput at a single container, so submissions round-robin
+// across all healthy replicas advertising the service.  Two refinements
+// bend the spread toward cache locality:
+//
+//   - deterministic services consult the memo hint table first: a digest of
+//     the canonical submission (core.CanonicalHash) remembered from an
+//     earlier dispatch routes an identical resubmission to the replica whose
+//     computation cache already holds the result;
+//   - the round-robin cursor is gateway-global, not per-service, so mixed
+//     workloads still interleave fairly.
+
+// rendezvousScore ranks one (service, replica) pair.  FNV-1a over the joint
+// key is cheap, stateless and stable across processes.
+func rendezvousScore(service, replica string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(service))
+	h.Write([]byte{0})
+	h.Write([]byte(replica))
+	return h.Sum64()
+}
+
+// serviceReplicas returns the healthy replicas currently advertising the
+// service, sorted by descending rendezvous score (ties broken by name so the
+// order is total).
+func (g *Gateway) serviceReplicas(service string) []*replicaState {
+	var out []*replicaState
+	for _, rs := range g.replicas {
+		if !rs.isHealthy() {
+			continue
+		}
+		if _, ok := rs.describe(service); !ok {
+			continue
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(service, out[i].name), rendezvousScore(service, out[j].name)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// serviceKnown reports whether any replica — healthy or not — has ever
+// advertised the service, distinguishing "no such service" (404) from "no
+// healthy replica right now" (502).
+func (g *Gateway) serviceKnown(service string) bool {
+	for _, rs := range g.replicas {
+		if _, ok := rs.describe(service); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// homeReplica returns the rendezvous-preferred healthy replica for reads
+// about a service.
+func (g *Gateway) homeReplica(service string) (*replicaState, bool) {
+	c := g.serviceReplicas(service)
+	if len(c) == 0 {
+		return nil, false
+	}
+	return c[0], true
+}
+
+// spreadReplica picks the next submission target among candidates by
+// advancing the gateway-global round-robin cursor.
+func (g *Gateway) spreadReplica(candidates []*replicaState) *replicaState {
+	n := g.rrCursor.Add(1)
+	return candidates[int((n-1)%uint64(len(candidates)))]
+}
+
+// routeSubmit places one job submission.  For deterministic services it
+// computes the memo key of the submission and consults the hint table; a
+// hint pointing at a still-healthy candidate wins (the replica's memo cache
+// can answer without recomputing).  Otherwise the submission round-robins.
+// The returned key is non-empty when the dispatch should be recorded as a
+// hint after the replica accepts it.
+func (g *Gateway) routeSubmit(service string, inputs core.Values) (rs *replicaState, key string, hinted bool) {
+	candidates := g.serviceReplicas(service)
+	if len(candidates) == 0 {
+		return nil, "", false
+	}
+	desc, _ := candidates[0].describe(service)
+	if desc.Deterministic {
+		// A nil FileDigester hashes file references by literal string.  That
+		// is weaker than the container's content digest (two names for the
+		// same bytes miss), but the hint table only needs gateway-local
+		// determinism: a miss degrades to round-robin, never to a wrong
+		// answer — the replica's own memo gate re-derives the real key.
+		if k, err := core.CanonicalHash(desc.Name, desc.Version, inputs, nil); err == nil {
+			key = k
+			if name, ok := g.hints.get(key); ok {
+				for _, c := range candidates {
+					if c.name == name {
+						metGwHintHits.Inc()
+						return c, key, true
+					}
+				}
+			}
+		}
+	}
+	return g.spreadReplica(candidates), key, false
+}
+
+// hintTable is the bounded digest→replica map behind memo-cache sharing.
+// It uses two generations: inserts go to the young map, lookups check both,
+// and when the young map fills the old generation is dropped wholesale —
+// O(1) amortized eviction with no per-entry bookkeeping, at the cost of
+// evicting cohorts instead of strict LRU order.  Hints are advisory, so
+// losing a cohort only costs a round-robin dispatch.
+type hintTable struct {
+	max int
+
+	mu    sync.Mutex
+	young map[string]string
+	old   map[string]string
+}
+
+func newHintTable(max int) *hintTable {
+	return &hintTable{
+		max:   max,
+		young: make(map[string]string),
+	}
+}
+
+func (t *hintTable) get(key string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.young[key]; ok {
+		return v, true
+	}
+	if v, ok := t.old[key]; ok {
+		// Promote so a hot hint survives the next generation flip.
+		t.young[key] = v
+		return v, true
+	}
+	return "", false
+}
+
+func (t *hintTable) put(key, replica string) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.young) >= t.max/2 {
+		t.old = t.young
+		t.young = make(map[string]string)
+	}
+	t.young[key] = replica
+}
+
+// forget drops every hint pointing at a replica (used when one is replaced
+// rather than restarted, so stale hints do not pin traffic to a cold cache).
+func (t *hintTable) forget(replica string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range t.young {
+		if v == replica {
+			delete(t.young, k)
+		}
+	}
+	for k, v := range t.old {
+		if v == replica {
+			delete(t.old, k)
+		}
+	}
+}

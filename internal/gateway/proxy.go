@@ -1,0 +1,571 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mathcloud/internal/catalogue"
+	"mathcloud/internal/core"
+	"mathcloud/internal/obs"
+	"mathcloud/internal/rest"
+)
+
+// APIHandler returns the gateway's routing handler without the ingress
+// instrumentation (see Handler).  It exposes the unified REST API of
+// Table 1 unchanged — clients built against a single container work against
+// the federation without modification — plus two gateway-level resources:
+//
+//	GET /search       full-text search over the federated catalogue
+//	GET /replicas     federation health view
+//
+// Requests about existing resources (jobs, sweeps, files) route in O(1) by
+// the replica prefix of their IDs; resource creation is placed by
+// rendezvous+round-robin with memo hints; collection reads scatter-gather.
+func (g *Gateway) APIHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		head, tail := rest.ShiftPath(r.URL.Path)
+		switch head {
+		case "metrics":
+			obs.MetricsHandler().ServeHTTP(w, r)
+		case "status":
+			obs.StatusHandler().ServeHTTP(w, r)
+		case "":
+			g.handleIndex(w, r)
+		case "replicas":
+			g.handleReplicas(w, r)
+		case "search":
+			g.handleSearch(w, r)
+		case "services":
+			g.handleServices(w, r, tail)
+		case "files":
+			g.handleFiles(w, r, tail)
+		default:
+			rest.WriteError(w, core.ErrNotFound("resource", head))
+		}
+	})
+}
+
+func (g *Gateway) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{"replicas": g.Replicas()})
+}
+
+func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			rest.WriteError(w, core.ErrBadRequest("invalid limit %q", s))
+			return
+		}
+		limit = n
+	}
+	avail := q.Get("available") == "true" || q.Get("available") == "1"
+	results := g.cat.Search(q.Get("q"), catalogue.SearchOptions{
+		Tag:           q.Get("tag"),
+		OnlyAvailable: avail,
+		Limit:         limit,
+	})
+	if results == nil {
+		results = []catalogue.Result{}
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"query":   q.Get("q"),
+		"results": results,
+		"total":   len(results),
+	})
+}
+
+func (g *Gateway) handleServices(w http.ResponseWriter, r *http.Request, path string) {
+	name, tail := rest.ShiftPath(path)
+	if name == "" {
+		rest.WriteError(w, core.ErrBadRequest("missing service name"))
+		return
+	}
+	if tail == "/" {
+		switch r.Method {
+		case http.MethodGet:
+			rs, ok := g.homeReplica(name)
+			if !ok {
+				g.noReplica(w, name)
+				return
+			}
+			g.forward(w, r, rs, "service", nil)
+		case http.MethodPost:
+			g.handleSubmit(w, r, name)
+		default:
+			rest.MethodNotAllowed(w, http.MethodGet, http.MethodPost)
+		}
+		return
+	}
+	sub, rest2 := rest.ShiftPath(tail)
+	switch sub {
+	case "jobs":
+		jobID, rest3 := rest.ShiftPath(rest2)
+		if jobID == "" {
+			g.handleListFanout(w, r, name, "jobs")
+			return
+		}
+		rs, err := g.affinityReplica(jobID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		if child, _ := rest.ShiftPath(rest3); child == "events" {
+			g.serveResourceStream(w, r, rs, "job")
+			return
+		}
+		g.forward(w, r, rs, "job", nil)
+	case "sweeps":
+		sweepID, rest3 := rest.ShiftPath(rest2)
+		if sweepID == "" {
+			switch r.Method {
+			case http.MethodPost:
+				g.handleSweepSubmit(w, r, name)
+			case http.MethodGet:
+				g.handleListFanout(w, r, name, "sweeps")
+			default:
+				rest.MethodNotAllowed(w, http.MethodGet, http.MethodPost)
+			}
+			return
+		}
+		rs, err := g.affinityReplica(sweepID)
+		if err != nil {
+			rest.WriteError(w, err)
+			return
+		}
+		if child, _ := rest.ShiftPath(rest3); child == "events" {
+			g.serveResourceStream(w, r, rs, "sweep")
+			return
+		}
+		// The sweep resource and its child-job listing both live whole on
+		// the sweep's home replica: children inherit the sweep's replica
+		// prefix at mint time, so one affinity hop covers the campaign.
+		g.forward(w, r, rs, "sweep", nil)
+	case "events":
+		g.serveServiceFeed(w, r, name)
+	default:
+		rest.WriteError(w, core.ErrNotFound("resource", sub))
+	}
+}
+
+// handleSubmit places one job submission: the body is buffered (it is a
+// bounded JSON document by API contract), parsed for memo-hint computation,
+// and forwarded byte-identical to the placed replica.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request, service string) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rest.MaxBodyBytes))
+	if err != nil {
+		rest.WriteError(w, core.ErrBadRequest("read request body: %v", err))
+		return
+	}
+	// A body that does not parse as a value map still forwards — the
+	// replica owns input validation and its 400 passes through unchanged —
+	// it just cannot produce a memo hint.
+	var inputs core.Values
+	if len(raw) > 0 {
+		_ = json.Unmarshal(raw, &inputs)
+	}
+	rs, key, hinted := g.routeSubmit(service, inputs)
+	if rs == nil {
+		g.noReplica(w, service)
+		return
+	}
+	status, ok := g.forward(w, r, rs, "service", raw)
+	if ok && status == http.StatusCreated && key != "" && !hinted {
+		g.hints.put(key, rs.name)
+	}
+}
+
+// handleSweepSubmit places a sweep: the whole campaign — the sweep record
+// and every child job — lives on one replica, so distinct sweeps spread
+// round-robin while each individual campaign keeps single-container
+// batching and memoization semantics.
+func (g *Gateway) handleSweepSubmit(w http.ResponseWriter, r *http.Request, service string) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rest.MaxBodyBytes))
+	if err != nil {
+		rest.WriteError(w, core.ErrBadRequest("read request body: %v", err))
+		return
+	}
+	candidates := g.serviceReplicas(service)
+	if len(candidates) == 0 {
+		g.noReplica(w, service)
+		return
+	}
+	g.forward(w, r, g.spreadReplica(candidates), "sweep", raw)
+}
+
+func (g *Gateway) handleFiles(w http.ResponseWriter, r *http.Request, path string) {
+	id, _ := rest.ShiftPath(path)
+	if id == "" {
+		if r.Method != http.MethodPost {
+			rest.MethodNotAllowed(w, http.MethodPost)
+			return
+		}
+		// Uploads spread over all healthy replicas; the minted file ID
+		// carries the chosen replica's prefix, so later reads and job
+		// submissions referencing the file route straight back to the bytes.
+		var healthy []*replicaState
+		for _, rs := range g.replicas {
+			if rs.isHealthy() {
+				healthy = append(healthy, rs)
+			}
+		}
+		if len(healthy) == 0 {
+			rest.WriteJSON(w, http.StatusBadGateway, rest.ErrorBody{
+				Error:  "gateway: no healthy replica for file upload",
+				Status: http.StatusBadGateway,
+			})
+			return
+		}
+		// The body streams through: file uploads are unbounded, so they are
+		// never buffered at the gateway.
+		g.forward(w, r, g.spreadReplica(healthy), "file", nil)
+		return
+	}
+	rs, err := g.affinityReplica(id)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	g.forward(w, r, rs, "file", nil)
+}
+
+// noReplica distinguishes "no such service in the federation" (404) from
+// "service known but no replica can take it right now" (502).
+func (g *Gateway) noReplica(w http.ResponseWriter, service string) {
+	if !g.serviceKnown(service) {
+		rest.WriteError(w, core.ErrNotFound("service", service))
+		return
+	}
+	rest.WriteJSON(w, http.StatusBadGateway, rest.ErrorBody{
+		Error:  fmt.Sprintf("gateway: no healthy replica for service %q", service),
+		Status: http.StatusBadGateway,
+	})
+}
+
+// affinityReplica resolves the home replica encoded in a resource ID.  A
+// bare (unprefixed) ID is routable only in a single-replica federation —
+// there is exactly one place it can live.
+func (g *Gateway) affinityReplica(id string) (*replicaState, error) {
+	name, ok := core.SplitReplicaID(id)
+	if !ok {
+		if len(g.replicas) == 1 {
+			return g.replicas[0], nil
+		}
+		return nil, core.ErrNotFound("resource", id)
+	}
+	rs := g.byName[name]
+	if rs == nil {
+		return nil, core.ErrNotFound("replica", name)
+	}
+	return rs, nil
+}
+
+// ensureBase re-resolves the base URL of a replica marked unhealthy before
+// routing to it, so a rescheduled container is found at its new address
+// without waiting for the next health sweep.
+func (g *Gateway) ensureBase(rs *replicaState) {
+	if g.resolver == nil || rs.isHealthy() {
+		return
+	}
+	if b, ok := g.resolver(rs.name); ok {
+		b = trimBase(b)
+		rs.mu.Lock()
+		rs.base = b
+		rs.mu.Unlock()
+	}
+}
+
+// hopHeaders are the connection-scoped headers a proxy must not forward
+// (RFC 9110 §7.6.1).
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// forward proxies the request to one replica, streaming the response back
+// through pooled copy buffers.  A non-nil body replaces the request body
+// (already buffered by the caller); nil streams r.Body through.  It returns
+// the upstream status and whether the upstream answered at all.  Reaching
+// the replica at all is what health tracks: a connection-level failure
+// marks it down (passive health) and surfaces as 502 Bad Gateway, which the
+// client retry policy replays for idempotent methods.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, rs *replicaState, route string, body []byte) (int, bool) {
+	g.ensureBase(rs)
+	target := rs.baseURL() + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	var reqBody io.Reader = r.Body
+	if body != nil {
+		// bytes.Reader wires ContentLength and GetBody, so buffered bodies
+		// survive transport-level replays.
+		reqBody = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, target, reqBody)
+	if err != nil {
+		rest.WriteError(w, fmt.Errorf("gateway: build upstream request: %w", err))
+		return 0, false
+	}
+	copyHeaders(out.Header, r.Header)
+	start := time.Now()
+	resp, err := g.client.Do(out)
+	if err != nil {
+		g.markReplicaDown(rs, err)
+		metGwRequests.With(route, rs.name, "error").Inc()
+		status := http.StatusBadGateway
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		// The downstream client going away is not a replica fault; there is
+		// nobody left to answer anyway.
+		if r.Context().Err() == nil {
+			rest.WriteJSON(w, status, rest.ErrorBody{
+				Error:  fmt.Sprintf("gateway: replica %s unreachable: %v", rs.name, err),
+				Status: status,
+			})
+		}
+		return 0, false
+	}
+	defer resp.Body.Close()
+	metGwProxySeconds.With(route).Observe(time.Since(start).Seconds())
+	metGwRequests.With(route, rs.name, statusClass(resp.StatusCode)).Inc()
+	if !rs.isHealthy() && resp.StatusCode < http.StatusInternalServerError {
+		g.reviveReplica(rs)
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := rest.Copy(w, resp.Body); err != nil {
+		// Mid-stream failure: headers are out, nothing to do but stop.
+		return resp.StatusCode, true
+	}
+	return resp.StatusCode, true
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if isHopHeader(k) {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func isHopHeader(name string) bool {
+	for _, h := range hopHeaders {
+		if http.CanonicalHeaderKey(name) == h {
+			return true
+		}
+	}
+	return false
+}
+
+func statusClass(code int) string {
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// --- Scatter-gather -------------------------------------------------------
+
+// fanResult is one replica's answer in a scatter-gather round.
+type fanResult struct {
+	rs   *replicaState
+	body []byte
+	err  error
+}
+
+// scatter fans a GET out to the given replicas with a per-replica deadline
+// each, collecting bodies and failures.  The fan-out is bounded: at most
+// maxFanout requests are in flight at once, so a wide federation cannot
+// exhaust the gateway's connection pool in one index hit.
+const maxFanout = 8
+
+func (g *Gateway) scatter(ctx context.Context, replicas []*replicaState, path, query string) []fanResult {
+	results := make([]fanResult, len(replicas))
+	sem := make(chan struct{}, maxFanout)
+	var wg sync.WaitGroup
+	for i, rs := range replicas {
+		wg.Add(1)
+		go func(i int, rs *replicaState) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pctx, cancel := context.WithTimeout(ctx, g.fanout)
+			defer cancel()
+			target := rs.baseURL() + path
+			if query != "" {
+				target += "?" + query
+			}
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, target, nil)
+			if err != nil {
+				results[i] = fanResult{rs: rs, err: err}
+				return
+			}
+			req.Header.Set("Accept", "application/json")
+			resp, err := g.client.Do(req)
+			if err != nil {
+				results[i] = fanResult{rs: rs, err: err}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				rest.Drain(resp.Body)
+				results[i] = fanResult{rs: rs, err: fmt.Errorf("%s", resp.Status)}
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, rest.MaxBodyBytes))
+			results[i] = fanResult{rs: rs, body: body, err: err}
+		}(i, rs)
+	}
+	wg.Wait()
+	return results
+}
+
+// warnPartial attaches one Warning header per unreachable replica (RFC 9110
+// §5.5 code 199) so callers can tell a complete federation answer from a
+// partial one, and records the partial round.
+func warnPartial(w http.ResponseWriter, failed []fanResult) {
+	for _, f := range failed {
+		w.Header().Add("Warning",
+			fmt.Sprintf("199 mcgw %q", fmt.Sprintf("replica %s unavailable: %v", f.rs.name, f.err)))
+	}
+	if len(failed) > 0 {
+		metGwFanoutPartial.Inc()
+	}
+}
+
+// allFailed writes the terminal scatter-gather error: 504 when every
+// failure was a deadline, 502 otherwise.
+func allFailed(w http.ResponseWriter, failed []fanResult) {
+	status := http.StatusGatewayTimeout
+	for _, f := range failed {
+		if !errors.Is(f.err, context.DeadlineExceeded) {
+			status = http.StatusBadGateway
+			break
+		}
+	}
+	rest.WriteJSON(w, status, rest.ErrorBody{
+		Error:  "gateway: no replica answered",
+		Status: status,
+	})
+}
+
+// handleIndex merges the live container indexes of every replica into one
+// federated index: the union of advertised services (deduplicated by name)
+// plus the federation health view.
+func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	results := g.scatter(r.Context(), g.replicas, "/", "")
+	var ok, failed []fanResult
+	for _, f := range results {
+		if f.err == nil {
+			ok = append(ok, f)
+		} else {
+			failed = append(failed, f)
+		}
+	}
+	if len(ok) == 0 {
+		allFailed(w, failed)
+		return
+	}
+	seen := make(map[string]bool)
+	var services []core.ServiceDescription
+	for _, f := range ok {
+		var doc indexDoc
+		if err := json.Unmarshal(f.body, &doc); err != nil {
+			continue
+		}
+		for _, d := range doc.Services {
+			if !seen[d.Name] {
+				seen[d.Name] = true
+				services = append(services, d)
+			}
+		}
+	}
+	sort.Slice(services, func(i, j int) bool { return services[i].Name < services[j].Name })
+	if services == nil {
+		services = []core.ServiceDescription{}
+	}
+	warnPartial(w, failed)
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"container": "mcgw",
+		"replicas":  g.Replicas(),
+		"services":  services,
+	})
+}
+
+// handleListFanout merges one collection listing (jobs or sweeps of a
+// service) across the replicas advertising it.  Totals are summed; limit
+// and offset forward to each replica unchanged, so a page bound applies
+// per replica — the trade that keeps the gateway stateless (no cross-
+// replica cursor).
+func (g *Gateway) handleListFanout(w http.ResponseWriter, r *http.Request, service, kind string) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	candidates := g.serviceReplicas(service)
+	if len(candidates) == 0 {
+		g.noReplica(w, service)
+		return
+	}
+	results := g.scatter(r.Context(), candidates, r.URL.Path, r.URL.RawQuery)
+	var ok, failed []fanResult
+	for _, f := range results {
+		if f.err == nil {
+			ok = append(ok, f)
+		} else {
+			failed = append(failed, f)
+		}
+	}
+	if len(ok) == 0 {
+		allFailed(w, failed)
+		return
+	}
+	merged := []json.RawMessage{}
+	total := 0
+	for _, f := range ok {
+		var page struct {
+			Jobs   []json.RawMessage `json:"jobs"`
+			Sweeps []json.RawMessage `json:"sweeps"`
+			Total  int               `json:"total"`
+		}
+		if err := json.Unmarshal(f.body, &page); err != nil {
+			continue
+		}
+		if kind == "jobs" {
+			merged = append(merged, page.Jobs...)
+			total += page.Total
+		} else {
+			merged = append(merged, page.Sweeps...)
+			total += len(page.Sweeps)
+		}
+	}
+	warnPartial(w, failed)
+	if kind == "jobs" {
+		rest.WriteJSON(w, http.StatusOK, map[string]any{"jobs": merged, "total": total})
+		return
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{"sweeps": merged})
+}

@@ -15,7 +15,7 @@ import (
 // replay, and how much wall-clock time clients spend backed off.
 var (
 	metRetryAttempts = obs.NewCounter("mc_retry_attempts_total",
-		"Request attempts replayed after a transient failure (503/429 or connection error).")
+		"Request attempts replayed after a transient failure (503/429, gateway 502/504 on idempotent methods, or connection error).")
 	metRetryBackoff = obs.NewCounter("mc_retry_backoff_seconds_total",
 		"Total wall-clock time spent sleeping between retry attempts.")
 )
@@ -35,7 +35,12 @@ var (
 //     (req.GetBody != nil, which http.NewRequest sets for in-memory bodies);
 //   - 503 Service Unavailable and 429 Too Many Requests responses, under
 //     the same replayability condition, honouring the Retry-After header
-//     when the server provides one.
+//     when the server provides one;
+//   - 502 Bad Gateway and 504 Gateway Timeout responses, but only for
+//     idempotent methods: these are a routing tier reporting that a backend
+//     replica died mid-request, so a non-idempotent request may already have
+//     executed.  The gateway re-resolves replica health on every attempt, so
+//     the replay lands on a live replica.
 //
 // Other status codes are returned to the caller untouched: they are
 // deterministic answers, not faults.  Context cancellation always stops
@@ -153,10 +158,20 @@ func RetryAfter(resp *http.Response) time.Duration {
 	return 0
 }
 
-// retryStatus reports whether a status code signals a transient server
-// condition worth retrying.
-func retryStatus(code int) bool {
-	return code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
+// retryStatus reports whether a status code signals a transient condition
+// worth retrying for a request of the given method.  503/429 are the server
+// explicitly refusing to act, safe to replay whenever the body can be
+// rewound; 502/504 come from a gateway whose backend replica failed
+// mid-request — the backend may or may not have acted, so only idempotent
+// methods are replayed.
+func retryStatus(code int, method string) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		return true
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return idempotent(method)
+	}
+	return false
 }
 
 // Do performs req through client, retrying transient failures per the
@@ -192,7 +207,7 @@ func (p *RetryPolicy) Do(client *http.Client, req *http.Request) (*http.Response
 			r.Body = body
 		}
 		resp, err := client.Do(r)
-		if err == nil && !retryStatus(resp.StatusCode) {
+		if err == nil && !retryStatus(resp.StatusCode, req.Method) {
 			return resp, nil
 		}
 
@@ -205,7 +220,7 @@ func (p *RetryPolicy) Do(client *http.Client, req *http.Request) (*http.Response
 				return nil, err
 			}
 		} else {
-			// Transient status (503/429): the server refused to act, so
+			// Transient status (503/429, or 502/504 on idempotent methods):
 			// replaying is safe whenever the body can be rewound.
 			if last || !canReplay {
 				return resp, nil

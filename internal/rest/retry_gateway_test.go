@@ -1,0 +1,89 @@
+package rest_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mathcloud/internal/rest"
+)
+
+// Gateway status semantics (DESIGN.md §5h): 502/504 mean a routing tier
+// could not reach its backend replica.  The backend may or may not have
+// executed the request, so only idempotent methods are replayed.
+
+func gatewayFlake(t *testing.T, failStatus, failures int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			w.WriteHeader(failStatus)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryReplays502And504ForIdempotentMethods(t *testing.T) {
+	policy := &rest.RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 2}
+	for _, status := range []int{http.StatusBadGateway, http.StatusGatewayTimeout} {
+		for _, method := range []string{http.MethodGet, http.MethodDelete} {
+			srv, calls := gatewayFlake(t, status, 2)
+			req, _ := http.NewRequest(method, srv.URL, nil)
+			resp, err := policy.Do(srv.Client(), req)
+			if err != nil {
+				t.Fatalf("%s after %d: %v", method, status, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d after retries, want 200", method, resp.StatusCode)
+			}
+			if n := calls.Load(); n != 3 {
+				t.Fatalf("%s against %d: %d attempts, want 3", method, status, n)
+			}
+		}
+	}
+}
+
+func TestRetryDoesNotReplay502ForNonIdempotentMethods(t *testing.T) {
+	policy := &rest.RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 2}
+	for _, status := range []int{http.StatusBadGateway, http.StatusGatewayTimeout} {
+		srv, calls := gatewayFlake(t, status, 2)
+		// The body is replayable (GetBody set), so a 503 WOULD retry; the
+		// gateway statuses must not, because the dead replica may already
+		// have executed the submission.
+		req, _ := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader([]byte(`{"a":1}`)))
+		resp, err := policy.Do(srv.Client(), req)
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("POST: status %d, want the %d passed through", resp.StatusCode, status)
+		}
+		if n := calls.Load(); n != 1 {
+			t.Fatalf("POST against %d: %d attempts, want 1", status, n)
+		}
+	}
+}
+
+func TestRetryStillReplays503ForReplayablePost(t *testing.T) {
+	policy := &rest.RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 2}
+	srv, calls := gatewayFlake(t, http.StatusServiceUnavailable, 1)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader([]byte(`{"a":1}`)))
+	resp, err := policy.Do(srv.Client(), req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: status %d, want 200", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("POST against 503: %d attempts, want 2", n)
+	}
+}
