@@ -18,6 +18,7 @@ import (
 
 	"mathcloud/internal/catalogue"
 	"mathcloud/internal/container"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 )
 
@@ -25,11 +26,37 @@ func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	ping := flag.Duration("ping", time.Minute, "availability ping interval (0 disables)")
 	store := flag.String("store", "", "snapshot file: loaded at startup, saved periodically")
+	durableDir := flag.String("data-dir", "", "write-ahead journal directory: every registration is durable as it happens (checkpointed periodically)")
+	walSync := flag.String("wal-sync", "batch", "journal durability mode: off, batch or always (with -data-dir)")
 	flag.Parse()
 
 	obs.SetLogLevel(slog.LevelInfo)
 
 	cat := catalogue.New(catalogue.ClientDescriber{})
+	if *durableDir != "" {
+		mode, err := journal.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("catalogue: %v", err)
+		}
+		jl, err := journal.Open(*durableDir, journal.Options{Mode: mode})
+		if err != nil {
+			log.Fatalf("catalogue: %v", err)
+		}
+		defer jl.Close()
+		if err := cat.AttachJournal(jl); err != nil {
+			log.Fatalf("catalogue: %v", err)
+		}
+		log.Printf("catalogue: recovered %d service(s) from journal %s", cat.Size(), *durableDir)
+		go func() {
+			ticker := time.NewTicker(time.Minute)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := cat.Checkpoint(); err != nil {
+					log.Printf("catalogue: %v", err)
+				}
+			}
+		}()
+	}
 	if *store != "" {
 		if err := cat.Load(*store); err != nil {
 			if os.IsNotExist(errors.Unwrap(err)) {

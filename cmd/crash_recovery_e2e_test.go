@@ -1,0 +1,198 @@
+package cmd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEverest launches the everest binary and returns the process handle
+// together with its base URL, so tests can kill it mid-flight.
+func startEverest(t *testing.T, bin string, port int, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(base + "/")
+		if err == nil {
+			resp.Body.Close()
+			return cmd, base
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("everest never came up on %s", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoverySweep is the durability e2e: everest with a write-ahead
+// journal accepts a width-64 sweep, is SIGKILLed mid-campaign, and a fresh
+// process on the same -data-dir must finish every accepted child with zero
+// losses.
+func TestCrashRecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e binary test is slow")
+	}
+	binDir := t.TempDir()
+	bin := filepath.Join(binDir, "everest")
+	build := exec.Command("go", "build", "-o", bin, "./everest")
+	build.Dir = "."
+	if output, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build everest: %v\n%s", err, output)
+	}
+
+	// One service backed by the command adapter: each child sleeps long
+	// enough that the kill lands with most of the campaign non-terminal.
+	cfgPath := filepath.Join(t.TempDir(), "services.json")
+	cfg := `{
+	  "services": [{
+	    "description": {
+	      "name": "slowsum",
+	      "inputs":  [{"name": "a"}, {"name": "b"}],
+	      "outputs": [{"name": "sum"}]
+	    },
+	    "adapter": {
+	      "kind": "command",
+	      "config": {
+	        "command": "/bin/sh",
+	        "args": ["-c", "sleep 0.2; printf '{{\"sum\": %d}}' $(( {a} + {b} ))"],
+	        "stdoutJSON": true
+	      }
+	    }
+	  }]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+
+	proc, base := startEverest(t, bin, freePort(t),
+		"-config", cfgPath, "-data-dir", dataDir, "-wal-sync", "batch", "-workers", "8")
+
+	const width = 64
+	axis := make([]int, width)
+	for i := range axis {
+		axis[i] = i
+	}
+	spec := map[string]any{
+		"template": map[string]any{"a": 1000},
+		"axes":     map[string]any{"b": axis},
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/services/slowsum/sweeps", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep struct {
+		ID    string `json:"id"`
+		Width int    `json:"width"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sweep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep submit = %d", resp.StatusCode)
+	}
+	if sweep.Width != width {
+		t.Fatalf("accepted width = %d, want %d", sweep.Width, width)
+	}
+
+	// Let part of the campaign run, then kill -9: no shutdown hooks, no
+	// journal close — exactly what the WAL must survive.
+	time.Sleep(500 * time.Millisecond)
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = proc.Process.Wait()
+
+	_, base2 := startEverest(t, bin, freePort(t),
+		"-config", cfgPath, "-data-dir", dataDir, "-wal-sync", "batch", "-workers", "8")
+
+	// Every accepted child must reach a terminal state; none may be lost.
+	sweepURL := base2 + "/services/slowsum/sweeps/" + sweep.ID
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(sweepURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("sweep lost across restart: GET = %d\n%s", resp.StatusCode, body)
+		}
+		var got struct {
+			State  string `json:"state"`
+			Width  int    `json:"width"`
+			Counts struct {
+				Waiting   int `json:"waiting"`
+				Running   int `json:"running"`
+				Done      int `json:"done"`
+				Error     int `json:"error"`
+				Cancelled int `json:"cancelled"`
+			} `json:"counts"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got.Width != width {
+			t.Fatalf("restored width = %d, want %d", got.Width, width)
+		}
+		terminal := got.Counts.Done + got.Counts.Error + got.Counts.Cancelled
+		if got.State != "RUNNING" {
+			if terminal != width {
+				t.Fatalf("terminal children = %d of %d (counts %+v)", terminal, width, got.Counts)
+			}
+			if got.State != "DONE" || got.Counts.Done != width {
+				t.Fatalf("sweep after recovery = %s counts %+v, want DONE with %d done",
+					got.State, got.Counts, width)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished after restart: %s counts %+v", got.State, got.Counts)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The replay counters prove the second process actually recovered state
+	// rather than starting empty.
+	mresp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mbody)
+	for _, family := range []string{"mc_recovery_replayed_total", "mc_wal_appends_total"} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("restarted everest /metrics lacks %s", family)
+		}
+	}
+	if !strings.Contains(metrics, `mc_recovery_replayed_total{kind="sweep"}`) {
+		t.Errorf("no sweep records replayed; metrics:\n%s", metrics)
+	}
+}

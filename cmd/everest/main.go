@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mathcloud/internal/adapter"
@@ -38,6 +39,7 @@ import (
 	"mathcloud/internal/cas"
 	"mathcloud/internal/container"
 	"mathcloud/internal/grid"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 	"mathcloud/internal/scatter"
 	"mathcloud/internal/torque"
@@ -70,6 +72,10 @@ func main() {
 	configPath := flag.String("config", "", "service configuration file (JSON)")
 	workers := flag.Int("workers", 8, "job handler pool size")
 	dataDir := flag.String("data", "", "data directory (default: temporary)")
+	durableDir := flag.String("data-dir", "", "durable root: file store under <dir>, write-ahead journal under <dir>/journal; jobs, sweeps, the catalogue of deployed state and the memo index survive restarts (overrides -data)")
+	walSync := flag.String("wal-sync", "batch", "journal durability mode: off, batch or always (with -data-dir)")
+	snapInterval := flag.Duration("snapshot-interval", time.Minute, "journal checkpoint period (with -data-dir; negative disables)")
+	jobTTL := flag.Duration("job-ttl", 0, "default destruction TTL of terminal jobs and sweeps (0 = keep until DELETE)")
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://<addr>)")
 	builtin := flag.Bool("builtin", false, "deploy the built-in application services")
 	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listener (e.g. 127.0.0.1:6060)")
@@ -90,11 +96,9 @@ func main() {
 	ampl.RegisterFuncs()
 	scatter.RegisterFuncs()
 
-	registry := adapter.NewRegistry()
-	c, err := container.New(container.Options{
+	opts := container.Options{
 		Workers:        *workers,
 		DataDir:        *dataDir,
-		Adapters:       registry,
 		DebugAddr:      *debugAddr,
 		MemoMaxEntries: *memoEntries,
 		MemoMaxBytes:   *memoBytes,
@@ -102,7 +106,21 @@ func main() {
 		MaxSweepWidth:  *sweepWidth,
 		MaxWaitWindow:  *maxWait,
 		ReplicaID:      *replica,
-	})
+		JobTTL:         *jobTTL,
+	}
+	if *durableDir != "" {
+		mode, err := journal.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("everest: %v", err)
+		}
+		opts.DataDir = *durableDir
+		opts.JournalDir = filepath.Join(*durableDir, "journal")
+		opts.WALSync = mode
+		opts.SnapshotInterval = *snapInterval
+	}
+	registry := adapter.NewRegistry()
+	opts.Adapters = registry
+	c, err := container.New(opts)
 	if err != nil {
 		log.Fatalf("everest: %v", err)
 	}
@@ -172,6 +190,12 @@ func main() {
 				log.Fatalf("everest: %v", err)
 			}
 		}
+	}
+
+	// Recover after every service is deployed (re-driven jobs need their
+	// adapters) and before the listener accepts traffic.
+	if err := c.Recover(); err != nil {
+		log.Fatalf("everest: %v", err)
 	}
 
 	if *baseURL != "" {

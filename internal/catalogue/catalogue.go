@@ -12,6 +12,7 @@ import (
 
 	"mathcloud/internal/client"
 	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 )
 
@@ -104,6 +105,10 @@ type Catalogue struct {
 
 	pingStop chan struct{}
 	pingOnce sync.Once
+
+	// jl is the attached write-ahead journal (nil = not journaled); see
+	// persist.go.  Set once by AttachJournal before the catalogue serves.
+	jl *journal.Journal
 }
 
 // New creates a catalogue using the given describer to retrieve service
@@ -168,6 +173,7 @@ func (c *Catalogue) Register(ctx context.Context, uri string, tags []string) (*E
 	c.reindex(entry)
 	snapshot := cloneEntry(entry)
 	c.mu.Unlock()
+	c.logEntry(snapshot)
 	return snapshot, nil
 }
 
@@ -230,6 +236,7 @@ func (c *Catalogue) Unregister(uri string) error {
 	if !ok {
 		return core.ErrNotFound("service", uri)
 	}
+	c.logUnregister(uri)
 	return nil
 }
 
@@ -259,6 +266,7 @@ func (c *Catalogue) AddTags(uri string, tags []string) (*Entry, error) {
 	c.reindex(e)
 	snapshot := cloneEntry(e)
 	c.mu.Unlock()
+	c.logEntry(snapshot)
 	return snapshot, nil
 }
 

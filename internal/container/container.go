@@ -30,6 +30,7 @@ import (
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
 	"mathcloud/internal/events"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
@@ -106,6 +107,27 @@ type Options struct {
 	// can dispatch resource requests to their home replica statelessly.
 	// Must satisfy core.ValidReplicaName; empty keeps bare IDs.
 	ReplicaID string
+	// JournalDir enables the durability subsystem (DESIGN.md §5i): every
+	// control-plane mutation — job lifecycle transitions, sweep membership,
+	// file-store references, memo entries — is appended to a write-ahead
+	// journal rooted at this directory, and Recover rebuilds the container
+	// state from it after a restart.  Empty disables journaling entirely;
+	// the hot path then carries no durability cost.  Pair it with a stable
+	// DataDir: recovered state references blobs under DataDir/files.
+	JournalDir string
+	// WALSync selects the journal durability mode (off, batch, always);
+	// meaningful only with JournalDir set.
+	WALSync journal.SyncMode
+	// SnapshotInterval is the period of the background journal checkpoint
+	// (snapshot + log truncation) started by Recover.  Zero selects the
+	// default (1 minute); a negative value disables periodic checkpoints.
+	SnapshotInterval time.Duration
+	// JobTTL is the UWS-style default destruction TTL: a terminal job (or
+	// sweep) is purged together with its file resources this long after it
+	// finishes.  Zero keeps results until an explicit DELETE.  Requests
+	// override it per job (?destruction=) and per sweep (the spec's
+	// destruction field).
+	JobTTL time.Duration
 	// Guard enables the security mechanism; nil leaves the container
 	// open to all clients.
 	Guard Guard
@@ -175,6 +197,14 @@ type Container struct {
 	ownsData   bool
 	replicaID  string
 	debugSrv   *http.Server
+	// journal is the write-ahead log of the durability subsystem (nil when
+	// Options.JournalDir is empty).  snapStop/snapWG manage the background
+	// checkpoint loop started by Recover.
+	journal      *journal.Journal
+	snapInterval time.Duration
+	snapStop     chan struct{}
+	snapWG       sync.WaitGroup
+	snapOnce     sync.Once
 
 	mu       sync.RWMutex
 	services map[string]*service
@@ -255,8 +285,33 @@ func New(opts Options) (*Container, error) {
 	} else if c.maxWait < 0 {
 		c.maxWait = 0 // no cap
 	}
+	if opts.JournalDir != "" {
+		jl, err := journal.Open(opts.JournalDir, journal.Options{Mode: opts.WALSync})
+		if err != nil {
+			if ownsData {
+				_ = os.RemoveAll(dataDir)
+			}
+			return nil, fmt.Errorf("container: %w", err)
+		}
+		c.journal = jl
+		files.setJournal(jl, c.logger.Printf)
+		c.snapInterval = opts.SnapshotInterval
+		if c.snapInterval == 0 {
+			c.snapInterval = defaultSnapshotInterval
+		}
+		c.snapStop = make(chan struct{})
+	}
 	c.events = events.NewBus(events.Options{RingSize: opts.EventRingSize})
-	c.jobs = newJobManager(c, opts.Workers, opts.QueueSize, opts.DefaultJobDeadline, memoEntries, memoBytes, batchMax, sweepWidth)
+	c.jobs = newJobManager(c, jobManagerConfig{
+		workers:       opts.Workers,
+		queueSize:     opts.QueueSize,
+		deadline:      opts.DefaultJobDeadline,
+		memoEntries:   memoEntries,
+		memoBytes:     memoBytes,
+		batchMax:      batchMax,
+		maxSweepWidth: sweepWidth,
+		jobTTL:        opts.JobTTL,
+	})
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr)
 		if err != nil {
@@ -285,11 +340,20 @@ func (c *Container) Close() {
 		_ = c.debugSrv.Close()
 		c.debugSrv = nil
 	}
+	c.stopSnapshotter()
 	c.jobs.Close()
 	// The job manager drained first, so its terminal transitions reached
 	// the bus; closing the bus now releases every remaining event stream.
 	if c.events != nil {
 		c.events.Close()
+	}
+	// The journal closes after the job manager: the shutdown's CANCELLED
+	// transitions are themselves journaled, so a clean restart re-queues
+	// nothing.
+	if c.journal != nil {
+		if err := c.journal.Close(); err != nil {
+			c.logger.Printf("container: journal close: %v", err)
+		}
 	}
 	if c.ownsData {
 		_ = os.RemoveAll(c.dataDir)
@@ -473,6 +537,11 @@ func (c *Container) SetBaseURL(u string) {
 	// old base URL; drop them rather than serve unreachable references.
 	if old != c.BaseURL() && c.jobs != nil && c.jobs.memo != nil {
 		c.jobs.memo.reset()
+	}
+	// Journal the URL so a same-URL restart keeps the recovered memo index
+	// (Recover restores the URL first, making the reset above a no-op).
+	if base != "" && base != old {
+		c.logRecord(journal.KindBaseURL, journal.BaseURLRecord{URL: base})
 	}
 	// Publish the container in the in-process registry so callers holding
 	// its URIs can take the local invocation fast path.

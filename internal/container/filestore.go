@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/rest"
 )
 
@@ -30,6 +31,12 @@ type FileStore struct {
 	// idPrefix is the replica affinity prefix stamped on every minted file
 	// ID ("" outside a federation).  Set once, before the store is shared.
 	idPrefix string
+	// jl, when set, records every ID birth and death in the container's
+	// write-ahead journal so the index survives restarts.  Blobs are their
+	// own durability (content-addressed files on disk); the journal only
+	// carries the ID→digest mapping that points at them.
+	jl   *journal.Journal
+	logf func(format string, args ...any)
 
 	mu    sync.Mutex
 	sizes map[string]int64
@@ -54,6 +61,33 @@ var fileIDPattern = regexp.MustCompile(`^(?:[a-z0-9]{1,16}-)?[0-9a-f]{32}$`)
 // SetIDPrefix sets the replica affinity prefix of newly minted file IDs.
 // Call it right after construction, before the store serves requests.
 func (fs *FileStore) SetIDPrefix(replica string) { fs.idPrefix = replica }
+
+// setJournal attaches the container's write-ahead journal.  Call it right
+// after construction, before the store serves requests.
+func (fs *FileStore) setJournal(jl *journal.Journal, logf func(format string, args ...any)) {
+	fs.jl = jl
+	fs.logf = logf
+}
+
+// logPut journals the birth of a file ID.  Called outside fs.mu.
+func (fs *FileStore) logPut(id, digest string, size int64, owner string) {
+	if fs.jl == nil {
+		return
+	}
+	if err := fs.jl.Append(journal.KindFilePut, journal.FilePutRecord{ID: id, Digest: digest, Size: size, Owner: owner}); err != nil {
+		fs.logf("container: journal: file put %s: %v", id, err)
+	}
+}
+
+// logDel journals the death of a file ID.  Called outside fs.mu.
+func (fs *FileStore) logDel(id string) {
+	if fs.jl == nil {
+		return
+	}
+	if err := fs.jl.Append(journal.KindFileDel, journal.FileDelRecord{ID: id}); err != nil {
+		fs.logf("container: journal: file del %s: %v", id, err)
+	}
+}
 
 // NewFileStore creates a file store rooted at dir, creating it if needed.
 func NewFileStore(dir string) (*FileStore, error) {
@@ -109,6 +143,7 @@ func (fs *FileStore) PutBytes(data []byte, jobID string) (string, error) {
 	if fs.refs[digest] > 0 {
 		id := fs.adoptLocked(digest, int64(len(data)), jobID)
 		fs.mu.Unlock()
+		fs.logPut(id, digest, int64(len(data)), jobID)
 		return id, nil
 	}
 	fs.mu.Unlock()
@@ -150,6 +185,7 @@ func (fs *FileStore) PutFile(path, jobID string) (string, error) {
 	if fs.refs[digest] > 0 {
 		id := fs.adoptLocked(digest, n, jobID)
 		fs.mu.Unlock()
+		fs.logPut(id, digest, n, jobID)
 		return id, nil
 	}
 	fs.mu.Unlock()
@@ -197,6 +233,7 @@ func (fs *FileStore) commit(tmpPath, digest string, size int64, jobID string) (s
 		id := fs.adoptLocked(digest, size, jobID)
 		fs.mu.Unlock()
 		_ = os.Remove(tmpPath)
+		fs.logPut(id, digest, size, jobID)
 		return id, nil
 	}
 	// Rename under the lock: it is a metadata operation (fast) and keeps
@@ -210,6 +247,7 @@ func (fs *FileStore) commit(tmpPath, digest string, size int64, jobID string) (s
 	fs.physicalBytes += size
 	id := fs.registerLocked(digest, size, jobID)
 	fs.mu.Unlock()
+	fs.logPut(id, digest, size, jobID)
 	return id, nil
 }
 
@@ -345,7 +383,14 @@ func (fs *FileStore) Delete(id string) error {
 	var unlink string
 	if ok {
 		fs.logicalBytes -= size
-		if fs.refs[digest]--; fs.refs[digest] <= 0 {
+		// Guard the decrement: a refcount can only reach zero together with
+		// the last ID, but replayed journals have carried inconsistent pairs
+		// before, and a negative count would unlink a blob other IDs still
+		// reference on the next delete.
+		if fs.refs[digest] > 0 {
+			fs.refs[digest]--
+		}
+		if fs.refs[digest] <= 0 {
 			delete(fs.refs, digest)
 			fs.physicalBytes -= size
 			unlink = fs.blobPath(digest)
@@ -355,6 +400,7 @@ func (fs *FileStore) Delete(id string) error {
 	if !ok {
 		return core.ErrNotFound("file", id)
 	}
+	fs.logDel(id)
 	if unlink != "" {
 		if err := os.Remove(unlink); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("container: file store: delete: %w", err)
@@ -397,4 +443,86 @@ func (fs *FileStore) Stats() (files, blobs int, logicalBytes, physicalBytes int6
 
 func (fs *FileStore) blobPath(digest string) string {
 	return filepath.Join(fs.dir, "sha256-"+filepath.Base(digest))
+}
+
+// restoreFile re-registers a journaled file ID during recovery, without
+// re-journaling it.  The blob must exist on disk (content-addressed blobs
+// are their own durability; an ID whose blob is gone is dropped).  Restoring
+// an ID that is already present is a no-op, so replaying the same journal
+// twice — or a snapshot overlapping the log tail — cannot inflate refcounts.
+func (fs *FileStore) restoreFile(id, digest string, size int64, owner string) error {
+	if _, err := os.Stat(fs.blobPath(digest)); err != nil {
+		return fmt.Errorf("container: file store: restore %s: blob sha256-%s missing", id, digest)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := fs.digests[id]; exists {
+		return nil
+	}
+	if fs.refs[digest] == 0 {
+		fs.physicalBytes += size
+	}
+	fs.refs[digest]++
+	fs.digests[id] = digest
+	fs.sizes[id] = size
+	fs.logicalBytes += size
+	if owner != "" {
+		fs.owners[id] = owner
+	}
+	return nil
+}
+
+// ownedBy returns the file IDs owned by the given job or sweep.  Recovery
+// uses it to rebuild a live sweep's staged-file list so the files are still
+// released when the sweep finalizes.
+func (fs *FileStore) ownedBy(owner string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var ids []string
+	for id, o := range fs.owners {
+		if o == owner {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// forEachFile visits every live file ID.  Used by the snapshotter; the
+// callback must not call back into the store.
+func (fs *FileStore) forEachFile(fn func(id, digest string, size int64, owner string)) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for id, digest := range fs.digests {
+		fn(id, digest, fs.sizes[id], fs.owners[id])
+	}
+}
+
+// gcOrphans removes blobs no live ID references and stale temp files, and
+// returns how many files it unlinked.  Run once after recovery: a crash
+// between blob rename and journal append leaves an unreferenced blob, and a
+// crash mid-upload leaves a tmp- file.
+func (fs *FileStore) gcOrphans() int {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return 0
+	}
+	fs.mu.Lock()
+	live := make(map[string]bool, len(fs.refs))
+	for digest := range fs.refs {
+		live["sha256-"+digest] = true
+	}
+	fs.mu.Unlock()
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		isOrphanBlob := len(name) > 7 && name[:7] == "sha256-" && !live[name]
+		isTmp := len(name) > 4 && name[:4] == "tmp-"
+		if !isOrphanBlob && !isTmp {
+			continue
+		}
+		if err := os.Remove(filepath.Join(fs.dir, name)); err == nil {
+			removed++
+		}
+	}
+	return removed
 }

@@ -236,12 +236,22 @@ func (c *Container) handleService(w http.ResponseWriter, r *http.Request, name s
 			rest.WriteError(w, err)
 			return
 		}
+		// ?destruction= sets the job's retention TTL (UWS destruction time):
+		// how long the terminal job is kept before the reaper purges it.
+		var ttl time.Duration
+		if raw := r.URL.Query().Get("destruction"); raw != "" {
+			ttl, err = time.ParseDuration(raw)
+			if err != nil || ttl <= 0 {
+				rest.WriteError(w, core.ErrBadRequest("invalid destruction duration %q", raw))
+				return
+			}
+		}
 		var inputs core.Values
 		if err := rest.ReadJSON(r, &inputs); err != nil {
 			rest.WriteError(w, err)
 			return
 		}
-		job, err := c.jobs.SubmitCtx(r.Context(), name, inputs, principal.Effective())
+		job, err := c.jobs.SubmitTTL(r.Context(), name, inputs, principal.Effective(), ttl)
 		if err != nil {
 			rest.WriteError(w, err)
 			return

@@ -18,6 +18,7 @@ import (
 
 	"mathcloud/internal/adapter"
 	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 	"mathcloud/internal/rest"
 )
@@ -42,6 +43,12 @@ type jobRecord struct {
 	// own lock and then rec.mu (pump inspects children), so the reverse
 	// order would deadlock.
 	sweep *sweepRecord
+	// ttl is the job's destruction TTL (UWS-style): when it reaches a
+	// terminal state, Destruction = Finished + ttl and the reaper purges it
+	// past that instant.  Zero keeps the job until an explicit DELETE.
+	// Immutable once the record is published.  Sweep children carry zero —
+	// retention is governed by the sweep's own TTL.
+	ttl time.Duration
 	// queued tracks whether the record currently occupies a queue slot, so
 	// the queue-depth gauge stays exact across every exit path (worker
 	// pickup, cancel-while-queued, enqueue rejection) without caring which
@@ -112,8 +119,19 @@ type JobManager struct {
 	// sweeps tracks the active parameter sweeps and their not-yet-enqueued
 	// children.
 	sweeps sweepManager
+	// jobTTL is the container-wide default destruction TTL of terminal
+	// jobs and sweeps (0 = keep until DELETE).
+	jobTTL time.Duration
 
 	shards [jobShardCount]jobShard
+
+	// backlog holds recovered WAITING jobs that did not fit the queue at
+	// Recover time; workers drain it as capacity frees up, mirroring the
+	// sweep pending pump.  backlogCount is the lock-free fast-path gate.
+	backlogMu      sync.Mutex
+	backlog        []*jobRecord
+	backlogCount   atomic.Int64
+	backlogPumping atomic.Bool
 
 	wg        sync.WaitGroup
 	closing   chan struct{}
@@ -124,10 +142,25 @@ type JobManager struct {
 	baseCancel context.CancelFunc
 }
 
-func newJobManager(c *Container, workers, queueSize int, deadline time.Duration, memoEntries int, memoBytes int64, batchMax, maxSweepWidth int) *JobManager {
+// jobManagerConfig carries the construction parameters of a JobManager;
+// zero values select the documented defaults.
+type jobManagerConfig struct {
+	workers       int
+	queueSize     int
+	deadline      time.Duration
+	memoEntries   int
+	memoBytes     int64
+	batchMax      int
+	maxSweepWidth int
+	jobTTL        time.Duration
+}
+
+func newJobManager(c *Container, cfg jobManagerConfig) *JobManager {
+	workers := cfg.workers
 	if workers <= 0 {
 		workers = 4
 	}
+	queueSize := cfg.queueSize
 	if queueSize <= 0 {
 		queueSize = 1024
 	}
@@ -135,16 +168,17 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration,
 	jm := &JobManager{
 		c:             c,
 		queue:         make(chan *jobRecord, queueSize),
-		deadline:      deadline,
-		batchMax:      batchMax,
-		maxSweepWidth: maxSweepWidth,
+		deadline:      cfg.deadline,
+		batchMax:      cfg.batchMax,
+		maxSweepWidth: cfg.maxSweepWidth,
+		jobTTL:        cfg.jobTTL,
 		closing:       make(chan struct{}),
 		baseCtx:       baseCtx,
 		baseCancel:    baseCancel,
 	}
 	jm.sweeps.sweeps = make(map[string]*sweepRecord)
-	if memoEntries > 0 && memoBytes > 0 {
-		jm.memo = newMemoTable(memoEntries, memoBytes)
+	if cfg.memoEntries > 0 && cfg.memoBytes > 0 {
+		jm.memo = newMemoTable(cfg.memoEntries, cfg.memoBytes)
 	}
 	for i := range jm.shards {
 		jm.shards[i].jobs = make(map[string]*jobRecord)
@@ -153,6 +187,8 @@ func newJobManager(c *Container, workers, queueSize int, deadline time.Duration,
 	for i := 0; i < workers; i++ {
 		go jm.worker()
 	}
+	jm.wg.Add(1)
+	go jm.reaper()
 	return jm
 }
 
@@ -197,6 +233,17 @@ func (jm *JobManager) Submit(serviceName string, inputs core.Values, owner strin
 // so a workflow's fan-out across services shares one correlation ID.  A
 // context without an ID gets a fresh one.
 func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs core.Values, owner string) (*core.Job, error) {
+	return jm.SubmitTTL(ctx, serviceName, inputs, owner, 0)
+}
+
+// SubmitTTL is SubmitCtx with an explicit destruction TTL (the UWS-style
+// ?destruction= request field): the terminal job is purged together with its
+// file resources this long after it finishes.  Zero inherits the container
+// default.
+func (jm *JobManager) SubmitTTL(ctx context.Context, serviceName string, inputs core.Values, owner string, ttl time.Duration) (*core.Job, error) {
+	if ttl <= 0 {
+		ttl = jm.jobTTL
+	}
 	svc, err := jm.c.service(serviceName)
 	if err != nil {
 		return nil, err
@@ -214,7 +261,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 	if memoable {
 		if outputs, ok := jm.memo.lookup(memoKey); ok {
 			metMemoHits.Inc()
-			return jm.publishCachedJob(ctx, serviceName, inputs, owner, trace, outputs)
+			return jm.publishCachedJob(ctx, serviceName, inputs, owner, trace, outputs, ttl)
 		}
 	}
 
@@ -231,6 +278,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 			TraceID:   trace,
 		},
 		done: make(chan struct{}),
+		ttl:  ttl,
 	}
 	select {
 	case <-jm.closing:
@@ -261,6 +309,7 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 		// never occupies a queue slot or a worker.
 		metMemoCoalesced.Inc()
 		metJobsSubmitted.Inc()
+		jm.logJob(rec)
 		jm.notifyJob(rec)
 		// Close may have swept the registry before the insert above; the
 		// final sweep of Close cancels WAITING followers, and a leader
@@ -282,6 +331,9 @@ func (jm *JobManager) SubmitCtx(ctx context.Context, serviceName string, inputs 
 	select {
 	case jm.queue <- rec:
 		metJobsSubmitted.Inc()
+		// The accept is journaled before SubmitCtx returns, so every job a
+		// client was ever told about survives a crash.
+		jm.logJob(rec)
 		jm.notifyJob(rec)
 		if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
 			logger.LogAttrs(ctx, slog.LevelInfo, "job submitted",
@@ -380,6 +432,9 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		// Cancel before a worker picks the job up.
 		rec.job.State = core.StateCancelled
 		rec.job.Finished = time.Now()
+		if rec.ttl > 0 {
+			rec.job.Destruction = rec.job.Finished.Add(rec.ttl)
+		}
 		rec.invalidate()
 		close(rec.done)
 		if rec.queued.CompareAndSwap(true, false) {
@@ -398,6 +453,7 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		if sw := rec.sweep; sw != nil {
 			sw.childTransition(core.StateWaiting, core.StateCancelled, "")
 		}
+		jm.logJobEnd(rec)
 		jm.notifyJob(rec)
 		return rec.snapshot(), nil
 	case core.StateRunning:
@@ -417,6 +473,10 @@ func (jm *JobManager) Delete(id string) (*core.Job, error) {
 		if !present {
 			return nil, core.ErrNotFound("job", id)
 		}
+		// The purge is journaled before the memo entry and files go, so a
+		// crash mid-destruction replays the purge rather than resurrecting
+		// a half-deleted job.  Replayed purges are idempotent.
+		jm.c.logRecord(journal.KindJobPurge, journal.JobPurgeRecord{ID: id})
 		// The cached entry backed by this job references its files; purge
 		// it with them so hits never return dangling URIs.
 		if jm.memo != nil {
@@ -510,6 +570,9 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	}
 	rec.job.State = core.StateCancelled
 	rec.job.Finished = time.Now()
+	if rec.ttl > 0 {
+		rec.job.Destruction = rec.job.Finished.Add(rec.ttl)
+	}
 	rec.invalidate()
 	close(rec.done)
 	if rec.queued.CompareAndSwap(true, false) {
@@ -521,6 +584,7 @@ func (jm *JobManager) cancelPending(rec *jobRecord) {
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, core.StateCancelled, "")
 	}
+	jm.logJobEnd(rec)
 	jm.notifyJob(rec)
 }
 
@@ -569,8 +633,10 @@ func (jm *JobManager) worker() {
 			jm.process(rec)
 		}
 		// A finished job may have freed queue capacity for sweep children
-		// that did not fit at submission time.
+		// that did not fit at submission time, or for recovered jobs still
+		// in the restart backlog.
 		jm.sweeps.pump()
+		jm.pumpBacklog()
 	}
 }
 
@@ -676,6 +742,9 @@ func (jm *JobManager) beginJob(rec *jobRecord, ctx context.Context, cancel conte
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, core.StateRunning, "")
 	}
+	if jm.c.journal != nil {
+		jm.c.logRecord(journal.KindJobStart, journal.JobStartRecord{ID: rj.jobID, Started: rec.snapshot().Started})
+	}
 	jm.notifyJob(rec)
 	return rj
 }
@@ -709,6 +778,9 @@ func (rj *runningJob) finish(outputs core.Values, err error) {
 		rec.job.State = core.StateError
 		rec.job.Error = err.Error()
 	}
+	if rec.ttl > 0 {
+		rec.job.Destruction = rec.job.Finished.Add(rec.ttl)
+	}
 	state := rec.job.State
 	errMsg := rec.job.Error
 	runTime := rec.job.RunTime.Std()
@@ -733,6 +805,7 @@ func (rj *runningJob) finish(outputs core.Values, err error) {
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateRunning, state, errMsg)
 	}
+	rj.jm.logJobEnd(rec)
 	rj.jm.notifyJob(rec)
 }
 
@@ -1091,7 +1164,7 @@ func (jm *JobManager) digestRef(ref string) (string, error) {
 // cached outputs are cloned onto a fresh job record, so the caller observes
 // exactly the shape a real execution would have produced, minus the queue
 // and the adapter.
-func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, inputs core.Values, owner, trace string, outputs core.Values) (*core.Job, error) {
+func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, inputs core.Values, owner, trace string, outputs core.Values, ttl time.Duration) (*core.Job, error) {
 	now := time.Now()
 	rec := &jobRecord{
 		job: &core.Job{
@@ -1108,6 +1181,10 @@ func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, 
 			TraceID:   trace,
 		},
 		done: make(chan struct{}),
+		ttl:  ttl,
+	}
+	if ttl > 0 {
+		rec.job.Destruction = now.Add(ttl)
 	}
 	close(rec.done)
 	sh := jm.shard(rec.job.ID)
@@ -1116,6 +1193,8 @@ func (jm *JobManager) publishCachedJob(ctx context.Context, serviceName string, 
 	sh.mu.Unlock()
 	metJobsSubmitted.Inc()
 	metJobsCompleted.With("done").Inc()
+	// Born terminal: one record carries the whole lifecycle.
+	jm.logJob(rec)
 	jm.notifyJob(rec)
 	if logger := obs.Logger(); logger.Enabled(ctx, slog.LevelInfo) {
 		logger.LogAttrs(ctx, slog.LevelInfo, "job served from computation cache",
@@ -1151,6 +1230,9 @@ func (jm *JobManager) settleFlight(rec *jobRecord) {
 	}
 	if state == core.StateDone && !noStore {
 		jm.memo.store(rec.memoKey, service, jobID, outputs)
+		jm.c.logRecord(journal.KindMemoPut, journal.MemoPutRecord{
+			Key: rec.memoKey, Service: service, JobID: jobID, Outputs: outputs,
+		})
 	}
 	switch state {
 	case core.StateDone:
@@ -1202,6 +1284,9 @@ func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outp
 		rec.job.State = core.StateError
 		rec.job.Error = errMsg
 	}
+	if rec.ttl > 0 {
+		rec.job.Destruction = now.Add(rec.ttl)
+	}
 	final := rec.job.State
 	finalErr := rec.job.Error
 	rec.invalidate()
@@ -1212,6 +1297,7 @@ func (jm *JobManager) completeFollower(rec *jobRecord, state core.JobState, outp
 	if sw := rec.sweep; sw != nil {
 		sw.childTransition(core.StateWaiting, final, finalErr)
 	}
+	jm.logJobEnd(rec)
 	jm.notifyJob(rec)
 }
 

@@ -195,6 +195,17 @@ func (m *memoTable) reset() {
 	metMemoBytes.Set(0)
 }
 
+// forEach visits every cached entry in LRU order (most recent first), for
+// the snapshotter.  The callback must not call back into the table.
+func (m *memoTable) forEach(fn func(key, service, jobID string, outputs core.Values)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*memoEntry)
+		fn(e.key, e.service, e.jobID, e.outputs)
+	}
+}
+
 // stats reports the cache occupancy, for tests and benches.
 func (m *memoTable) stats() (entries int, bytes int64) {
 	m.mu.Lock()

@@ -70,6 +70,13 @@ var (
 	metBatchSize = obs.NewHistogram("mc_batch_size",
 		"Jobs dispatched per adapter micro-batch invocation.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+
+	// Durability plane (DESIGN.md §5i): journal replay and retention.
+	metRecoveryReplayed = obs.NewCounterVec("mc_recovery_replayed_total",
+		"State records restored from the write-ahead journal at boot, by record kind.",
+		"kind")
+	metJobsReaped = obs.NewCounter("mc_jobs_reaped_total",
+		"Jobs purged by the destruction-time reaper.")
 )
 
 // knownRoutes is the closed set of route labels routeOf can return.

@@ -1,0 +1,727 @@
+package container
+
+import (
+	"fmt"
+	"time"
+
+	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
+)
+
+// This file is the container side of the durability subsystem (DESIGN.md
+// §5i).  The write path journals every control-plane mutation — job
+// lifecycle, sweep membership, file-store references, memo entries — through
+// the logging helpers below; Recover replays the journal at boot and rebuilds
+// the in-memory state: terminal jobs verbatim, WAITING jobs re-queued,
+// RUNNING jobs re-driven from the start (executions died with the process),
+// sweeps re-derived from their one campaign record, and the memo index
+// re-validated against the file store before re-entering the cache.
+// Checkpoint periodically folds the whole state into a snapshot so the log
+// stays short.
+
+const (
+	// defaultSnapshotInterval is the checkpoint period when
+	// Options.SnapshotInterval is zero.
+	defaultSnapshotInterval = time.Minute
+	// reapInterval is how often the destruction-time reaper scans for
+	// expired terminal jobs and sweeps.
+	reapInterval = 30 * time.Second
+)
+
+// logRecord appends one record to the container's journal, if journaling is
+// enabled.  Append errors are logged, not propagated: the in-memory state is
+// already mutated, and failing the client request now would desynchronize the
+// two — better to serve degraded durability and say so loudly.
+func (c *Container) logRecord(kind journal.Kind, v any) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Append(kind, v); err != nil {
+		c.logger.Printf("container: journal: append %v: %v", kind, err)
+	}
+}
+
+// logJob journals the full image of a job record (submit time, cache hits,
+// snapshot).
+func (jm *JobManager) logJob(rec *jobRecord) {
+	if jm.c.journal == nil {
+		return
+	}
+	sweepID := ""
+	if rec.sweep != nil {
+		sweepID = rec.sweep.id
+	}
+	jm.c.logRecord(journal.KindJob, journal.JobRecord{
+		Job: rec.snapshot(), SweepID: sweepID, TTL: core.Duration(rec.ttl),
+	})
+}
+
+// logJobEnd journals a job's terminal transition.
+func (jm *JobManager) logJobEnd(rec *jobRecord) {
+	if jm.c.journal == nil {
+		return
+	}
+	snap := rec.snapshot()
+	jm.c.logRecord(journal.KindJobEnd, journal.JobEndRecord{
+		ID: snap.ID, State: snap.State, Outputs: snap.Outputs, Error: snap.Error,
+		Finished: snap.Finished, Destruction: snap.Destruction,
+	})
+}
+
+// replayJob accumulates everything the journal said about one job ID.  The
+// records tolerate arrival out of order: a worker's start record may precede
+// the submitter's job record in the log (they are appended outside any common
+// lock), so each piece is folded in independently and resolved at the end.
+type replayJob struct {
+	// hasJob marks that a full KindJob image was seen.  A job with no image
+	// that is not a sweep child was never acknowledged to a client (the
+	// image is appended before Submit returns) and is dropped.
+	hasJob   bool
+	job      *core.Job
+	sweepID  string
+	ttl      time.Duration
+	hasStart bool
+	started  time.Time
+	end      *journal.JobEndRecord
+	purged   bool
+}
+
+// replayState is the fold of one journal replay: per-ID upsert maps, last
+// record wins, with insertion order retained so requeue order is stable.
+type replayState struct {
+	baseURL    string
+	jobs       map[string]*replayJob
+	jobOrder   []string
+	sweeps     map[string]*journal.SweepRecord
+	sweepOrder []string
+	sweepGone  map[string]bool
+	files      map[string]*journal.FilePutRecord
+	fileOrder  []string
+	memos      map[string]*journal.MemoPutRecord
+	memoOrder  []string
+	counts     map[string]int
+}
+
+func newReplayState() *replayState {
+	return &replayState{
+		jobs:      make(map[string]*replayJob),
+		sweeps:    make(map[string]*journal.SweepRecord),
+		sweepGone: make(map[string]bool),
+		files:     make(map[string]*journal.FilePutRecord),
+		memos:     make(map[string]*journal.MemoPutRecord),
+		counts:    make(map[string]int),
+	}
+}
+
+func (st *replayState) job(id string) *replayJob {
+	rj, ok := st.jobs[id]
+	if !ok {
+		rj = &replayJob{}
+		st.jobs[id] = rj
+		st.jobOrder = append(st.jobOrder, id)
+	}
+	return rj
+}
+
+func (st *replayState) apply(kind journal.Kind, data []byte) error {
+	switch kind {
+	case journal.KindJob:
+		var r journal.JobRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		if r.Job == nil || r.Job.ID == "" {
+			return nil
+		}
+		rj := st.job(r.Job.ID)
+		rj.hasJob = true
+		rj.job = r.Job
+		rj.sweepID = r.SweepID
+		rj.ttl = r.TTL.Std()
+	case journal.KindJobStart:
+		var r journal.JobStartRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		rj := st.job(r.ID)
+		rj.hasStart = true
+		rj.started = r.Started
+	case journal.KindJobEnd:
+		var r journal.JobEndRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		st.job(r.ID).end = &r
+	case journal.KindJobPurge:
+		var r journal.JobPurgeRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		// Keep the end record: a purged sweep child still counts toward its
+		// sweep's terminal histogram.
+		st.job(r.ID).purged = true
+	case journal.KindSweep:
+		var r journal.SweepRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		if _, seen := st.sweeps[r.ID]; !seen {
+			st.sweepOrder = append(st.sweepOrder, r.ID)
+		}
+		st.sweeps[r.ID] = &r
+	case journal.KindSweepPurge:
+		var r journal.SweepPurgeRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		st.sweepGone[r.ID] = true
+	case journal.KindFilePut:
+		var r journal.FilePutRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		if _, seen := st.files[r.ID]; !seen {
+			st.fileOrder = append(st.fileOrder, r.ID)
+		}
+		st.files[r.ID] = &r
+	case journal.KindFileDel:
+		var r journal.FileDelRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		delete(st.files, r.ID)
+	case journal.KindMemoPut:
+		var r journal.MemoPutRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		if _, seen := st.memos[r.Key]; !seen {
+			st.memoOrder = append(st.memoOrder, r.Key)
+		}
+		st.memos[r.Key] = &r
+	case journal.KindBaseURL:
+		var r journal.BaseURLRecord
+		if err := journal.Decode(data, &r); err != nil {
+			return err
+		}
+		st.baseURL = r.URL
+	default:
+		// A kind this container does not own (catalogue records in a shared
+		// journal, or a future kind): skip, do not fail the boot.
+		return nil
+	}
+	st.counts[kind.String()]++
+	return nil
+}
+
+// Recover replays the write-ahead journal and rebuilds the container state.
+// Call it once, after every service is deployed (re-driven jobs need their
+// adapters) and before the listener starts serving.  With journaling
+// disabled it is a no-op.  Recover also starts the periodic checkpointer —
+// deliberately not started in New, so a checkpoint can never run before the
+// journal it would truncate has been replayed.
+func (c *Container) Recover() error {
+	if c.journal == nil {
+		return nil
+	}
+	st := newReplayState()
+	if err := c.journal.Replay(st.apply); err != nil {
+		return fmt.Errorf("container: recover: %w", err)
+	}
+
+	// Base URL first: recovered memo outputs and job outputs embed absolute
+	// file URIs minted under it.  Re-setting the same URL later (when the
+	// listener comes up) is then a no-op that keeps the memo index.
+	if st.baseURL != "" {
+		c.SetBaseURL(st.baseURL)
+	}
+
+	// File index: every live ID whose blob survived.  Blobs lost with the
+	// crash (SyncOff page cache) drop their IDs with a log line.
+	files := 0
+	for _, id := range st.fileOrder {
+		fr, ok := st.files[id]
+		if !ok {
+			continue
+		}
+		if err := c.files.restoreFile(fr.ID, fr.Digest, fr.Size, fr.Owner); err != nil {
+			c.logger.Printf("container: recover: %v", err)
+			continue
+		}
+		files++
+	}
+	if n := c.files.gcOrphans(); n > 0 {
+		c.logger.Printf("container: recover: removed %d orphan blobs/temp files", n)
+	}
+
+	jobs, sweeps, requeued := c.jobs.restoreState(st)
+	memos := c.restoreMemo(st)
+
+	for kind, n := range st.counts {
+		metRecoveryReplayed.With(kind).Add(float64(n))
+	}
+	c.logger.Printf("container: recovered %d jobs (%d re-queued), %d sweeps, %d files, %d memo entries",
+		jobs, requeued, sweeps, files, memos)
+	c.startSnapshotter()
+	return nil
+}
+
+// rebuildJob resolves the replayed pieces of one job into its boot-time
+// image: the last full image (or a synthesized sweep-child baseline) with
+// the newer start/end transitions folded in.  A job that started but never
+// ended died with the process and comes back WAITING for re-drive.
+func rebuildJob(job *core.Job, rj *replayJob) *core.Job {
+	if rj == nil {
+		return job
+	}
+	switch {
+	case rj.end != nil:
+		job.State = rj.end.State
+		if rj.end.Outputs != nil {
+			job.Outputs = rj.end.Outputs
+		}
+		job.Error = rj.end.Error
+		job.Finished = rj.end.Finished
+		job.Destruction = rj.end.Destruction
+		if rj.hasStart && job.Started.IsZero() {
+			job.Started = rj.started
+		}
+	case !job.State.Terminal():
+		job.State = core.StateWaiting
+		job.Started = time.Time{}
+	}
+	return job
+}
+
+// countInto folds one terminal (or waiting) child state into a sweep count
+// histogram.
+func countInto(counts *core.SweepCounts, state core.JobState) {
+	switch state {
+	case core.StateWaiting:
+		counts.Waiting++
+	case core.StateRunning:
+		counts.Running++
+	case core.StateDone:
+		counts.Done++
+	case core.StateError:
+		counts.Error++
+	case core.StateCancelled:
+		counts.Cancelled++
+	}
+}
+
+// restoreState rebuilds the job registry and the sweep table from a replay.
+func (jm *JobManager) restoreState(st *replayState) (jobs, sweeps, requeued int) {
+	// Sweeps first: children link back to their sweepRecord.
+	for _, sid := range st.sweepOrder {
+		sr, ok := st.sweeps[sid]
+		if !ok || st.sweepGone[sid] {
+			continue
+		}
+		sw := &sweepRecord{
+			jm:       jm,
+			id:       sr.ID,
+			service:  sr.Service,
+			owner:    sr.Owner,
+			traceID:  sr.TraceID,
+			created:  sr.Created,
+			width:    sr.Width,
+			childIDs: sr.ChildIDs,
+			template: sr.Template,
+			points:   sr.Points,
+			ttl:      sr.TTL.Std(),
+			done:     make(chan struct{}),
+		}
+		spec := core.SweepSpec{Template: sr.Template}
+		var pending []*jobRecord
+		var lastFinish time.Time
+		for i, cid := range sr.ChildIDs {
+			rj := st.jobs[cid]
+			if rj != nil && rj.purged {
+				// Destroyed individually before the crash: its terminal state
+				// still counts toward the sweep, but the record stays gone.
+				state := core.StateCancelled
+				if rj.end != nil {
+					state = rj.end.State
+				} else if rj.hasJob && rj.job.State.Terminal() {
+					state = rj.job.State
+				}
+				countInto(&sw.counts, state)
+				if state == core.StateError && sw.firstError == "" && rj.end != nil {
+					sw.firstError = rj.end.Error
+				}
+				continue
+			}
+			var job *core.Job
+			if rj != nil && rj.hasJob && rj.job != nil {
+				job = rj.job
+			} else {
+				// Only the campaign record knows this child: re-derive its
+				// inputs from template+points, exactly as SubmitSweep did.
+				var override core.Values
+				if i < len(sr.Points) {
+					override = sr.Points[i]
+				}
+				job = &core.Job{
+					ID: cid, Service: sr.Service, State: core.StateWaiting,
+					Inputs: spec.MergePoint(override), Owner: sr.Owner,
+					Created: sr.Created, Submitted: sr.Created, TraceID: sr.TraceID,
+				}
+			}
+			job = rebuildJob(job, rj)
+			rec := &jobRecord{job: job, done: make(chan struct{}), sweep: sw}
+			if job.State.Terminal() {
+				close(rec.done)
+				if job.Finished.After(lastFinish) {
+					lastFinish = job.Finished
+				}
+				if job.State == core.StateError && sw.firstError == "" {
+					sw.firstError = job.Error
+				}
+			} else {
+				if rj != nil && rj.hasStart {
+					// Re-driven: discard partial outputs of the dead run.
+					jm.c.files.DeleteOwnedBy(cid)
+				}
+				pending = append(pending, rec)
+			}
+			countInto(&sw.counts, job.State)
+			sh := jm.shard(cid)
+			sh.mu.Lock()
+			sh.jobs[cid] = rec
+			sh.mu.Unlock()
+			jobs++
+		}
+		sw.pending = pending
+		if sw.counts.Terminal() == sw.width {
+			sw.finished = lastFinish
+			if sw.finished.IsZero() {
+				sw.finished = time.Now()
+			}
+			if sw.ttl > 0 {
+				sw.destruction = sw.finished.Add(sw.ttl)
+			}
+			close(sw.done)
+		} else {
+			// Live again: re-own any staged shared inputs so finalize still
+			// releases them, and count toward the active gauge.
+			sw.fileIDs = jm.c.files.ownedBy(sw.id)
+			metSweepActive.Add(1)
+			jm.sweeps.pendingCount.Add(int64(len(pending)))
+		}
+		jm.sweeps.mu.Lock()
+		jm.sweeps.sweeps[sw.id] = sw
+		jm.sweeps.mu.Unlock()
+		requeued += len(pending)
+		sweeps++
+	}
+
+	// Standalone jobs.  Sweep children were handled above; a child whose
+	// sweep was purged is dead with it.
+	for _, id := range st.jobOrder {
+		rj := st.jobs[id]
+		if rj.sweepID != "" || !rj.hasJob || rj.job == nil || rj.purged {
+			continue
+		}
+		job := rebuildJob(rj.job, rj)
+		rec := &jobRecord{job: job, done: make(chan struct{}), ttl: rj.ttl}
+		if job.State.Terminal() {
+			close(rec.done)
+		} else if rj.hasStart {
+			jm.c.files.DeleteOwnedBy(id)
+		}
+		sh := jm.shard(id)
+		sh.mu.Lock()
+		sh.jobs[id] = rec
+		sh.mu.Unlock()
+		jobs++
+		if job.State.Terminal() {
+			continue
+		}
+		// Re-queue: straight into the queue while it has room, the restart
+		// backlog otherwise (workers drain it as capacity frees up).
+		requeued++
+		rec.queued.Store(true)
+		metJobsWaiting.Add(1)
+		select {
+		case jm.queue <- rec:
+		default:
+			if rec.queued.CompareAndSwap(true, false) {
+				metJobsWaiting.Add(-1)
+			}
+			jm.backlogMu.Lock()
+			jm.backlog = append(jm.backlog, rec)
+			jm.backlogMu.Unlock()
+			jm.backlogCount.Add(1)
+		}
+	}
+
+	// Kick the pumps once: everything pending starts flowing without waiting
+	// for the first natural job completion.
+	jm.sweeps.pump()
+	jm.pumpBacklog()
+	return jobs, sweeps, requeued
+}
+
+// restoreMemo re-enters replayed memo entries whose world still holds: the
+// service is deployed and still deterministic, the backing job survived, and
+// every file reference in the outputs resolves in the restored file store.
+func (c *Container) restoreMemo(st *replayState) int {
+	jm := c.jobs
+	if jm.memo == nil {
+		return 0
+	}
+	restored := 0
+	for _, key := range st.memoOrder {
+		mr, ok := st.memos[key]
+		if !ok {
+			continue
+		}
+		svc, err := c.service(mr.Service)
+		if err != nil || !svc.desc.Deterministic {
+			continue
+		}
+		if _, err := jm.record(mr.JobID); err != nil {
+			// The backing job is gone; a hit would hand out orphaned URIs.
+			continue
+		}
+		valid := true
+		for _, v := range mr.Outputs {
+			ref, isFile := core.FileRefID(v)
+			if !isFile {
+				continue
+			}
+			id, local := c.localFileID(ref)
+			if !local {
+				valid = false
+				break
+			}
+			if _, err := c.files.Digest(id); err != nil {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		jm.memo.store(mr.Key, mr.Service, mr.JobID, mr.Outputs)
+		restored++
+	}
+	return restored
+}
+
+// pumpBacklog feeds restart-backlog jobs into freed queue capacity.  Workers
+// call it after every processed job; the common no-backlog case is one atomic
+// load.  Only one pump runs at a time, mirroring the sweep pump.
+func (jm *JobManager) pumpBacklog() {
+	if jm.backlogCount.Load() == 0 {
+		return
+	}
+	if !jm.backlogPumping.CompareAndSwap(false, true) {
+		return
+	}
+	defer jm.backlogPumping.Store(false)
+	for {
+		jm.backlogMu.Lock()
+		if len(jm.backlog) == 0 {
+			jm.backlogMu.Unlock()
+			return
+		}
+		rec := jm.backlog[0]
+		jm.backlogMu.Unlock()
+		select {
+		case <-rec.done:
+			// Cancelled while backlogged: nothing to enqueue.
+			jm.dropBacklogHead(rec)
+			continue
+		default:
+		}
+		rec.queued.Store(true)
+		metJobsWaiting.Add(1)
+		select {
+		case jm.queue <- rec:
+			jm.dropBacklogHead(rec)
+		default:
+			if rec.queued.CompareAndSwap(true, false) {
+				metJobsWaiting.Add(-1)
+			}
+			return
+		}
+	}
+}
+
+// dropBacklogHead removes rec from the head of the backlog if it still is
+// the head.
+func (jm *JobManager) dropBacklogHead(rec *jobRecord) {
+	jm.backlogMu.Lock()
+	if len(jm.backlog) > 0 && jm.backlog[0] == rec {
+		jm.backlog = jm.backlog[1:]
+		jm.backlogCount.Add(-1)
+	}
+	jm.backlogMu.Unlock()
+}
+
+// reaper periodically purges terminal jobs and sweeps past their destruction
+// time (UWS §2: results have a lifetime, not a lease on the server forever).
+func (jm *JobManager) reaper() {
+	defer jm.wg.Done()
+	t := time.NewTicker(reapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-jm.closing:
+			return
+		case <-t.C:
+			jm.Reap(time.Now())
+		}
+	}
+}
+
+// Reap purges every terminal job and sweep whose destruction time is at or
+// before now, returning how many jobs it destroyed.  Exported for tests and
+// for operators who want an explicit sweep (the background reaper calls it
+// every 30s).
+func (jm *JobManager) Reap(now time.Time) int {
+	reaped := 0
+	jm.sweeps.mu.RLock()
+	sweeps := make([]*sweepRecord, 0, len(jm.sweeps.sweeps))
+	for _, sw := range jm.sweeps.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	jm.sweeps.mu.RUnlock()
+	for _, sw := range sweeps {
+		sw.mu.Lock()
+		d := sw.destruction
+		sw.mu.Unlock()
+		if d.IsZero() || d.After(now) {
+			continue
+		}
+		// Count the children that still exist; DeleteSweep purges them.
+		live := 0
+		for _, cid := range sw.childIDs {
+			if _, err := jm.record(cid); err == nil {
+				live++
+			}
+		}
+		if _, err := jm.DeleteSweep(sw.id); err == nil {
+			reaped += live
+		}
+	}
+	for _, rec := range jm.allRecords() {
+		if rec.sweep != nil {
+			continue // the sweep's own destruction time governs its children
+		}
+		snap := rec.snapshot()
+		if !snap.State.Terminal() || snap.Destruction.IsZero() || snap.Destruction.After(now) {
+			continue
+		}
+		if _, err := jm.Delete(snap.ID); err == nil {
+			reaped++
+		}
+	}
+	if reaped > 0 {
+		metJobsReaped.Add(float64(reaped))
+	}
+	return reaped
+}
+
+// startSnapshotter launches the periodic checkpoint loop.  Only Recover
+// calls it: a checkpoint taken before replay would truncate the very records
+// replay needs.
+func (c *Container) startSnapshotter() {
+	if c.journal == nil || c.snapInterval <= 0 {
+		return
+	}
+	c.snapWG.Add(1)
+	go func() {
+		defer c.snapWG.Done()
+		t := time.NewTicker(c.snapInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.snapStop:
+				return
+			case <-t.C:
+				if err := c.Checkpoint(); err != nil {
+					c.logger.Printf("container: checkpoint: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// stopSnapshotter stops the checkpoint loop and waits for an in-flight
+// checkpoint to finish.  Safe to call when journaling is disabled or the
+// loop was never started.
+func (c *Container) stopSnapshotter() {
+	if c.snapStop == nil {
+		return
+	}
+	c.snapOnce.Do(func() { close(c.snapStop) })
+	c.snapWG.Wait()
+}
+
+// Checkpoint folds the container's full durable state into one journal
+// snapshot and truncates the log behind it.  Mutations running concurrently
+// land in segments after the snapshot's cut, and every apply path is
+// last-wins, so snapshot+tail replay stays correct.
+func (c *Container) Checkpoint() error {
+	if c.journal == nil {
+		return fmt.Errorf("container: journaling is disabled")
+	}
+	jm := c.jobs
+	return c.journal.Snapshot(func(app func(kind journal.Kind, v any) error) error {
+		if base := c.BaseURL(); base != "" {
+			if err := app(journal.KindBaseURL, journal.BaseURLRecord{URL: base}); err != nil {
+				return err
+			}
+		}
+		var err error
+		c.files.forEachFile(func(id, digest string, size int64, owner string) {
+			if err != nil {
+				return
+			}
+			err = app(journal.KindFilePut, journal.FilePutRecord{ID: id, Digest: digest, Size: size, Owner: owner})
+		})
+		if err != nil {
+			return err
+		}
+		jm.sweeps.mu.RLock()
+		sweeps := make([]*sweepRecord, 0, len(jm.sweeps.sweeps))
+		for _, sw := range jm.sweeps.sweeps {
+			sweeps = append(sweeps, sw)
+		}
+		jm.sweeps.mu.RUnlock()
+		for _, sw := range sweeps {
+			if err := app(journal.KindSweep, journal.SweepRecord{
+				ID: sw.id, Service: sw.service, Owner: sw.owner, TraceID: sw.traceID,
+				Created: sw.created, Width: sw.width, ChildIDs: sw.childIDs,
+				Template: sw.template, Points: sw.points, TTL: core.Duration(sw.ttl),
+			}); err != nil {
+				return err
+			}
+		}
+		// Full job images, sweep children included: the image carries the
+		// whole resolved lifecycle, so replaying it needs no older records.
+		for _, rec := range jm.allRecords() {
+			sweepID := ""
+			if rec.sweep != nil {
+				sweepID = rec.sweep.id
+			}
+			if err := app(journal.KindJob, journal.JobRecord{
+				Job: rec.snapshot(), SweepID: sweepID, TTL: core.Duration(rec.ttl),
+			}); err != nil {
+				return err
+			}
+		}
+		if jm.memo != nil {
+			jm.memo.forEach(func(key, service, jobID string, outputs core.Values) {
+				if err != nil {
+					return
+				}
+				err = app(journal.KindMemoPut, journal.MemoPutRecord{Key: key, Service: service, JobID: jobID, Outputs: outputs})
+			})
+		}
+		return err
+	})
+}

@@ -1,0 +1,383 @@
+package container_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
+)
+
+// durableOpts roots a container's file store and write-ahead journal under
+// dir, the way `everest -data-dir` does.
+func durableOpts(dir string, mode journal.SyncMode) container.Options {
+	return container.Options{
+		Workers:    4,
+		DataDir:    filepath.Join(dir, "files"),
+		JournalDir: filepath.Join(dir, "journal"),
+		WALSync:    mode,
+		Logger:     quietLogger(),
+	}
+}
+
+// deployNative deploys one native-function service on the container.
+func deployNative(t *testing.T, c *container.Container, name, fn string, deterministic bool, inputs, outputs []core.Param) {
+	t.Helper()
+	if err := c.Deploy(container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name:          name,
+			Deterministic: deterministic,
+			Inputs:        inputs,
+			Outputs:       outputs,
+		},
+		Adapter: container.AdapterSpec{
+			Kind:   "native",
+			Config: mustJSON(t, adapter.NativeConfig{Function: fn}),
+		},
+	}); err != nil {
+		t.Fatalf("Deploy %s: %v", name, err)
+	}
+}
+
+var sumParams = struct{ in, out []core.Param }{
+	in:  []core.Param{{Name: "a"}, {Name: "b"}},
+	out: []core.Param{{Name: "sum"}},
+}
+
+func registerSum(name string) {
+	adapter.RegisterFunc(name, func(_ context.Context, in core.Values) (core.Values, error) {
+		a, _ := in["a"].(float64)
+		b, _ := in["b"].(float64)
+		return core.Values{"sum": a + b}, nil
+	})
+}
+
+// TestRecoverTerminalJobAndMemo restarts a journaled container and checks
+// that a finished job is restored verbatim and that the memo entry backing
+// it still answers repeat submissions without recomputation.
+func TestRecoverTerminalJobAndMemo(t *testing.T) {
+	registerSum("rectest.sum")
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c1, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNative(t, c1, "rsum", "rectest.sum", true, sumParams.in, sumParams.out)
+	c1.SetBaseURL("http://recovery.test")
+	job, err := c1.Jobs().SubmitCtx(ctx, "rsum", core.Values{"a": 2.0, "b": 40.0}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c1.Jobs().Wait(ctx, job.ID, 10*time.Second)
+	if err != nil || done.State != core.StateDone {
+		t.Fatalf("first run: state=%v err=%v", done, err)
+	}
+	c1.Close()
+
+	c2, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	deployNative(t, c2, "rsum", "rectest.sum", true, sumParams.in, sumParams.out)
+	if err := c2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+
+	got, err := c2.Jobs().Get(job.ID)
+	if err != nil {
+		t.Fatalf("job not restored: %v", err)
+	}
+	if got.State != core.StateDone || got.Outputs["sum"] != 42.0 {
+		t.Fatalf("restored job = state %s outputs %v, want DONE sum=42", got.State, got.Outputs)
+	}
+	if got.Owner != "alice" {
+		t.Errorf("restored owner = %q", got.Owner)
+	}
+	if !got.Finished.Equal(done.Finished) {
+		t.Errorf("restored finished %v != %v", got.Finished, done.Finished)
+	}
+
+	// The memo index came back with the job: an identical submission is
+	// born DONE without touching the adapter queue.
+	if entries, _ := c2.Jobs().MemoStats(); entries < 1 {
+		t.Fatalf("memo entries after recovery = %d, want >= 1", entries)
+	}
+	hit, err := c2.Jobs().SubmitCtx(ctx, "rsum", core.Values{"a": 2.0, "b": 40.0}, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.State != core.StateDone || hit.Outputs["sum"] != 42.0 {
+		t.Errorf("memo hit after restart = state %s outputs %v, want instant DONE", hit.State, hit.Outputs)
+	}
+}
+
+// TestRecoverRequeuesAbandonedJob simulates a crash with a job mid-flight:
+// the first container is never closed (its adapter hangs), and a second
+// container on the same directories must re-queue and re-drive the job to
+// completion.
+func TestRecoverRequeuesAbandonedJob(t *testing.T) {
+	var allow atomic.Bool
+	adapter.RegisterFunc("rectest.gated", func(ctx context.Context, _ core.Values) (core.Values, error) {
+		if allow.Load() {
+			return core.Values{"ok": true}, nil
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c1, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c1.Close) // runs after c2's cleanup; the "crash" is that c1 stays open now
+	deployNative(t, c1, "gated", "rectest.gated", false, nil,
+		[]core.Param{{Name: "ok", Optional: true}})
+	job, err := c1.Jobs().SubmitCtx(ctx, "gated", core.Values{}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := c1.Jobs().Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == core.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// "Crash": abandon c1 with the job RUNNING and recover elsewhere.
+	allow.Store(true)
+	c2, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	deployNative(t, c2, "gated", "rectest.gated", false, nil,
+		[]core.Param{{Name: "ok", Optional: true}})
+	if err := c2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	redone, err := c2.Jobs().Wait(ctx, job.ID, 10*time.Second)
+	if err != nil {
+		t.Fatalf("re-driven job: %v", err)
+	}
+	if redone.State != core.StateDone || redone.Outputs["ok"] != true {
+		t.Fatalf("re-driven job = state %s outputs %v, want DONE", redone.State, redone.Outputs)
+	}
+}
+
+// TestRecoverSweep restores a finished parameter sweep: the aggregate record,
+// its counts, and every child job with its outputs.
+func TestRecoverSweep(t *testing.T) {
+	registerSum("rectest.sweepsum")
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c1, err := container.New(durableOpts(dir, journal.SyncBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNative(t, c1, "ssum", "rectest.sweepsum", false, sumParams.in, sumParams.out)
+	spec := &core.SweepSpec{
+		Template: core.Values{"a": 10.0},
+		Axes:     map[string][]any{"b": {1.0, 2.0, 3.0, 4.0, 5.0}},
+	}
+	sw, err := c1.Jobs().SubmitSweep(ctx, "ssum", spec, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Jobs().WaitSweep(ctx, sw.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // Close fsyncs and cleanly ends the journal
+
+	c2, err := container.New(durableOpts(dir, journal.SyncBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	deployNative(t, c2, "ssum", "rectest.sweepsum", false, sumParams.in, sumParams.out)
+	if err := c2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+
+	got, err := c2.Jobs().GetSweep(sw.ID)
+	if err != nil {
+		t.Fatalf("sweep not restored: %v", err)
+	}
+	if got.State != core.StateDone || got.Width != 5 || got.Counts.Done != 5 {
+		t.Fatalf("restored sweep = state %s width %d counts %+v", got.State, got.Width, got.Counts)
+	}
+	sums := make(map[float64]bool)
+	for _, j := range c2.Jobs().List("ssum") {
+		if j.State != core.StateDone {
+			t.Errorf("child %s state = %s", j.ID, j.State)
+		}
+		if s, ok := j.Outputs["sum"].(float64); ok {
+			sums[s] = true
+		}
+	}
+	for want := 11.0; want <= 15.0; want++ {
+		if !sums[want] {
+			t.Errorf("restored children missing sum %v (have %v)", want, sums)
+		}
+	}
+}
+
+// TestReaperPurgesExpired checks the UWS destruction-time plane: terminal
+// jobs and sweeps past their TTL are purged together with the file resources
+// they own, and nothing is touched before its time.
+func TestReaperPurgesExpired(t *testing.T) {
+	c, _ := startContainer(t)
+	jm := c.Jobs()
+	ctx := context.Background()
+
+	job, err := jm.SubmitTTL(ctx, "add", core.Values{"a": 1.0, "b": 2.0}, "alice", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := jm.Wait(ctx, job.ID, 10*time.Second)
+	if err != nil || done.State != core.StateDone {
+		t.Fatalf("job: %v err=%v", done, err)
+	}
+	if done.Destruction.IsZero() || done.Destruction.Before(done.Finished) {
+		t.Fatalf("destruction = %v, want finished+1h", done.Destruction)
+	}
+	fileID, err := c.Files().PutBytes([]byte("artifact"), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := jm.SubmitSweep(ctx, "add", &core.SweepSpec{
+		Template:    core.Values{"a": 1.0},
+		Axes:        map[string][]any{"b": {1.0, 2.0}},
+		Destruction: core.Duration(time.Hour),
+	}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jm.WaitSweep(ctx, sw.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := jm.Reap(time.Now()); n != 0 {
+		t.Fatalf("premature reap destroyed %d jobs", n)
+	}
+	if n := jm.Reap(time.Now().Add(2 * time.Hour)); n < 3 {
+		t.Fatalf("reap destroyed %d jobs, want >= 3 (1 standalone + 2 sweep children)", n)
+	}
+	if _, err := jm.Get(job.ID); err == nil {
+		t.Error("reaped job still resolvable")
+	}
+	if _, err := jm.GetSweep(sw.ID); err == nil {
+		t.Error("reaped sweep still resolvable")
+	}
+	if _, _, err := c.Files().Open(fileID); err == nil {
+		t.Error("file owned by a reaped job still resolvable")
+	}
+}
+
+// TestDestructionQueryParam is the HTTP surface of the TTL plane: a
+// per-request ?destruction= sets the job's destruction time, and malformed
+// durations are rejected with 400.
+func TestDestructionQueryParam(t *testing.T) {
+	_, srv := startContainer(t)
+
+	resp, err := http.Post(srv.URL+"/services/add?wait=10s&destruction=45m",
+		"application/json", strings.NewReader(`{"a": 1, "b": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job core.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.State != core.StateDone {
+		t.Fatalf("state = %s", job.State)
+	}
+	if job.Destruction.IsZero() {
+		t.Error("DONE job has no destruction time despite ?destruction=45m")
+	} else if d := job.Destruction.Sub(job.Finished); d < 44*time.Minute || d > 46*time.Minute {
+		t.Errorf("destruction - finished = %v, want ~45m", d)
+	}
+
+	bad, err := http.Post(srv.URL+"/services/add?destruction=bogus",
+		"application/json", strings.NewReader(`{"a": 1, "b": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("destruction=bogus status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestRecoveryMetricsExposed is the /metrics scrape gate for the durability
+// plane: after a restart the WAL counters and the per-kind replay counter
+// must be present and non-zero.
+func TestRecoveryMetricsExposed(t *testing.T) {
+	registerSum("rectest.metsum")
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c1, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployNative(t, c1, "msum", "rectest.metsum", false, sumParams.in, sumParams.out)
+	job, err := c1.Jobs().SubmitCtx(ctx, "msum", core.Values{"a": 1.0, "b": 1.0}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Jobs().Wait(ctx, job.ID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2, err := container.New(durableOpts(dir, journal.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	deployNative(t, c2, "msum", "rectest.metsum", false, sumParams.in, sumParams.out)
+	if err := c2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c2.Handler())
+	t.Cleanup(srv.Close)
+
+	samples := scrapeMetrics(t, srv.URL)
+	for _, name := range []string{"mc_wal_appends_total", "mc_wal_fsyncs_total", "mc_wal_bytes_total"} {
+		if samples[name] <= 0 {
+			t.Errorf("%s = %v, want > 0", name, samples[name])
+		}
+	}
+	for _, kind := range []string{"job", "job_end"} {
+		series := fmt.Sprintf("mc_recovery_replayed_total{kind=%q}", kind)
+		if samples[series] < 1 {
+			t.Errorf("%s = %v, want >= 1", series, samples[series])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mathcloud/internal/core"
+	"mathcloud/internal/journal"
 	"mathcloud/internal/obs"
 )
 
@@ -83,6 +84,16 @@ type sweepRecord struct {
 	// childIDs lists the children in point order; immutable once the sweep
 	// is published.
 	childIDs []string
+	// template and points are the expanded sweep specification, retained so
+	// the journal can record a width-N campaign as one record (children are
+	// re-derived at replay) and snapshots can re-emit it.  Immutable once
+	// published.
+	template core.Values
+	points   []core.Values
+	// ttl is the sweep's destruction TTL: once every child is terminal the
+	// sweep (and its children) are purged ttl after the last child lands.
+	// Zero keeps the sweep until an explicit DELETE.  Immutable.
+	ttl time.Duration
 	// pumping admits one pump loop at a time, so the head of the pending
 	// list is enqueued exactly once without holding mu across channel sends.
 	pumping atomic.Bool
@@ -91,7 +102,9 @@ type sweepRecord struct {
 	counts     core.SweepCounts
 	firstError string
 	finished   time.Time
-	cancelled  bool
+	// destruction is the reap-after instant, set by finalize when ttl > 0.
+	destruction time.Time
+	cancelled   bool
 	// pending holds children waiting for queue capacity, in point order.
 	pending []*jobRecord
 	// fileIDs are the sweep-owned staged shared inputs, released when the
@@ -115,6 +128,7 @@ func (sw *sweepRecord) snapshot() *core.Sweep {
 	s.Counts = sw.counts
 	s.FirstError = sw.firstError
 	s.Finished = sw.finished
+	s.Destruction = sw.destruction
 	sw.mu.Unlock()
 	s.State = s.Counts.AggregateState(sw.width)
 	return s
@@ -169,6 +183,9 @@ func (sw *sweepRecord) finalize() {
 	sw.mu.Lock()
 	hadFiles := len(sw.fileIDs) > 0
 	sw.fileIDs = nil
+	if sw.ttl > 0 && sw.destruction.IsZero() {
+		sw.destruction = sw.finished.Add(sw.ttl)
+	}
 	sw.mu.Unlock()
 	if hadFiles {
 		sw.jm.c.files.DeleteOwnedBy(sw.id)
@@ -272,6 +289,10 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 	}
 	_, trace := obs.EnsureRequestID(ctx)
 	now := time.Now()
+	ttl := spec.Destruction.Std()
+	if ttl <= 0 {
+		ttl = jm.jobTTL
+	}
 	sw := &sweepRecord{
 		jm:      jm,
 		id:      jm.c.newID(),
@@ -280,6 +301,7 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 		traceID: trace,
 		created: now,
 		width:   len(points),
+		ttl:     ttl,
 		done:    make(chan struct{}),
 	}
 
@@ -290,6 +312,8 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 		return nil, err
 	}
 	tspec := core.SweepSpec{Template: template}
+	sw.template = template
+	sw.points = points
 
 	// Validate every point before creating anything.  The merged maps are
 	// kept: they become the child inputs, sharing template values by
@@ -416,6 +440,22 @@ func (jm *JobManager) SubmitSweep(ctx context.Context, serviceName string, spec 
 	if bornDone > 0 {
 		metJobsCompleted.With("done").Add(float64(bornDone))
 		metSweepChildren.With("done").Add(float64(bornDone))
+	}
+	// One journal record carries the whole campaign: child inputs are
+	// re-derived from template+points at replay, so a width-N sweep costs
+	// one record, not N.  Only children whose state diverged (born-DONE cache
+	// hits here; starts and ends as they happen) write records of their own.
+	if jm.c.journal != nil {
+		jm.c.logRecord(journal.KindSweep, journal.SweepRecord{
+			ID: sw.id, Service: sw.service, Owner: sw.owner, TraceID: sw.traceID,
+			Created: sw.created, Width: sw.width, ChildIDs: sw.childIDs,
+			Template: sw.template, Points: sw.points, TTL: core.Duration(sw.ttl),
+		})
+		for _, rec := range recs {
+			if rec.job.State == core.StateDone {
+				jm.logJobEnd(rec)
+			}
+		}
 	}
 	if terminalNow {
 		// Every point was answered from the computation cache.
@@ -630,6 +670,7 @@ func (jm *JobManager) DeleteSweep(id string) (*core.Sweep, error) {
 	if !present {
 		return nil, core.ErrNotFound("sweep", id)
 	}
+	jm.c.logRecord(journal.KindSweepPurge, journal.SweepPurgeRecord{ID: id})
 	snap := sw.snapshot()
 	for _, cid := range sw.childIDs {
 		_, _ = jm.Delete(cid)

@@ -322,6 +322,12 @@ type Job struct {
 	Submitted time.Time `json:"submitted,omitempty"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
+	// Destruction is the UWS-style destruction time of a terminal job: the
+	// instant after which the container's reaper may purge the record and
+	// its subordinate file resources.  Zero means the job is kept until an
+	// explicit DELETE.  Set from the container's default TTL or from the
+	// request's own destruction field when it reaches a terminal state.
+	Destruction time.Time `json:"destruction,omitempty"`
 	// QueueWait and RunTime are the derived timeline durations: how long
 	// the job sat in the queue before a handler picked it up, and how long
 	// it executed.  They are value fields, so job snapshots carry them at

@@ -25,6 +25,10 @@ type SweepSpec struct {
 	// Points lists explicit parameter combinations.  Mutually exclusive
 	// with Axes.
 	Points []Values `json:"points,omitempty"`
+	// Destruction is the sweep's retention TTL: once every child is
+	// terminal, the sweep and its children are purged this long after the
+	// last child lands.  Zero inherits the container's default job TTL.
+	Destruction Duration `json:"destruction,omitempty"`
 }
 
 // Width returns the number of jobs the spec expands to: the product of the
@@ -146,6 +150,9 @@ type Sweep struct {
 	// when the last child reaches a terminal state.
 	Created  time.Time `json:"created"`
 	Finished time.Time `json:"finished,omitempty"`
+	// Destruction is the instant after which the reaper may purge the
+	// terminal sweep and its children (zero = kept until DELETE).
+	Destruction time.Time `json:"destruction,omitempty"`
 	// Owner is the authenticated identity that submitted the sweep.
 	Owner string `json:"owner,omitempty"`
 	// TraceID is the request identifier of the submitting HTTP request;
