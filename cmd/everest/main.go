@@ -75,6 +75,7 @@ func main() {
 	durableDir := flag.String("data-dir", "", "durable root: file store under <dir>, write-ahead journal under <dir>/journal; jobs, sweeps, the catalogue of deployed state and the memo index survive restarts (overrides -data)")
 	walSync := flag.String("wal-sync", "batch", "journal durability mode: off, batch or always (with -data-dir)")
 	snapInterval := flag.Duration("snapshot-interval", time.Minute, "journal checkpoint period (with -data-dir; negative disables)")
+	snapBytes := flag.Int64("snapshot-bytes", 0, "journal size that triggers an immediate checkpoint, in bytes (with -data-dir; 0 disables the size trigger)")
 	jobTTL := flag.Duration("job-ttl", 0, "default destruction TTL of terminal jobs and sweeps (0 = keep until DELETE)")
 	baseURL := flag.String("base-url", "", "externally visible base URL (default: http://<addr>)")
 	builtin := flag.Bool("builtin", false, "deploy the built-in application services")
@@ -117,6 +118,7 @@ func main() {
 		opts.JournalDir = filepath.Join(*durableDir, "journal")
 		opts.WALSync = mode
 		opts.SnapshotInterval = *snapInterval
+		opts.SnapshotBytes = *snapBytes
 	}
 	registry := adapter.NewRegistry()
 	opts.Adapters = registry

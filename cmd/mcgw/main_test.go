@@ -17,6 +17,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.pingInterval != 5*time.Second || cfg.fanout != 5*time.Second {
 		t.Fatalf("interval defaults: ping %v fanout %v", cfg.pingInterval, cfg.fanout)
 	}
+	if cfg.loadInterval != 2*time.Second {
+		t.Fatalf("load-interval default %v", cfg.loadInterval)
+	}
+	if cfg.placement != "p2c" {
+		t.Fatalf("placement default %q", cfg.placement)
+	}
 	if len(cfg.replicas) != 2 ||
 		cfg.replicas[0].Name != "r01" || cfg.replicas[0].BaseURL != "http://a:8080" ||
 		cfg.replicas[1].Name != "r02" || cfg.replicas[1].BaseURL != "http://b:8080" {
@@ -30,7 +36,9 @@ func TestParseFlagsFull(t *testing.T) {
 		"-replicas", " r01 = http://a:8080 ",
 		"-max-wait", "30s",
 		"-ping-interval", "2s",
+		"-load-interval", "500ms",
 		"-fanout-timeout", "1s",
+		"-placement", "rr",
 		"-debug-addr", "127.0.0.1:6061",
 	})
 	if err != nil {
@@ -38,6 +46,7 @@ func TestParseFlagsFull(t *testing.T) {
 	}
 	if cfg.addr != ":9999" || cfg.maxWait != 30*time.Second ||
 		cfg.pingInterval != 2*time.Second || cfg.fanout != time.Second ||
+		cfg.loadInterval != 500*time.Millisecond || cfg.placement != "rr" ||
 		cfg.debugAddr != "127.0.0.1:6061" {
 		t.Fatalf("flags parsed wrong: %+v", cfg)
 	}

@@ -143,6 +143,10 @@ func ServiceConfigSlow(name string, slowdown float64) container.ServiceConfig {
 			Description: "Evaluates exact rational matrix expressions (invert, multiply, transpose, Hilbert matrices and friends) — the error-free computer algebra back end of the distributed matrix inversion application.",
 			Version:     "1.0",
 			Tags:        []string{"cas", "matrix", "exact", "algebra"},
+			// Exact rational evaluation is pure: identical expressions and
+			// operands always produce identical results, so submissions are
+			// memoizable and federation-wide result reuse applies.
+			Deterministic: true,
 			Inputs: []core.Param{
 				{
 					Name:   "expr",

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -659,4 +660,24 @@ func (c *Client) ServiceNames(ctx context.Context, containerBase string) ([]stri
 		names[i] = s.Name
 	}
 	return names, nil
+}
+
+// Load fetches a container's load report (GET /load): advertised queue
+// depth, worker occupancy and memo cache size, feeding the gateway's
+// load-aware placement and admission control.
+func (c *Client) Load(ctx context.Context, containerBase string) (core.LoadReport, error) {
+	var report core.LoadReport
+	err := c.getJSON(ctx, strings.TrimRight(containerBase, "/")+"/load", &report)
+	return report, err
+}
+
+// MemoIndex fetches one page of a container's memo delta feed
+// (GET /memo?since=N).  Pass the sequence number returned by the previous
+// page to receive only the changes since; a page with Reset set means the
+// cursor was too old and the entries are a full dump.
+func (c *Client) MemoIndex(ctx context.Context, containerBase string, since uint64) (core.MemoIndexPage, error) {
+	var page core.MemoIndexPage
+	uri := strings.TrimRight(containerBase, "/") + "/memo?since=" + strconv.FormatUint(since, 10)
+	err := c.getJSON(ctx, uri, &page)
+	return page, err
 }

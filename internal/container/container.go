@@ -122,6 +122,11 @@ type Options struct {
 	// (snapshot + log truncation) started by Recover.  Zero selects the
 	// default (1 minute); a negative value disables periodic checkpoints.
 	SnapshotInterval time.Duration
+	// SnapshotBytes additionally triggers a checkpoint whenever the live
+	// (un-truncated) journal bytes exceed this threshold, so write-heavy
+	// campaigns are compacted by size rather than waiting out the period.
+	// Zero disables the size trigger.
+	SnapshotBytes int64
 	// JobTTL is the UWS-style default destruction TTL: a terminal job (or
 	// sweep) is purged together with its file resources this long after it
 	// finishes.  Zero keeps results until an explicit DELETE.  Requests
@@ -202,9 +207,15 @@ type Container struct {
 	// checkpoint loop started by Recover.
 	journal      *journal.Journal
 	snapInterval time.Duration
+	snapBytes    int64
 	snapStop     chan struct{}
 	snapWG       sync.WaitGroup
 	snapOnce     sync.Once
+
+	// fetchMu/fetches singleflight cross-replica file pulls: concurrent
+	// consumers of one foreign file ID trigger a single blob transfer.
+	fetchMu sync.Mutex
+	fetches map[string]*fetchFlight
 
 	mu       sync.RWMutex
 	services map[string]*service
@@ -299,6 +310,7 @@ func New(opts Options) (*Container, error) {
 		if c.snapInterval == 0 {
 			c.snapInterval = defaultSnapshotInterval
 		}
+		c.snapBytes = opts.SnapshotBytes
 		c.snapStop = make(chan struct{})
 	}
 	c.events = events.NewBus(events.Options{RingSize: opts.EventRingSize})

@@ -1,0 +1,261 @@
+package container
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mathcloud/internal/core"
+)
+
+// --- Memo delta feed (GET /memo?since=) ----------------------------------
+
+func TestMemoDeltasIncrementalAndDrop(t *testing.T) {
+	m := newMemoTable(100, 1<<20)
+	m.store("k1", "svc", "j1", core.Values{"y": 1.0})
+	m.store("k2", "svc", "j2", core.Values{"y": 2.0})
+
+	page := m.deltas(0)
+	if page.Reset {
+		t.Fatal("cursor 0 on a fresh table should be answerable incrementally")
+	}
+	if len(page.Entries) != 2 || page.Entries[0].Key != "k1" || page.Entries[1].Key != "k2" {
+		t.Fatalf("entries = %+v, want k1 then k2", page.Entries)
+	}
+	if page.Entries[0].Service != "svc" || page.Entries[0].JobID != "j1" {
+		t.Fatalf("entry payload = %+v", page.Entries[0])
+	}
+	cursor := page.Seq
+
+	// Nothing changed: the follow-up page is empty at the same cursor.
+	next := m.deltas(cursor)
+	if next.Reset || len(next.Entries) != 0 || len(next.Dropped) != 0 || next.Seq != cursor {
+		t.Fatalf("idle page = %+v, want empty at seq %d", next, cursor)
+	}
+
+	// A purged backing job surfaces as a drop delta.
+	m.dropJob("j1")
+	drop := m.deltas(cursor)
+	if drop.Reset || len(drop.Dropped) != 1 || drop.Dropped[0] != "k1" {
+		t.Fatalf("drop page = %+v, want Dropped=[k1]", drop)
+	}
+}
+
+func TestMemoDeltasResetOnStaleCursorAndInvalidation(t *testing.T) {
+	m := newMemoTable(2*maxMemoDeltaLog, 256<<20)
+	for i := 0; i < maxMemoDeltaLog+100; i++ {
+		m.store(fmt.Sprintf("k%d", i), "svc", fmt.Sprintf("j%d", i), core.Values{"y": float64(i)})
+	}
+	// The log is bounded: a cursor from before the retained window forces a
+	// full re-listing.
+	page := m.deltas(0)
+	if !page.Reset {
+		t.Fatal("cursor 0 past the bounded log should return a Reset page")
+	}
+	if len(page.Entries) != maxMemoDeltaLog+100 {
+		t.Fatalf("reset page carries %d entries, want %d", len(page.Entries), maxMemoDeltaLog+100)
+	}
+	cursor := page.Seq
+
+	// A cursor inside the window stays incremental.
+	m.store("fresh", "svc", "jf", core.Values{"y": 0.0})
+	inc := m.deltas(cursor)
+	if inc.Reset || len(inc.Entries) != 1 || inc.Entries[0].Key != "fresh" {
+		t.Fatalf("incremental page = %+v, want just 'fresh'", inc)
+	}
+
+	// Bulk invalidation (service reconfiguration) discards the log: every
+	// consumer, however recent its cursor, re-lists.
+	m.dropService("svc")
+	after := m.deltas(inc.Seq)
+	if !after.Reset {
+		t.Fatal("cursor from before dropService should be forced into a Reset page")
+	}
+	if len(after.Entries) != 0 {
+		t.Fatalf("reset page after dropService has %d entries, want 0", len(after.Entries))
+	}
+	// A cursor beyond the current sequence (e.g. from a wiped table) resets.
+	if p := m.deltas(after.Seq + 1000); !p.Reset {
+		t.Fatal("future cursor should reset")
+	}
+}
+
+// --- Cross-replica ingestion (FileStore.IngestRemote) ---------------------
+
+func TestIngestRemoteRejectsCorruptedTransfer(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("federated blob payload")
+	sum := sha256.Sum256(payload)
+	digest := hex.EncodeToString(sum[:])
+	id := "r01-0123456789abcdef0123456789abcdef"
+
+	// A corrupted transfer (bytes do not hash to the advertised digest) is
+	// rejected without registering anything.
+	err = fs.IngestRemote(id, digest, bytes.NewReader([]byte("corrupted bytes")))
+	if err == nil {
+		t.Fatal("corrupted transfer ingested without error")
+	}
+	if _, err := fs.Digest(id); err == nil {
+		t.Fatal("corrupted transfer registered the file ID")
+	}
+	if files, blobs, _, physical := fs.Stats(); files != 0 || blobs != 0 || physical != 0 {
+		t.Fatalf("corrupted transfer left CAS state: files=%d blobs=%d physical=%d", files, blobs, physical)
+	}
+
+	// The failure did not poison the store: a clean retry of the same ID
+	// succeeds and round-trips the bytes.
+	if err := fs.IngestRemote(id, digest, bytes.NewReader(payload)); err != nil {
+		t.Fatalf("retry after corruption: %v", err)
+	}
+	got, err := fs.ReadAll(id)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAll after retry: %v %q", err, got)
+	}
+	if d, _ := fs.Digest(id); d != digest {
+		t.Fatalf("digest = %s, want %s", d, digest)
+	}
+	// Re-ingesting an existing ID is a no-op.
+	if err := fs.IngestRemote(id, digest, bytes.NewReader(payload)); err != nil {
+		t.Fatalf("idempotent re-ingest: %v", err)
+	}
+	if files, blobs, _, _ := fs.Stats(); files != 1 || blobs != 1 {
+		t.Fatalf("after re-ingest: files=%d blobs=%d, want 1/1", files, blobs)
+	}
+}
+
+func TestIngestRemoteDedupsAgainstLocalContent(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("shared curve "), 256)
+	localID, err := fs.Put(bytes.NewReader(payload), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, _ := fs.Digest(localID)
+	foreign := "r09-00000000000000000000000000000001"
+	if err := fs.IngestRemote(foreign, digest, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	files, blobs, logical, physical := fs.Stats()
+	if files != 2 || blobs != 1 {
+		t.Fatalf("files=%d blobs=%d, want two IDs sharing one blob", files, blobs)
+	}
+	if logical != 2*int64(len(payload)) || physical != int64(len(payload)) {
+		t.Fatalf("logical=%d physical=%d", logical, physical)
+	}
+}
+
+// --- Cross-replica fetch (Container.ensureLocalFile) ----------------------
+
+// TestEnsureLocalFileSingleflight checks that concurrent consumers of the
+// same foreign file ID trigger exactly one blob transfer, and that the
+// pulled file is then served from the local store.
+func TestEnsureLocalFileSingleflight(t *testing.T) {
+	payload := bytes.Repeat([]byte("remote blob "), 512)
+	sum := sha256.Sum256(payload)
+	digest := hex.EncodeToString(sum[:])
+	foreignID := "r01-fedcba9876543210fedcba9876543210"
+
+	var hits atomic.Int64
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/files/"+foreignID {
+			http.NotFound(w, r)
+			return
+		}
+		hits.Add(1)
+		<-release // hold every fetcher in-flight until all waiters queued
+		w.Header().Set(DigestHeader, digest)
+		w.Write(payload)
+	}))
+	defer peer.Close()
+
+	c, err := New(Options{Workers: 1, ReplicaID: "r02", Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetBaseURL(peer.URL)
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.ensureLocalFile(t.Context(), foreignID)
+		}(i)
+	}
+	// Let the flight leader reach the peer, then release the transfer.
+	deadline := time.Now().Add(5 * time.Second)
+	for hits.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("peer served %d transfers for %d concurrent consumers, want 1", n, waiters)
+	}
+	got, err := c.Files().ReadAll(foreignID)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("pulled file not readable locally: %v", err)
+	}
+	// A second ensure is a local fast path: no new transfer.
+	if err := c.ensureLocalFile(t.Context(), foreignID); err != nil {
+		t.Fatal(err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("repeat ensure re-fetched (%d transfers)", n)
+	}
+}
+
+// TestEnsureLocalFileSkipsLocalAndBareIDs pins the guard conditions: IDs
+// without a foreign prefix never trigger a network fetch.
+func TestEnsureLocalFileSkipsLocalAndBareIDs(t *testing.T) {
+	var hits atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+
+	c, err := New(Options{Workers: 1, ReplicaID: "r02", Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetBaseURL(peer.URL)
+
+	for _, id := range []string{
+		"0123456789abcdef0123456789abcdef",     // bare pre-federation ID
+		"r02-0123456789abcdef0123456789abcdef", // own prefix: missing means missing
+	} {
+		if err := c.ensureLocalFile(t.Context(), id); err != nil {
+			t.Fatalf("ensureLocalFile(%s): %v", id, err)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("local/bare IDs reached the network %d times", hits.Load())
+	}
+}

@@ -472,6 +472,75 @@ func (fs *FileStore) restoreFile(id, digest string, size int64, owner string) er
 	return nil
 }
 
+// IngestRemote stores the content of r under an EXISTING federation file
+// ID fetched from a peer replica, verifying it against the digest the
+// peer advertised.  The bytes are hashed while they stream to a
+// temporary file and the blob is committed only when the computed digest
+// matches: a corrupted or truncated transfer is discarded without
+// touching the content-addressed store, so a retry can succeed and no
+// local ID ever points at wrong bytes.  Ingesting an ID that is already
+// present is a no-op, making concurrent pulls and replays idempotent.
+func (fs *FileStore) IngestRemote(id, digest string, r io.Reader) error {
+	if !fileIDPattern.MatchString(id) {
+		return fmt.Errorf("container: file store: ingest remote: malformed id %q", id)
+	}
+	if digest == "" {
+		return fmt.Errorf("container: file store: ingest remote %s: peer sent no digest", id)
+	}
+	fs.mu.Lock()
+	_, exists := fs.digests[id]
+	fs.mu.Unlock()
+	if exists {
+		return nil
+	}
+	tmp, err := os.CreateTemp(fs.dir, "tmp-")
+	if err != nil {
+		return fmt.Errorf("container: file store: ingest remote %s: %w", id, err)
+	}
+	tmpPath := tmp.Name()
+	h := sha256.New()
+	n, err := rest.Copy(io.MultiWriter(tmp, h), r)
+	if closeErr := tmp.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("container: file store: ingest remote %s: %w", id, err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != digest {
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("container: file store: ingest remote %s: digest mismatch: got sha256-%s, peer advertised sha256-%s", id, got, digest)
+	}
+	fs.mu.Lock()
+	if _, exists := fs.digests[id]; exists {
+		fs.mu.Unlock()
+		_ = os.Remove(tmpPath)
+		return nil
+	}
+	if fs.refs[digest] == 0 {
+		if err := os.Rename(tmpPath, fs.blobPath(digest)); err != nil {
+			fs.mu.Unlock()
+			_ = os.Remove(tmpPath)
+			return fmt.Errorf("container: file store: ingest remote %s: %w", id, err)
+		}
+		fs.physicalBytes += n
+	} else {
+		// The content already lives here under another ID (dedup hit).
+		_ = os.Remove(tmpPath)
+		metDedupFiles.Inc()
+		metDedupBytes.Add(float64(n))
+	}
+	fs.refs[digest]++
+	fs.digests[id] = digest
+	fs.sizes[id] = n
+	fs.logicalBytes += n
+	// No owner: the replica of record owns the file's lifecycle; the local
+	// copy is a cache entry released by its own refcounted Delete.
+	fs.mu.Unlock()
+	fs.logPut(id, digest, n, "")
+	return nil
+}
+
 // ownedBy returns the file IDs owned by the given job or sweep.  Recovery
 // uses it to rebuild a live sweep's staged-file list so the files are still
 // released when the sweep finalizes.

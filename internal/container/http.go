@@ -34,6 +34,9 @@ import (
 //	DELETE /files/{id}                    delete a file resource
 //	GET    /metrics                       Prometheus text-format metrics
 //	GET    /status                        JSON metrics with percentiles
+//	GET    /load                          replica load report (federation)
+//	GET    /memo                          memo index delta feed (?since=)
+//	GET    /memo/{digest}                 one cached computation by digest
 //
 // Every request passes the ingress instrumentation first: an X-Request-ID
 // is established (propagated or generated), per-route metrics are recorded,
@@ -56,6 +59,12 @@ func Instrument(next http.Handler) http.Handler { return instrument(next) }
 // misrouted affinity IDs) in federated deployments.
 const ReplicaHeader = "X-MC-Replica"
 
+// DigestHeader carries the sha256 hex digest of a file resource's content
+// on GET /files/{id} responses.  A replica pulling a foreign blob across
+// the federation verifies the transfer against it before registering the
+// bytes in its local content-addressed store.
+const DigestHeader = "X-MC-Digest"
+
 // APIHandler returns the unified REST API handler without the ingress
 // instrumentation.  Use Handler unless the handler is being embedded under
 // an outer Instrument wrapper.
@@ -71,6 +80,14 @@ func (c *Container) APIHandler() http.Handler {
 			return
 		case "status":
 			obs.StatusHandler().ServeHTTP(w, r)
+			return
+		case "load":
+			// Infrastructure plane, like /metrics: the gateway's placement
+			// loop scrapes it without service credentials.
+			c.handleLoad(w, r)
+			return
+		case "memo":
+			c.handleMemo(w, r, tail)
 			return
 		}
 		var principal core.Principal
@@ -504,6 +521,11 @@ func (c *Container) handleFiles(w http.ResponseWriter, r *http.Request, path str
 		}
 		defer f.Close()
 		w.Header().Set("Content-Type", "application/octet-stream")
+		// Advertise the content digest so a peer replica pulling this blob
+		// across the federation can verify the transfer end to end.
+		if digest, err := c.files.Digest(id); err == nil {
+			w.Header().Set(DigestHeader, digest)
+		}
 		http.ServeContent(w, r, id, time.Time{}, f)
 	case r.Method == http.MethodDelete:
 		if err := c.files.Delete(id); err != nil {
@@ -514,4 +536,65 @@ func (c *Container) handleFiles(w http.ResponseWriter, r *http.Request, path str
 	default:
 		rest.MethodNotAllowed(w, http.MethodGet, http.MethodDelete)
 	}
+}
+
+// handleLoad answers GET /load: the replica's point-in-time load report
+// (queue occupancy, executing jobs, memo footprint), consumed by the
+// gateway's power-of-two-choices placement.
+func (c *Container) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	report := c.jobs.LoadReport()
+	report.Replica = c.replicaID
+	rest.WriteJSON(w, http.StatusOK, report)
+}
+
+// handleMemo serves the memo index plane:
+//
+//	GET /memo?since=N   one page of the index delta feed (the gateway
+//	                    polls it to maintain the federation-wide
+//	                    digest→replica map)
+//	GET /memo/{digest}  direct lookup of one cached computation
+func (c *Container) handleMemo(w http.ResponseWriter, r *http.Request, path string) {
+	if r.Method != http.MethodGet {
+		rest.MethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	digest, _ := rest.ShiftPath(path)
+	memo := c.jobs.memo
+	if digest == "" {
+		var since uint64
+		if raw := r.URL.Query().Get("since"); raw != "" {
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				rest.WriteError(w, core.ErrBadRequest("invalid since cursor %q", raw))
+				return
+			}
+			since = v
+		}
+		var page core.MemoIndexPage
+		if memo != nil {
+			page = memo.deltas(since)
+		}
+		page.Replica = c.replicaID
+		rest.WriteJSON(w, http.StatusOK, page)
+		return
+	}
+	if memo == nil {
+		rest.WriteError(w, core.ErrNotFound("memo entry", digest))
+		return
+	}
+	service, jobID, outputs, ok := memo.lookupEntry(digest)
+	if !ok {
+		rest.WriteError(w, core.ErrNotFound("memo entry", digest))
+		return
+	}
+	rest.WriteJSON(w, http.StatusOK, map[string]any{
+		"key":     digest,
+		"service": service,
+		"jobID":   jobID,
+		"outputs": outputs,
+	})
 }

@@ -133,6 +133,11 @@ type JobManager struct {
 	backlogCount   atomic.Int64
 	backlogPumping atomic.Bool
 
+	// workers and running feed the /load report: pool size vs jobs
+	// currently executing, alongside the queue occupancy.
+	workers int
+	running atomic.Int64
+
 	wg        sync.WaitGroup
 	closing   chan struct{}
 	closeOnce sync.Once
@@ -167,6 +172,7 @@ func newJobManager(c *Container, cfg jobManagerConfig) *JobManager {
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	jm := &JobManager{
 		c:             c,
+		workers:       workers,
 		queue:         make(chan *jobRecord, queueSize),
 		deadline:      cfg.deadline,
 		batchMax:      cfg.batchMax,
@@ -731,6 +737,7 @@ func (jm *JobManager) beginJob(rec *jobRecord, ctx context.Context, cancel conte
 		metJobsWaiting.Add(-1)
 	}
 	metJobsRunning.Add(1)
+	jm.running.Add(1)
 	metQueueWait.Observe(queueWait.Seconds())
 	// Re-enter the job's trace into the execution context: every outbound
 	// call the adapter makes (workflow block invocations, file staging)
@@ -790,6 +797,7 @@ func (rj *runningJob) finish(outputs core.Values, err error) {
 	rec.mu.Unlock()
 
 	metJobsRunning.Add(-1)
+	rj.jm.running.Add(-1)
 	metRunTime.Observe(runTime.Seconds())
 	metJobsCompleted.With(strings.ToLower(string(state))).Inc()
 	if logger := obs.Logger(); logger.Enabled(rj.ctx, slog.LevelInfo) {
@@ -1065,6 +1073,12 @@ func (jm *JobManager) stageInputs(ctx context.Context, inputs core.Values, workD
 // stageFile materialises the file behind ref at path.
 func (jm *JobManager) stageFile(ctx context.Context, ref, path string) error {
 	if id, ok := jm.c.localFileID(ref); ok {
+		// A federation ID minted on another replica is pulled into the
+		// local content-addressed store first (once, digest-verified);
+		// local IDs pass straight through.
+		if err := jm.c.ensureLocalFile(ctx, id); err != nil {
+			return err
+		}
 		return jm.c.files.StageTo(id, path)
 	}
 	if strings.HasPrefix(ref, "http://") || strings.HasPrefix(ref, "https://") {
@@ -1128,6 +1142,21 @@ func (jm *JobManager) MemoStats() (entries int, bytes int64) {
 		return 0, 0
 	}
 	return jm.memo.stats()
+}
+
+// LoadReport snapshots the manager's load for GET /load: queue occupancy,
+// executing jobs vs pool size, and memo cache footprint.  The gateway's
+// power-of-two-choices placement consumes it at load-interval cadence.
+func (jm *JobManager) LoadReport() core.LoadReport {
+	entries, bytes := jm.MemoStats()
+	return core.LoadReport{
+		QueueDepth:  len(jm.queue) + int(jm.backlogCount.Load()),
+		QueueCap:    cap(jm.queue),
+		Running:     int(jm.running.Load()),
+		Workers:     jm.workers,
+		MemoEntries: entries,
+		MemoBytes:   bytes,
+	}
 }
 
 // errNonLocalFileRef marks a request input referencing a file this

@@ -58,6 +58,10 @@ var (
 		"File resources deduplicated to an existing content-addressed blob.")
 	metDedupBytes = obs.NewCounter("mc_filestore_dedup_bytes_total",
 		"Bytes not written to disk because an identical blob already existed.")
+	metRemoteFetches = obs.NewCounter("mc_filestore_remote_fetch_total",
+		"Foreign-replica file blobs pulled into the local content-addressed store.")
+	metRemoteFetchBytes = obs.NewCounter("mc_filestore_remote_fetch_bytes_total",
+		"Bytes transferred pulling foreign-replica file blobs.")
 
 	// Campaign plane (DESIGN.md §5f): parameter sweeps and adapter
 	// micro-batching.
@@ -81,9 +85,10 @@ var (
 
 // knownRoutes is the closed set of route labels routeOf can return.
 var knownRoutes = []string{
-	"index", "metrics", "status", "workflows", "editor", "search", "tags",
-	"ping", "file", "service", "job_list", "job", "sweep_list", "sweep",
-	"sweep_jobs", "service_events", "job_events", "sweep_events", "other",
+	"index", "metrics", "status", "load", "memo", "workflows", "editor",
+	"search", "tags", "ping", "file", "service", "job_list", "job",
+	"sweep_list", "sweep", "sweep_jobs", "service_events", "job_events",
+	"sweep_events", "other",
 }
 
 // knownMethods and knownClasses close the remaining label dimensions of the
@@ -131,7 +136,7 @@ func routeOf(path string) string {
 	switch head {
 	case "":
 		return "index"
-	case "metrics", "status", "workflows", "editor", "search", "tags", "ping":
+	case "metrics", "status", "load", "memo", "workflows", "editor", "search", "tags", "ping":
 		return head
 	case "files":
 		return "file"

@@ -629,22 +629,40 @@ func (jm *JobManager) Reap(now time.Time) int {
 // calls it: a checkpoint taken before replay would truncate the very records
 // replay needs.
 func (c *Container) startSnapshotter() {
-	if c.journal == nil || c.snapInterval <= 0 {
+	if c.journal == nil || (c.snapInterval <= 0 && c.snapBytes <= 0) {
 		return
+	}
+	// With a size trigger the loop wakes frequently to poll LiveBytes
+	// (cheap: one mutex acquisition); the periodic checkpoint still fires
+	// on its own schedule.  Interval-only deployments keep the old
+	// one-tick-per-checkpoint cadence.
+	tick := c.snapInterval
+	if c.snapBytes > 0 {
+		tick = time.Second
+		if c.snapInterval > 0 && c.snapInterval < tick {
+			tick = c.snapInterval
+		}
 	}
 	c.snapWG.Add(1)
 	go func() {
 		defer c.snapWG.Done()
-		t := time.NewTicker(c.snapInterval)
+		t := time.NewTicker(tick)
 		defer t.Stop()
+		lastSnap := time.Now()
 		for {
 			select {
 			case <-c.snapStop:
 				return
 			case <-t.C:
+				due := c.snapInterval > 0 && time.Since(lastSnap) >= c.snapInterval
+				oversize := c.snapBytes > 0 && c.journal.LiveBytes() >= c.snapBytes
+				if !due && !oversize {
+					continue
+				}
 				if err := c.Checkpoint(); err != nil {
 					c.logger.Printf("container: checkpoint: %v", err)
 				}
+				lastSnap = time.Now()
 			}
 		}
 	}()

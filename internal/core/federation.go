@@ -1,0 +1,44 @@
+package core
+
+// Federation wire types: the replica-side memo index feed and the load
+// report consumed by the gateway's placement policy.  These travel over
+// plain JSON on the infrastructure plane (GET /memo, GET /load) and are
+// deliberately small — the gateway polls them at load-interval cadence
+// for every replica.
+
+// MemoIndexEntry advertises one memoized deterministic result: the
+// canonical input digest, the owning service and the backing job whose
+// outputs the entry replays.
+type MemoIndexEntry struct {
+	Key     string `json:"key"`
+	Service string `json:"service"`
+	JobID   string `json:"jobID"`
+}
+
+// MemoIndexPage is one page of a replica's memo index delta feed.
+// Seq is the replica's cursor after applying this page; clients pass it
+// back as ?since= on the next poll.  When the replica can no longer
+// serve an incremental answer (cursor predates its bounded delta log,
+// or the table was reset wholesale) it sets Reset and Entries carries
+// the full current index — the consumer must drop everything it
+// previously learned from this replica.
+type MemoIndexPage struct {
+	Replica string           `json:"replica,omitempty"`
+	Seq     uint64           `json:"seq"`
+	Reset   bool             `json:"reset,omitempty"`
+	Entries []MemoIndexEntry `json:"entries,omitempty"`
+	Dropped []string         `json:"dropped,omitempty"`
+}
+
+// LoadReport is a replica's point-in-time load advertisement, the input
+// to the gateway's power-of-two-choices placement and saturation-based
+// admission control.
+type LoadReport struct {
+	Replica     string `json:"replica,omitempty"`
+	QueueDepth  int    `json:"queueDepth"`
+	QueueCap    int    `json:"queueCap"`
+	Running     int    `json:"running"`
+	Workers     int    `json:"workers"`
+	MemoEntries int    `json:"memoEntries"`
+	MemoBytes   int64  `json:"memoBytes"`
+}

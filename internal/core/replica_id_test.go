@@ -41,6 +41,40 @@ func TestSplitReplicaIDRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestSplitReplicaIDNestedAndOpaque pins the first-dash-wins contract the
+// federation relies on: a gateway-of-gateways tag (r01-r02-<hex>) splits at
+// the OUTER prefix with the remainder kept opaque, and a remainder that is
+// not hex still splits — SplitReplicaID validates the prefix, never the
+// payload.  Cross-replica routing depends on both properties.
+func TestSplitReplicaIDNestedAndOpaque(t *testing.T) {
+	id := NewID()
+	nested := TagID("r01", TagID("r02", id))
+	rep, ok := SplitReplicaID(nested)
+	if !ok || rep != "r01" {
+		t.Fatalf("SplitReplicaID(%q) = %q,%v, want r01,true", nested, rep, ok)
+	}
+	// Re-splitting the remainder peels the inner layer.
+	inner := nested[len("r01-"):]
+	if rep, ok := SplitReplicaID(inner); !ok || rep != "r02" {
+		t.Fatalf("SplitReplicaID(%q) = %q,%v, want r02,true", inner, rep, ok)
+	}
+	// Malformed (non-hex) remainders still split: the payload is opaque.
+	for _, id := range []string{"r03-ZZZZ", "r03-not hex", "r03--"} {
+		if rep, ok := SplitReplicaID(id); !ok || rep != "r03" {
+			t.Errorf("SplitReplicaID(%q) = %q,%v, want r03,true", id, rep, ok)
+		}
+	}
+	// TagID never re-validates: tagging an already-tagged ID nests.
+	if got := TagID("r01", "r02-abc"); got != "r01-r02-abc" {
+		t.Errorf("TagID nesting = %q, want r01-r02-abc", got)
+	}
+	// TagID with an empty ID still produces a split-rejected value
+	// (empty remainder), so malformed mints cannot masquerade as remote.
+	if _, ok := SplitReplicaID(TagID("r01", "")); ok {
+		t.Error("SplitReplicaID accepted a tag with empty remainder")
+	}
+}
+
 func TestValidReplicaName(t *testing.T) {
 	for name, want := range map[string]bool{
 		"r03": true, "a": true, "replica12": true,

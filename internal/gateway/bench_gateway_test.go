@@ -112,3 +112,147 @@ func BenchmarkGatewayScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFederatedMemoHit measures the federation-wide result-reuse path:
+// a deterministic result computed through one gateway is resubmitted through
+// a SECOND gateway instance with no hint-table history, so every request is
+// routed by the shared memo index (fed by the replicas' /memo delta feeds)
+// to the replica whose cache holds it and answered as a job born DONE.  The
+// jobs/s figure bounds the full warm path: gateway routing + index lookup +
+// proxy hop + replica-side memo hit.
+func BenchmarkFederatedMemoHit(b *testing.B) {
+	adapter.RegisterFunc("gwbench.det", func(ctx context.Context, in core.Values) (core.Values, error) {
+		a, _ := in["a"].(float64)
+		return core.Values{"sum": a}, nil
+	})
+	r1 := startReplica(b, "r01", numService(b, "det", "gwbench.det", true))
+	r2 := startReplica(b, "r02", numService(b, "det", "gwbench.det", true))
+	_, gwA := startGateway(b, gateway.Options{LoadInterval: -1}, r1, r2)
+
+	// Prewarm: compute a working set of distinct results through gateway A.
+	const warm = 16
+	for i := 0; i < warm; i++ {
+		resp, err := http.Post(gwA.URL+"/services/det?wait=30s", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"a": %d}`, i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			b.Fatalf("prewarm %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// A fresh gateway instance: no hints, only the shared memo index pulled
+	// from the replicas' delta feeds.
+	gB, err := gateway.New(gateway.Options{
+		Replicas: []gateway.Replica{
+			{Name: "r01", BaseURL: r1.srv.URL},
+			{Name: "r02", BaseURL: r2.srv.URL},
+		},
+		PingInterval: -1,
+		LoadInterval: -1,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(gB.Close)
+	gwB := httptest.NewServer(gB.Handler())
+	b.Cleanup(gwB.Close)
+	gB.RefreshLoad(context.Background())
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"a": %d}`, i%warm)
+		resp, err := http.Post(gwB.URL+"/services/det?wait=30s", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var job core.Job
+		decodeErr := json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if decodeErr != nil || resp.StatusCode != http.StatusCreated || job.State != core.StateDone {
+			b.Fatalf("warm submit %d: status %d state %s", i, resp.StatusCode, job.State)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+}
+
+// BenchmarkSkewedPlacement compares round-robin against power-of-two-choices
+// placement under heterogeneous replicas: r01 answers in 5ms, r02 in 20ms (a
+// 4:1 service-time skew modelling a slower machine or a busier neighbour).
+// Blind round-robin sends half the batch to the slow replica and the
+// makespan is dominated by its queue; p2c reads the advertised queue depths
+// and drains the batch toward the fast replica.  The jobs/s gap is the win.
+func BenchmarkSkewedPlacement(b *testing.B) {
+	const fastTime, slowTime = 5 * time.Millisecond, 20 * time.Millisecond
+	sleeper := func(d time.Duration) adapter.Func {
+		return func(ctx context.Context, in core.Values) (core.Values, error) {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			a, _ := in["a"].(float64)
+			return core.Values{"sum": a}, nil
+		}
+	}
+	adapter.RegisterFunc("gwbench.fast", sleeper(fastTime))
+	adapter.RegisterFunc("gwbench.slow", sleeper(slowTime))
+
+	for _, policy := range []string{"rr", "p2c"} {
+		b.Run("policy="+policy, func(b *testing.B) {
+			// Same service name on both replicas, different backing speed.
+			r1 := startReplica(b, "r01", numService(b, "skew", "gwbench.fast", false))
+			r2 := startReplica(b, "r02", numService(b, "skew", "gwbench.slow", false))
+			_, gw := startGateway(b, gateway.Options{
+				PlacementPolicy: policy,
+				LoadInterval:    25 * time.Millisecond,
+			}, r1, r2)
+
+			const jobs = 64
+			const clients = 8
+			b.ResetTimer()
+			for iter := 0; iter < b.N; iter++ {
+				var next atomic.Int64
+				var failed atomic.Int64
+				start := time.Now()
+				var wg sync.WaitGroup
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > jobs {
+								return
+							}
+							body := fmt.Sprintf(`{"a": %d}`, i)
+							resp, err := http.Post(gw.URL+"/services/skew?wait=60s",
+								"application/json", strings.NewReader(body))
+							if err != nil {
+								failed.Add(1)
+								return
+							}
+							var job core.Job
+							err = json.NewDecoder(resp.Body).Decode(&job)
+							resp.Body.Close()
+							if err != nil || resp.StatusCode != http.StatusCreated || job.State != core.StateDone {
+								failed.Add(1)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				if f := failed.Load(); f != 0 {
+					b.Fatalf("%d of %d jobs failed", f, jobs)
+				}
+				b.ReportMetric(float64(jobs)/elapsed.Seconds(), "jobs/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"mathcloud/internal/adapter"
+	"mathcloud/internal/container"
+	"mathcloud/internal/core"
+	"mathcloud/internal/gateway"
+)
+
+// TestSharedMemoIndexServesResubmissionAcrossGateways is the federation-wide
+// result-reuse end-to-end check: a deterministic job computed through one
+// gateway is answered from the holding replica's cache when an identical
+// submission arrives at a DIFFERENT gateway instance — one with no hint
+// table history — because the second gateway learned the digest→replica
+// mapping from the replicas' memo delta feeds.
+func TestSharedMemoIndexServesResubmissionAcrossGateways(t *testing.T) {
+	var calls atomic.Int64
+	adapter.RegisterFunc("gwtest.fedmemo", func(ctx context.Context, in core.Values) (core.Values, error) {
+		calls.Add(1)
+		a, _ := in["a"].(float64)
+		b, _ := in["b"].(float64)
+		return core.Values{"sum": a + b}, nil
+	})
+	r1 := startReplica(t, "r01", numService(t, "fadd", "gwtest.fedmemo", true))
+	r2 := startReplica(t, "r02", numService(t, "fadd", "gwtest.fedmemo", true))
+	_, gwA := startGateway(t, gateway.Options{LoadInterval: -1}, r1, r2)
+
+	inputs := core.Values{"a": 19.0, "b": 23.0}
+	resp, job := postJSON(t, gwA.URL+"/services/fadd?wait=15s", inputs)
+	if resp.StatusCode != http.StatusCreated || job["state"] != "DONE" {
+		t.Fatalf("first submit: status %d state %v", resp.StatusCode, job["state"])
+	}
+	holder := resp.Header.Get(container.ReplicaHeader)
+	if calls.Load() != 1 {
+		t.Fatalf("adapter ran %d times after first submit, want 1", calls.Load())
+	}
+
+	// A second, independent gateway over the same replicas: fresh process
+	// state, no hints.  It must NOT reset the replicas' base URLs (that
+	// would wipe their memo caches), so it is built without startGateway.
+	gB, err := gateway.New(gateway.Options{
+		Replicas: []gateway.Replica{
+			{Name: "r01", BaseURL: r1.srv.URL},
+			{Name: "r02", BaseURL: r2.srv.URL},
+		},
+		PingInterval: -1,
+		LoadInterval: -1,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("second gateway: %v", err)
+	}
+	t.Cleanup(gB.Close)
+	gwB := httptest.NewServer(gB.Handler())
+	t.Cleanup(gwB.Close)
+	gB.RefreshLoad(context.Background()) // pull the memo index feeds
+
+	before := metricValue(t, gwB.URL, "mc_gateway_memo_index_hits_total")
+	resp2, job2 := postJSON(t, gwB.URL+"/services/fadd?wait=15s", inputs)
+	if resp2.StatusCode != http.StatusCreated || job2["state"] != "DONE" {
+		t.Fatalf("resubmit via second gateway: status %d state %v", resp2.StatusCode, job2["state"])
+	}
+	if got := resp2.Header.Get(container.ReplicaHeader); got != holder {
+		t.Fatalf("resubmission served by %q, cache lives on %q", got, holder)
+	}
+	if sum := job2["outputs"].(map[string]any)["sum"].(float64); sum != 42.0 {
+		t.Fatalf("resubmission sum = %v", sum)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("adapter ran %d times in total, want 1 (second submit must be a cache hit)", calls.Load())
+	}
+	if after := metricValue(t, gwB.URL, "mc_gateway_memo_index_hits_total"); after != before+1 {
+		t.Fatalf("memo index hits %v -> %v, want +1", before, after)
+	}
+}
+
+// TestCrossReplicaFileFetchTransfersBlobOnce pins the file plane half of
+// federation reuse: a job placed on a replica that does not hold its input
+// file pulls the blob from the owning replica exactly once, and every later
+// consumer on that replica reads the local copy.
+func TestCrossReplicaFileFetchTransfersBlobOnce(t *testing.T) {
+	var calls atomic.Int64
+	adapter.RegisterRequestFunc("gwtest.flen", func(ctx context.Context, req *adapter.Request) (*adapter.Result, error) {
+		calls.Add(1)
+		data, err := os.ReadFile(req.Files["f"])
+		if err != nil {
+			return nil, err
+		}
+		return &adapter.Result{Outputs: core.Values{"len": float64(len(data))}}, nil
+	})
+	fileSvc := container.ServiceConfig{
+		Description: core.ServiceDescription{
+			Name: "flen", Version: "1",
+			Inputs:  []core.Param{{Name: "f"}},
+			Outputs: []core.Param{{Name: "len"}},
+		},
+		Adapter: container.AdapterSpec{
+			Kind:   "native",
+			Config: mustJSON(t, adapter.NativeConfig{Function: "gwtest.flen"}),
+		},
+	}
+	r1 := startReplica(t, "r01", fileSvc)
+	r2 := startReplica(t, "r02", fileSvc)
+	_, gw := startGateway(t, gateway.Options{LoadInterval: -1}, r1, r2)
+
+	// Upload straight to r01, so the minted ID carries its prefix.
+	payload := bytes.Repeat([]byte("foreign blob "), 777)
+	up, err := http.Post(r1.srv.URL+"/files", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var uploaded map[string]string
+	if err := json.NewDecoder(up.Body).Decode(&uploaded); err != nil {
+		t.Fatalf("upload decode: %v", err)
+	}
+	up.Body.Close()
+	fileID := uploaded["id"]
+	if prefix, _ := core.SplitReplicaID(fileID); prefix != "r01" {
+		t.Fatalf("file ID %q not minted on r01", fileID)
+	}
+
+	before := metricValue(t, gw.URL, "mc_filestore_remote_fetch_total")
+	// Two jobs consuming the foreign file, both forced onto r02 by direct
+	// submission (the service is non-deterministic, so both execute).
+	for i := 0; i < 2; i++ {
+		resp, job := postJSON(t, r2.srv.URL+"/services/flen?wait=15s",
+			core.Values{"f": core.FileRef(fileID)})
+		if resp.StatusCode != http.StatusCreated || job["state"] != "DONE" {
+			t.Fatalf("job %d on r02: status %d state %v (%v)", i, resp.StatusCode, job["state"], job["error"])
+		}
+		if n := job["outputs"].(map[string]any)["len"].(float64); n != float64(len(payload)) {
+			t.Fatalf("job %d read %v bytes, want %d", i, n, len(payload))
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("adapter ran %d times, want 2", calls.Load())
+	}
+	after := metricValue(t, gw.URL, "mc_filestore_remote_fetch_total")
+	if after != before+1 {
+		t.Fatalf("remote fetches %v -> %v, want exactly one transfer for two consumers", before, after)
+	}
+	// The pulled blob is now local to r02 and readable there directly.
+	dl, err := http.Get(r2.srv.URL + "/files/" + fileID)
+	if err != nil {
+		t.Fatalf("local read on r02: %v", err)
+	}
+	defer dl.Body.Close()
+	if dl.StatusCode != http.StatusOK {
+		t.Fatalf("local read on r02: status %d", dl.StatusCode)
+	}
+}

@@ -76,6 +76,16 @@ type Options struct {
 	// MemoHintMax bounds the digest→replica hint table (default 65536
 	// entries).
 	MemoHintMax int
+	// LoadInterval paces the federation reuse loop: each tick polls every
+	// replica's /load report (feeding power-of-two-choices placement and
+	// admission control) and /memo delta feed (feeding the shared memo
+	// index).  Zero selects the default (2s); a negative value disables
+	// the background loop (tests drive RefreshLoad explicitly).
+	LoadInterval time.Duration
+	// PlacementPolicy selects the submission spread: "p2c" (default,
+	// power-of-two-choices over advertised queue depth) or "rr" (legacy
+	// blind round-robin, kept as an ablation/escape hatch).
+	PlacementPolicy string
 	// Resolver, when non-nil, re-resolves the base URL of a named replica
 	// that stopped answering at its last known address (a rescheduled
 	// container).  It is consulted before routing to an unhealthy replica
@@ -96,6 +106,12 @@ type replicaState struct {
 	// fetch, by name.
 	services map[string]core.ServiceDescription
 	checked  time.Time
+	// load is the replica's last advertised load report (loadOK false until
+	// the first successful poll); memoSeq is the cursor into its memo index
+	// delta feed.
+	load    core.LoadReport
+	loadOK  bool
+	memoSeq uint64
 }
 
 func (rs *replicaState) baseURL() string {
@@ -108,6 +124,26 @@ func (rs *replicaState) isHealthy() bool {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
 	return rs.healthy
+}
+
+// loadReport returns the replica's last advertised load, reporting whether
+// one has been received.
+func (rs *replicaState) loadReport() (core.LoadReport, bool) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.load, rs.loadOK
+}
+
+// queueDepth is the placement signal: the replica's advertised queued-job
+// count, 0 until the first load poll (an unknown replica looks idle, so it
+// is probed with work rather than starved).
+func (rs *replicaState) queueDepth() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	if !rs.loadOK {
+		return 0
+	}
+	return rs.load.QueueDepth
 }
 
 // describe returns the replica's advertised description of one service.
@@ -127,6 +163,7 @@ func (rs *replicaState) serviceURI(service string) string {
 // Gateway routes the unified REST API across container replicas.
 type Gateway struct {
 	client     *http.Client
+	api        *client.Client
 	fanout     time.Duration
 	maxWait    time.Duration
 	resolver   func(string) (string, bool)
@@ -135,6 +172,8 @@ type Gateway struct {
 	bus        *events.Bus
 	sse        *sseMux
 	hints      *hintTable
+	memo       *memoIndex
+	placement  string          // "p2c" or "rr"
 	replicas   []*replicaState // fixed order (Options.Replicas)
 	byName     map[string]*replicaState
 	rrCursor   atomic.Uint64
@@ -142,7 +181,16 @@ type Gateway struct {
 	stopOnce   sync.Once
 	wg         sync.WaitGroup
 	pingEvery  time.Duration
+	loadEvery  time.Duration
 	healthOnce sync.Mutex // serializes RefreshHealth sweeps
+	loadOnce   sync.Mutex // serializes RefreshLoad sweeps
+
+	// topoGen counts topology changes (health marks, service sets); the
+	// per-service candidate cache is invalidated by generation, so steady
+	// state placement never rescans and re-sorts the replica list.
+	topoGen   atomic.Uint64
+	candMu    sync.Mutex
+	candCache map[string]*candEntry
 }
 
 // defaultMaxWaitWindow mirrors the container default for SSE idle streams.
@@ -178,17 +226,29 @@ func New(opts Options) (*Gateway, error) {
 	if hintMax <= 0 {
 		hintMax = 65536
 	}
+	placement := opts.PlacementPolicy
+	if placement == "" {
+		placement = placementP2C
+	}
+	if placement != placementP2C && placement != placementRR {
+		return nil, fmt.Errorf("gateway: unknown placement policy %q (want p2c or rr)", placement)
+	}
 	g := &Gateway{
 		client:    httpClient,
+		api:       &client.Client{HTTP: httpClient},
 		fanout:    fanout,
 		maxWait:   maxWait,
 		resolver:  opts.Resolver,
 		logger:    logger,
 		bus:       events.NewBus(events.Options{}),
 		hints:     newHintTable(hintMax),
+		memo:      newMemoIndex(),
+		placement: placement,
 		byName:    make(map[string]*replicaState, len(opts.Replicas)),
+		candCache: make(map[string]*candEntry),
 		stop:      make(chan struct{}),
 		pingEvery: opts.PingInterval,
+		loadEvery: opts.LoadInterval,
 	}
 	// The catalogue probes replica service resources over HTTP through the
 	// gateway's own proxy client, so its availability marks reflect exactly
@@ -211,6 +271,7 @@ func New(opts Options) (*Gateway, error) {
 		g.byName[r.Name] = rs
 	}
 	g.RefreshHealth(context.Background())
+	g.RefreshLoad(context.Background())
 	interval := opts.PingInterval
 	if interval == 0 {
 		interval = 5 * time.Second
@@ -224,6 +285,15 @@ func New(opts Options) (*Gateway, error) {
 		g.cat.StartPinger(interval)
 		g.wg.Add(1)
 		go g.healthLoop(interval)
+	}
+	loadEvery := opts.LoadInterval
+	if loadEvery == 0 {
+		loadEvery = 2 * time.Second
+	}
+	if loadEvery > 0 {
+		g.loadEvery = loadEvery
+		g.wg.Add(1)
+		go g.loadLoop(loadEvery)
 	}
 	return g, nil
 }
@@ -263,6 +333,74 @@ func (g *Gateway) healthLoop(interval time.Duration) {
 			return
 		}
 	}
+}
+
+// loadLoop is the federation reuse loop: at LoadInterval cadence it pulls
+// every replica's load report and memo index deltas.
+func (g *Gateway) loadLoop(interval time.Duration) {
+	defer g.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			g.RefreshLoad(ctx)
+			cancel()
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// RefreshLoad polls every healthy replica once, concurrently: GET /load
+// feeds the placement policy's queue-depth view and admission control, and
+// GET /memo?since={cursor} advances the shared memo index.  A replica that
+// fails the poll keeps its last load report but is marked load-unknown, so
+// placement treats it as idle rather than pinning traffic elsewhere.
+func (g *Gateway) RefreshLoad(ctx context.Context) {
+	g.loadOnce.Lock()
+	defer g.loadOnce.Unlock()
+	var wg sync.WaitGroup
+	for _, rs := range g.replicas {
+		if !rs.isHealthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(rs *replicaState) {
+			defer wg.Done()
+			g.pollReplicaLoad(ctx, rs)
+		}(rs)
+	}
+	wg.Wait()
+}
+
+// pollReplicaLoad performs one replica's load + memo-delta poll.
+func (g *Gateway) pollReplicaLoad(ctx context.Context, rs *replicaState) {
+	pctx, cancel := context.WithTimeout(ctx, g.fanout)
+	defer cancel()
+	base := rs.baseURL()
+	report, err := g.api.Load(pctx, base)
+	rs.mu.Lock()
+	if err != nil {
+		rs.loadOK = false
+	} else {
+		rs.load = report
+		rs.loadOK = true
+	}
+	since := rs.memoSeq
+	rs.mu.Unlock()
+	if err != nil {
+		return
+	}
+	page, err := g.api.MemoIndex(pctx, base, since)
+	if err != nil {
+		return
+	}
+	g.memo.apply(rs.name, page)
+	rs.mu.Lock()
+	rs.memoSeq = page.Seq
+	rs.mu.Unlock()
 }
 
 // indexDoc is the container index representation the health sweep consumes.
@@ -325,6 +463,7 @@ func (g *Gateway) probeReplica(ctx context.Context, rs *replicaState) {
 		}
 		rs.mu.Unlock()
 		if wasHealthy {
+			g.topoGen.Add(1)
 			g.logger.Printf("gateway: replica %s unreachable: %v", rs.name, err)
 		}
 		for _, name := range stale {
@@ -340,9 +479,22 @@ func (g *Gateway) probeReplica(ctx context.Context, rs *replicaState) {
 	rs.base = base
 	old := rs.services
 	rs.services = services
+	wasHealthy := rs.healthy
 	rs.healthy = true
 	rs.checked = now
 	rs.mu.Unlock()
+	changed := !wasHealthy || len(old) != len(services)
+	if !changed {
+		for name := range services {
+			if _, known := old[name]; !known {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		g.topoGen.Add(1)
+	}
 	// Reconcile catalogue registrations: new services are published (the
 	// catalogue fetches and indexes their full description), departed ones
 	// are withdrawn.  Existing entries are refreshed by the catalogue's own
@@ -400,6 +552,7 @@ func (g *Gateway) markReplicaDown(rs *replicaState, err error) {
 	rs.mu.Unlock()
 	metGwProxyErrors.With(rs.name).Inc()
 	if wasHealthy {
+		g.topoGen.Add(1)
 		g.logger.Printf("gateway: marking replica %s down: %v", rs.name, err)
 		for _, name := range names {
 			g.cat.MarkUnavailable(rs.serviceURI(name))
@@ -417,6 +570,7 @@ func (g *Gateway) reviveReplica(rs *replicaState) {
 	rs.checked = time.Now()
 	rs.mu.Unlock()
 	if !was {
+		g.topoGen.Add(1)
 		g.logger.Printf("gateway: replica %s answered again", rs.name)
 	}
 }

@@ -22,6 +22,12 @@ var (
 		"Scatter-gather responses assembled from a strict subset of replicas (Warning header attached).")
 	metGwHintHits = obs.NewCounter("mc_gateway_memo_hint_hits_total",
 		"Job submissions routed by the memo hint table to the replica already holding the result.")
+	metGwHintStale = obs.NewCounter("mc_gateway_memo_hint_stale_total",
+		"Memo hints that pointed at a replica no longer serving the service (fell through to placement).")
+	metGwIndexHits = obs.NewCounter("mc_gateway_memo_index_hits_total",
+		"Job submissions routed by the shared memo index to the replica whose cache holds the result.")
+	metGwAdmissionRejects = obs.NewCounter("mc_gateway_admission_rejections_total",
+		"Submissions rejected at the gateway with 503 because every candidate replica was saturated.")
 	metGwSSEUpstreams = obs.NewGauge("mc_gateway_sse_upstreams",
 		"Upstream SSE connections currently held open to replicas (shared across downstream watchers).")
 	metGwSSEWatchers = obs.NewGauge("mc_gateway_sse_watchers",

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"mathcloud/internal/core"
 )
@@ -16,16 +17,26 @@ import (
 // order degrades minimally when a replica leaves — only the services that
 // ranked it first move.  Work placement (job and sweep submission) must
 // instead SPREAD: rendezvous alone would pin each service to one replica and
-// cap its throughput at a single container, so submissions round-robin
-// across all healthy replicas advertising the service.  Two refinements
-// bend the spread toward cache locality:
+// cap its throughput at a single container.  Three refinements bend the
+// spread toward cache locality and away from hot replicas (DESIGN.md §5j):
 //
-//   - deterministic services consult the memo hint table first: a digest of
-//     the canonical submission (core.CanonicalHash) remembered from an
-//     earlier dispatch routes an identical resubmission to the replica whose
-//     computation cache already holds the result;
-//   - the round-robin cursor is gateway-global, not per-service, so mixed
-//     workloads still interleave fairly.
+//   - deterministic services consult the shared memo index first, then the
+//     gateway-local hint table: a digest of the canonical submission
+//     (core.CanonicalHash) routes an identical resubmission to the replica
+//     whose computation cache already holds the result;
+//   - fresh placements use power-of-two-choices over the queue depth each
+//     replica advertises on GET /load: pick two candidates, send the job to
+//     the shorter queue.  P2c tracks load skew exponentially better than
+//     blind round-robin while touching only two load samples per decision;
+//   - when every candidate advertises a full queue the gateway refuses
+//     admission outright (503 + Retry-After) instead of burning a proxy hop
+//     on a replica that would reject the job anyway.
+
+// Placement policy names accepted by Options.PlacementPolicy.
+const (
+	placementP2C = "p2c"
+	placementRR  = "rr"
+)
 
 // rendezvousScore ranks one (service, replica) pair.  FNV-1a over the joint
 // key is cheap, stateless and stable across processes.
@@ -37,10 +48,30 @@ func rendezvousScore(service, replica string) uint64 {
 	return h.Sum64()
 }
 
+// candEntry caches one service's sorted candidate list.  The entry is valid
+// while the gateway topology generation it was computed under still matches
+// g.topoGen; any health flip or service-set change bumps the generation and
+// lazily invalidates every entry.  This keeps the per-submit cost at one
+// atomic load instead of a full replica scan with per-replica locking.
+type candEntry struct {
+	gen      uint64
+	replicas []*replicaState
+}
+
 // serviceReplicas returns the healthy replicas currently advertising the
 // service, sorted by descending rendezvous score (ties broken by name so the
-// order is total).
+// order is total).  Results are cached per service until the topology
+// generation changes.
 func (g *Gateway) serviceReplicas(service string) []*replicaState {
+	gen := g.topoGen.Load()
+	g.candMu.Lock()
+	if e, ok := g.candCache[service]; ok && e.gen == gen {
+		out := e.replicas
+		g.candMu.Unlock()
+		return out
+	}
+	g.candMu.Unlock()
+
 	var out []*replicaState
 	for _, rs := range g.replicas {
 		if !rs.isHealthy() {
@@ -58,6 +89,13 @@ func (g *Gateway) serviceReplicas(service string) []*replicaState {
 		}
 		return out[i].name < out[j].name
 	})
+
+	g.candMu.Lock()
+	// Tag the entry with the generation observed BEFORE the scan: if the
+	// topology changed mid-scan the entry is already stale and the next
+	// caller recomputes.
+	g.candCache[service] = &candEntry{gen: gen, replicas: out}
+	g.candMu.Unlock()
 	return out
 }
 
@@ -83,44 +121,113 @@ func (g *Gateway) homeReplica(service string) (*replicaState, bool) {
 	return c[0], true
 }
 
-// spreadReplica picks the next submission target among candidates by
-// advancing the gateway-global round-robin cursor.
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed bijection used to derive two independent candidate indices from
+// the monotonically increasing cursor without math/rand (deterministic under
+// test, no seed state to share).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// spreadReplica picks the next submission target among candidates.  Under
+// the default p2c policy the round-robin cursor nominates the primary
+// candidate and a splitmix64-derived second index challenges it: the
+// challenger wins only with a strictly shorter advertised queue.  Under
+// uniform (or not yet polled) load every challenge ties and the spread
+// degrades to exact round-robin — no placement regression against the
+// legacy policy — while a skewed federation drains toward the replicas
+// with headroom.  Under rr (or with a single candidate) the cursor decides
+// alone.
 func (g *Gateway) spreadReplica(candidates []*replicaState) *replicaState {
 	n := g.rrCursor.Add(1)
-	return candidates[int((n-1)%uint64(len(candidates)))]
+	i := int((n - 1) % uint64(len(candidates)))
+	if len(candidates) == 1 || g.placement == placementRR {
+		return candidates[i]
+	}
+	k := int(splitmix64(n) % uint64(len(candidates)))
+	if k == i {
+		k = (k + 1) % len(candidates)
+	}
+	if candidates[k].queueDepth() < candidates[i].queueDepth() {
+		return candidates[k]
+	}
+	return candidates[i]
+}
+
+// saturated reports whether every candidate advertises a full queue.  A
+// replica with no load report (loadOK false) or an unbounded queue never
+// counts as saturated — admission control only refuses work when it has
+// positive evidence that nobody can take it.
+func saturated(candidates []*replicaState) bool {
+	for _, rs := range candidates {
+		report, ok := rs.loadReport()
+		if !ok || report.QueueCap <= 0 || report.QueueDepth < report.QueueCap {
+			return false
+		}
+	}
+	return len(candidates) > 0
+}
+
+// placeSpread picks a submission target, refusing admission when the whole
+// candidate set is saturated.
+func (g *Gateway) placeSpread(candidates []*replicaState) (*replicaState, error) {
+	if saturated(candidates) {
+		metGwAdmissionRejects.Inc()
+		return nil, core.ErrUnavailable(time.Second, "all replicas saturated: every candidate queue is full")
+	}
+	return g.spreadReplica(candidates), nil
 }
 
 // routeSubmit places one job submission.  For deterministic services it
-// computes the memo key of the submission and consults the hint table; a
-// hint pointing at a still-healthy candidate wins (the replica's memo cache
-// can answer without recomputing).  Otherwise the submission round-robins.
-// The returned key is non-empty when the dispatch should be recorded as a
-// hint after the replica accepts it.
-func (g *Gateway) routeSubmit(service string, inputs core.Values) (rs *replicaState, key string, hinted bool) {
+// computes the memo key of the submission and consults the shared memo index
+// first (authoritative: fed by every replica's delta feed), then the
+// gateway-local hint table; either pointing at a still-healthy candidate
+// wins, because that replica's memo cache can answer without recomputing.
+// Otherwise the submission falls through to load-aware placement, which may
+// refuse admission (non-nil err) when all candidates are saturated.  The
+// returned key is non-empty when the dispatch should be recorded as a hint
+// after the replica accepts it.
+func (g *Gateway) routeSubmit(service string, inputs core.Values) (rs *replicaState, key string, hinted bool, err error) {
 	candidates := g.serviceReplicas(service)
 	if len(candidates) == 0 {
-		return nil, "", false
+		return nil, "", false, nil
 	}
 	desc, _ := candidates[0].describe(service)
 	if desc.Deterministic {
 		// A nil FileDigester hashes file references by literal string.  That
 		// is weaker than the container's content digest (two names for the
-		// same bytes miss), but the hint table only needs gateway-local
-		// determinism: a miss degrades to round-robin, never to a wrong
+		// same bytes miss), but routing only needs gateway-local
+		// determinism: a miss degrades to placement, never to a wrong
 		// answer — the replica's own memo gate re-derives the real key.
 		if k, err := core.CanonicalHash(desc.Name, desc.Version, inputs, nil); err == nil {
 			key = k
+			if name, ok := g.memo.lookup(key); ok {
+				for _, c := range candidates {
+					if c.name == name {
+						metGwIndexHits.Inc()
+						return c, key, true, nil
+					}
+				}
+			}
 			if name, ok := g.hints.get(key); ok {
 				for _, c := range candidates {
 					if c.name == name {
 						metGwHintHits.Inc()
-						return c, key, true
+						return c, key, true, nil
 					}
 				}
+				metGwHintStale.Inc()
 			}
 		}
 	}
-	return g.spreadReplica(candidates), key, false
+	rs, err = g.placeSpread(candidates)
+	if err != nil {
+		return nil, key, false, err
+	}
+	return rs, key, false, nil
 }
 
 // hintTable is the bounded digest→replica map behind memo-cache sharing.
@@ -128,7 +235,7 @@ func (g *Gateway) routeSubmit(service string, inputs core.Values) (rs *replicaSt
 // and when the young map fills the old generation is dropped wholesale —
 // O(1) amortized eviction with no per-entry bookkeeping, at the cost of
 // evicting cohorts instead of strict LRU order.  Hints are advisory, so
-// losing a cohort only costs a round-robin dispatch.
+// losing a cohort only costs a load-aware dispatch.
 type hintTable struct {
 	max int
 

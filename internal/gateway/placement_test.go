@@ -23,8 +23,11 @@ func TestRendezvousScoreIsDeterministic(t *testing.T) {
 // services and health marks, no HTTP.
 func newTestGateway(services map[string][]string, healthy map[string]bool) *Gateway {
 	g := &Gateway{
-		byName: make(map[string]*replicaState),
-		hints:  newHintTable(64),
+		byName:    make(map[string]*replicaState),
+		hints:     newHintTable(64),
+		memo:      newMemoIndex(),
+		candCache: make(map[string]*candEntry),
+		placement: placementRR,
 	}
 	for name, svcs := range services {
 		rs := &replicaState{

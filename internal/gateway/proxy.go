@@ -182,7 +182,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request, service s
 	if len(raw) > 0 {
 		_ = json.Unmarshal(raw, &inputs)
 	}
-	rs, key, hinted := g.routeSubmit(service, inputs)
+	rs, key, hinted, err := g.routeSubmit(service, inputs)
+	if err != nil {
+		// Admission control: every candidate advertises a full queue, so a
+		// proxy hop would only buy a replica-side rejection.
+		rest.WriteError(w, err)
+		return
+	}
 	if rs == nil {
 		g.noReplica(w, service)
 		return
@@ -208,7 +214,12 @@ func (g *Gateway) handleSweepSubmit(w http.ResponseWriter, r *http.Request, serv
 		g.noReplica(w, service)
 		return
 	}
-	g.forward(w, r, g.spreadReplica(candidates), "sweep", raw)
+	rs, err := g.placeSpread(candidates)
+	if err != nil {
+		rest.WriteError(w, err)
+		return
+	}
+	g.forward(w, r, rs, "sweep", raw)
 }
 
 func (g *Gateway) handleFiles(w http.ResponseWriter, r *http.Request, path string) {

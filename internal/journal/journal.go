@@ -133,6 +133,10 @@ type Journal struct {
 	f    *os.File   // active segment
 	seq  uint64     // active segment number
 	size int64      // bytes written to the active segment
+	// liveBytes approximates the bytes a snapshot would reclaim: every
+	// un-truncated segment, including the replay tail a restart inherited.
+	// The owner's size-triggered compaction polls it via LiveBytes.
+	liveBytes int64
 	// writeSeq counts appended records; syncSeq is the highest writeSeq
 	// known durable.  A SyncAlways appender waits until syncSeq reaches its
 	// own record, electing itself sync leader if no round is in flight.
@@ -222,7 +226,13 @@ func Open(dir string, opts Options) (*Journal, error) {
 			_ = os.Remove(filepath.Join(dir, segmentName(seq)))
 			continue
 		}
-		j.replayFiles = append(j.replayFiles, filepath.Join(dir, segmentName(seq)))
+		path := filepath.Join(dir, segmentName(seq))
+		j.replayFiles = append(j.replayFiles, path)
+		// The inherited tail counts as live: a restart into a long
+		// un-snapshotted log should compact promptly under a size trigger.
+		if info, err := os.Stat(path); err == nil {
+			j.liveBytes += info.Size()
+		}
 	}
 	j.seq = maxSeq + 1
 	f, err := os.OpenFile(filepath.Join(dir, segmentName(j.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
@@ -283,6 +293,7 @@ func (j *Journal) Append(kind Kind, v any) error {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	j.size += int64(len(frame))
+	j.liveBytes += int64(len(frame))
 	j.writeSeq++
 	mySeq := j.writeSeq
 	metAppends.Inc()
@@ -384,6 +395,14 @@ func (j *Journal) batchSyncer(interval time.Duration) {
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	}
+}
+
+// LiveBytes approximates the un-truncated journal bytes — what a
+// snapshot would reclaim.  Owners use it for size-triggered compaction.
+func (j *Journal) LiveBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.liveBytes
 }
 
 // Sync forces the active segment to stable storage, regardless of mode.
@@ -532,17 +551,28 @@ func (j *Journal) Snapshot(write func(app func(kind Kind, v any) error) error) e
 		_ = d.Close()
 	}
 	// Truncate: everything before the cut is folded into the snapshot.
+	var live int64
 	entries, err := os.ReadDir(j.dir)
 	if err == nil {
 		for _, e := range entries {
 			name := e.Name()
-			if seq, ok := parseSeq(name, "wal-", ".log"); ok && seq < cut {
-				_ = os.Remove(filepath.Join(j.dir, name))
+			if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+				if seq < cut {
+					_ = os.Remove(filepath.Join(j.dir, name))
+				} else if info, ierr := e.Info(); ierr == nil {
+					live += info.Size()
+				}
 			}
 			if seq, ok := parseSeq(name, "snap-", ".snap"); ok && seq < cut {
 				_ = os.Remove(filepath.Join(j.dir, name))
 			}
 		}
+		// Re-base the live-byte estimate on what actually survived the
+		// truncation; concurrent appends racing the directory scan leave a
+		// small over-count, which only makes the next size trigger early.
+		j.mu.Lock()
+		j.liveBytes = live
+		j.mu.Unlock()
 	}
 	metSnapshotSeconds.Observe(time.Since(start).Seconds())
 	return nil

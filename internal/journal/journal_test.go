@@ -321,3 +321,52 @@ func TestInterruptedSnapshotTmpCleaned(t *testing.T) {
 		t.Fatal("leftover snapshot tmp file survived Open")
 	}
 }
+
+func TestLiveBytesTracksAppendsAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.LiveBytes() != 0 {
+		t.Fatalf("fresh journal LiveBytes = %d, want 0", j.LiveBytes())
+	}
+	for i := 0; i < 50; i++ {
+		if err := j.Append(KindJob, testRecord{N: i, S: "livebytes payload"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := j.LiveBytes()
+	if grown <= 0 {
+		t.Fatalf("LiveBytes after 50 appends = %d, want > 0", grown)
+	}
+
+	// A snapshot truncates the replayed prefix; the live tail shrinks to the
+	// snapshot segment boundary (everything before the cut is removed).
+	if err := j.Snapshot(func(app func(kind Kind, v any) error) error {
+		return app(KindJob, testRecord{N: -1, S: "state"})
+	}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	afterSnap := j.LiveBytes()
+	if afterSnap >= grown {
+		t.Fatalf("LiveBytes after snapshot = %d, want < %d (pre-snapshot)", afterSnap, grown)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening inherits the surviving tail as live bytes, so a restarted
+	// container's size trigger sees the same pressure.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Replay(func(Kind, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if j2.LiveBytes() != afterSnap {
+		t.Fatalf("reopened LiveBytes = %d, want %d", j2.LiveBytes(), afterSnap)
+	}
+}
